@@ -1,0 +1,53 @@
+// Command asapfig regenerates the figures and tables of the ASAP paper's
+// evaluation section.
+//
+// Usage:
+//
+//	asapfig fig8            # one experiment
+//	asapfig all             # everything
+//	asapfig -csv fig13      # CSV output
+//	asapfig -ops 400 fig10  # publication scale (default); -ops 80 is quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asap/internal/harness"
+)
+
+func main() {
+	var (
+		ops  = flag.Int("ops", 400, "structure-level operations per thread (scale)")
+		seed = flag.Uint64("seed", 1, "workload seed")
+		csv  = flag.Bool("csv", false, "emit CSV instead of text tables")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: asapfig [-ops N] [-csv] <%s|all>\n",
+			strings.Join(harness.Experiments(), "|"))
+		os.Exit(2)
+	}
+
+	ids := args
+	if len(args) == 1 && args[0] == "all" {
+		ids = harness.Experiments()
+	}
+
+	h := harness.New(harness.Options{Ops: *ops, Seed: *seed})
+	for _, id := range ids {
+		tb, err := h.Experiment(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(tb.CSV())
+		} else {
+			fmt.Println(tb.Text())
+		}
+	}
+}

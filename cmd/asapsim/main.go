@@ -1,0 +1,111 @@
+// Command asapsim runs one workload under one persistence model and prints
+// the execution summary and gem5-style statistics.
+//
+// Usage:
+//
+//	asapsim -workload cceh -model asap_rp -threads 4 -ops 600
+//
+// Models: baseline, hops_ep, hops_rp, asap_ep, asap_rp, eadr.
+// Workloads: see -list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asap/internal/config"
+	"asap/internal/machine"
+	"asap/internal/model"
+	"asap/internal/trace"
+	"asap/internal/workload"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "cceh", "workload name (see -list)")
+		mdl      = flag.String("model", "asap_rp", "persistence model: "+strings.Join(model.ExtendedNames(), ", "))
+		threads  = flag.Int("threads", 4, "software threads (= cores used)")
+		ops      = flag.Int("ops", 600, "structure-level operations per thread")
+		keyRange = flag.Uint64("keys", 4096, "key universe size")
+		valSize  = flag.Int("valuesize", 64, "value size in bytes (16-128 in the paper)")
+		seed     = flag.Uint64("seed", 1, "workload generator seed")
+		mcs      = flag.Int("mcs", 2, "memory controllers")
+		list     = flag.Bool("list", false, "list workloads and exit")
+		saveTr   = flag.String("save-trace", "", "write the generated trace to this file and exit")
+		loadTr   = flag.String("load-trace", "", "replay a trace file instead of generating one")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", strings.Join(workload.Names(), " "))
+		fmt.Println("models:   ", strings.Join(model.ExtendedNames(), " "))
+		return
+	}
+
+	p := workload.Params{
+		Threads:      *threads,
+		OpsPerThread: *ops,
+		KeyRange:     *keyRange,
+		ValueSize:    *valSize,
+		Seed:         *seed,
+	}
+	var tr *trace.Trace
+	var err error
+	if *loadTr != "" {
+		f, ferr := os.Open(*loadTr)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+	} else {
+		tr, err = workload.Generate(*wl, p)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *saveTr != "" {
+		f, ferr := os.Create(*saveTr)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		if err := tr.Write(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s: %d threads, %d ops\n", *saveTr, tr.NumThreads(), tr.TotalOps())
+		return
+	}
+
+	cfg := config.Default()
+	if *threads > cfg.Cores {
+		cfg.Cores = *threads
+	}
+	cfg.MCs = *mcs
+
+	m, err := machine.New(cfg, *mdl, tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res := m.Run(0)
+
+	fmt.Printf("workload          %s (%d threads, %d trace ops)\n",
+		tr.Name, tr.NumThreads(), tr.TotalOps())
+	fmt.Printf("model             %s\n", res.ModelName)
+	fmt.Printf("execution         %d cycles (%.3f ms @2GHz)\n",
+		res.Cycles, float64(res.Cycles)/2e6)
+	fmt.Printf("pmWrites          %d\n", res.PMWrites)
+	fmt.Printf("pmReads           %d\n", res.PMReads)
+	if model.Speculative(*mdl) {
+		fmt.Printf("rtMaxOccupancy    %d\n", res.RTMaxOcc)
+	}
+	fmt.Printf("wpqMaxOccupancy   %d\n", res.WPQMaxOcc)
+	fmt.Printf("\n--- stats ---\n%s", res.Stats)
+}

@@ -1,0 +1,28 @@
+// Package asap is a from-scratch Go reproduction of "ASAP: A Speculative
+// Approach to Persistence" (Yadalam, Shah, Yu, Swift — HPCA 2022).
+//
+// ASAP is a persistency architecture for non-volatile memory that flushes
+// writes eagerly and possibly out of order, speculatively updates memory at
+// the controllers, and keeps just enough undo/delay state in an ADR-backed
+// recovery table to roll back mis-speculation on a power failure. This
+// repository rebuilds the paper's entire evaluation stack in Go:
+//
+//   - a discrete-event multi-core, multi-memory-controller machine model
+//     (internal/sim, internal/machine) with a three-level cache hierarchy
+//     and MESI-style directory (internal/cache) and Optane-like NVM
+//     controllers with WPQ, XPBuffer and recovery tables (internal/mem,
+//     internal/persist);
+//   - the six evaluated designs — Intel baseline, HOPS_EP/RP, ASAP_EP/RP
+//     and an eADR/BBB ideal (internal/model);
+//   - the Table III workloads, including real implementations of CCEH,
+//     FAST&FAIR, Dash, P-ART, P-CLHT, P-Masstree and the Atlas structures
+//     over a simulated persistent heap (internal/pmds, internal/workload);
+//   - a crash-injection and recovery-consistency checker implementing the
+//     paper's §VI correctness conditions (internal/crash);
+//   - a harness regenerating every figure and table of §VII
+//     (internal/harness), driven by cmd/asapfig, cmd/asapsim and
+//     cmd/asapcrash, and benchmarked by bench_test.go.
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package asap

@@ -1,0 +1,45 @@
+// bandwidth: the Figure 13 microbenchmark as a standalone program — 256 B
+// ofence-ordered writes alternating across the two memory controllers.
+// Conservative flushing (HOPS) serializes on each epoch's ACK round trip
+// and leaves one controller idle; ASAP's eager flushing overlaps both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asap/internal/config"
+	"asap/internal/machine"
+	"asap/internal/model"
+	"asap/internal/workload"
+)
+
+func main() {
+	const blocks = 2000
+	p := workload.Params{Threads: 1, OpsPerThread: blocks, ValueSize: 64, KeyRange: 1, Seed: 1}
+	tr, err := workload.Generate("bandwidth", p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bytes := float64(workload.BandwidthBytes(p))
+
+	fmt.Printf("%d x 256B ofence-ordered writes alternating across 2 MCs (1 thread)\n\n", blocks)
+	fmt.Printf("%-10s %-12s %-10s\n", "model", "cycles", "GB/s")
+	var hops, asap float64
+	for _, name := range []string{model.NameBaseline, model.NameHOPSRP, model.NameASAPRP} {
+		m, err := machine.New(config.Default(), name, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := m.Run(0)
+		gbs := bytes / (float64(res.Cycles) / 2e9) / 1e9
+		fmt.Printf("%-10s %-12d %.2f\n", name, res.Cycles, gbs)
+		switch name {
+		case model.NameHOPSRP:
+			hops = gbs
+		case model.NameASAPRP:
+			asap = gbs
+		}
+	}
+	fmt.Printf("\nASAP/HOPS bandwidth ratio: %.2fx (paper Figure 13: ~2x)\n", asap/hops)
+}

@@ -1,0 +1,3 @@
+module asap
+
+go 1.22

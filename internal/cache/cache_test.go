@@ -1,0 +1,187 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asap/internal/config"
+	"asap/internal/mem"
+)
+
+func TestSetAssocLRU(t *testing.T) {
+	// 2 sets x 2 ways over 64 B lines: 256 bytes.
+	c := NewSetAssoc(256, 2)
+	// Lines 0 and 2 map to set 0; 1 and 3 to set 1.
+	c.Insert(0)
+	c.Insert(2)
+	if !c.Contains(0) || !c.Contains(2) {
+		t.Fatal("fills lost")
+	}
+	c.Lookup(0)            // 0 is now MRU; 2 is LRU
+	ev, had := c.Insert(4) // set 0 again
+	if !had || ev != 2 {
+		t.Fatalf("evicted (%d,%v), want (2,true)", ev, had)
+	}
+	if !c.Contains(0) || !c.Contains(4) {
+		t.Fatal("wrong lines evicted")
+	}
+}
+
+func TestSetAssocInvalidate(t *testing.T) {
+	c := NewSetAssoc(256, 2)
+	c.Insert(1)
+	c.Invalidate(1)
+	if c.Contains(1) {
+		t.Fatal("invalidate failed")
+	}
+	c.Invalidate(99) // no-op
+}
+
+func TestSetAssocCounters(t *testing.T) {
+	c := NewSetAssoc(256, 2)
+	c.Lookup(1)
+	c.Insert(1)
+	c.Lookup(1)
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+// TestSetAssocNeverExceedsCapacity (property): after any access sequence,
+// each set holds at most `ways` lines and reinsertion never evicts.
+func TestSetAssocNeverExceedsCapacity(t *testing.T) {
+	prop := func(lines []uint8) bool {
+		c := NewSetAssoc(512, 4) // 2 sets x 4 ways
+		for _, l := range lines {
+			c.Insert(mem.Line(l % 32))
+		}
+		// Present lines re-inserted must not evict.
+		for _, l := range lines {
+			ln := mem.Line(l % 32)
+			if c.Contains(ln) {
+				if _, had := c.Insert(ln); had {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectoryWriteConflict(t *testing.T) {
+	d := NewDirectory()
+	if cf, remote := d.Write(0, 7, 5); cf != nil || remote {
+		t.Fatal("first write should not conflict")
+	}
+	cf, remote := d.Write(1, 7, 9)
+	if cf == nil || !remote {
+		t.Fatal("second writer must see a remote conflict")
+	}
+	if cf.Writer != 0 || cf.WriterTS != 5 || !cf.Remote {
+		t.Fatalf("conflict fields wrong: %+v", cf)
+	}
+	if d.Invalidations() == 0 || d.RemoteTransfers() == 0 {
+		t.Fatal("coherence traffic not counted")
+	}
+}
+
+func TestDirectoryReadDowngrade(t *testing.T) {
+	d := NewDirectory()
+	d.Write(0, 7, 5)
+	cf, remote := d.Read(1, 7, false)
+	if cf == nil || !remote {
+		t.Fatal("read of a dirty remote line must transfer")
+	}
+	// Second read: line is now shared; no remote transfer, but the last
+	// writer is still known.
+	cf, remote = d.Read(2, 7, false)
+	if remote {
+		t.Fatal("shared line should not transfer again")
+	}
+	if cf == nil || cf.Writer != 0 || cf.Remote {
+		t.Fatalf("conflict metadata wrong: %+v", cf)
+	}
+}
+
+func TestDirectoryAcquireRelease(t *testing.T) {
+	d := NewDirectory()
+	d.Write(0, 7, 5)
+	d.MarkRelease(0, 7, 5)
+	cf, _ := d.Read(1, 7, true)
+	if cf == nil || !cf.AcquireOnRelease || cf.Writer != 0 || cf.WriterTS != 5 {
+		t.Fatalf("acquire-on-release not detected: %+v", cf)
+	}
+	// A plain read must not claim acquire semantics.
+	cf, _ = d.Read(2, 7, false)
+	if cf != nil && cf.AcquireOnRelease {
+		t.Fatal("plain read flagged as acquire")
+	}
+	// A new write clears the release tag.
+	d.Write(2, 7, 3)
+	cf, _ = d.Read(3, 7, true)
+	if cf != nil && cf.AcquireOnRelease {
+		t.Fatal("release tag survived a write")
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	cfg := config.Default()
+	h := NewHierarchy(cfg)
+	l := mem.Line(100)
+
+	r1 := h.Access(0, l, false, false, 1)
+	if r1.Level != "mem" {
+		t.Fatalf("cold access level %q", r1.Level)
+	}
+	r2 := h.Access(0, l, false, false, 1)
+	if r2.Level != "l1" {
+		t.Fatalf("warm access level %q", r2.Level)
+	}
+	if r2.Latency >= r1.Latency {
+		t.Fatal("L1 hit should be cheaper than a memory fill")
+	}
+}
+
+func TestHierarchyRemoteTransfer(t *testing.T) {
+	cfg := config.Default()
+	h := NewHierarchy(cfg)
+	l := mem.Line(200)
+	h.Access(0, l, true, false, 1) // core 0 dirties the line
+	r := h.Access(1, l, false, false, 1)
+	if r.Level != "remote" {
+		t.Fatalf("expected remote supply, got %q", r.Level)
+	}
+	if r.Conflict == nil || r.Conflict.Writer != 0 {
+		t.Fatal("conflict not reported")
+	}
+}
+
+func TestHierarchyWriteInvalidates(t *testing.T) {
+	cfg := config.Default()
+	h := NewHierarchy(cfg)
+	l := mem.Line(300)
+	h.Access(0, l, false, false, 1)
+	h.Access(1, l, true, false, 1) // core 1 writes: invalidates core 0
+	r := h.Access(0, l, false, false, 1)
+	if r.Level == "l1" || r.Level == "l2" {
+		t.Fatalf("core 0 should have been invalidated, hit %q", r.Level)
+	}
+}
+
+func TestHierarchyLLCEviction(t *testing.T) {
+	cfg := config.Default()
+	cfg.LLCSize = 64 * 16 // 16 lines
+	cfg.LLCWays = 2
+	h := NewHierarchy(cfg)
+	var evicted int
+	for i := 0; i < 64; i++ {
+		r := h.Access(0, mem.Line(i*9+1), false, false, 1)
+		evicted += len(r.LLCEvicted)
+	}
+	if evicted == 0 {
+		t.Fatal("streaming through a tiny LLC must evict")
+	}
+}

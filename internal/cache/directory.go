@@ -1,0 +1,134 @@
+package cache
+
+import "asap/internal/mem"
+
+// DirEntry is the directory's coherence and persistence metadata for one
+// line. Beyond MESI owner/sharer state, it carries the last writer and the
+// epoch timestamp of that write — the information ASAP piggybacks on
+// coherence replies to build cross-thread dependencies (§IV-E) — and, for
+// release persistency, whether the line was last written by a release.
+type DirEntry struct {
+	Owner        int    // core holding the line modified, -1 if none
+	Sharers      uint64 // bitmask of cores with a (possibly clean) copy
+	Dirty        bool
+	LastWriter   int    // -1 if never written
+	LastWriterTS uint64 // writer's epoch timestamp at the time of the write
+	// Released marks a line last written by a release operation; with
+	// release persistency only an acquire of such a line creates a
+	// dependency (§IV-A).
+	Released   bool
+	ReleaseTS  uint64 // epoch TS of the releasing write
+	ReleasedBy int
+}
+
+// Directory tracks coherence state for every line touched by the machine.
+type Directory struct {
+	entries map[mem.Line]*DirEntry
+
+	remoteTransfers uint64
+	invalidations   uint64
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{entries: make(map[mem.Line]*DirEntry)}
+}
+
+// Entry returns the entry for line l, creating it on first touch.
+func (d *Directory) Entry(l mem.Line) *DirEntry {
+	e, ok := d.entries[l]
+	if !ok {
+		e = &DirEntry{Owner: -1, LastWriter: -1, ReleasedBy: -1}
+		d.entries[l] = e
+	}
+	return e
+}
+
+// Peek returns the entry without creating one.
+func (d *Directory) Peek(l mem.Line) (*DirEntry, bool) {
+	e, ok := d.entries[l]
+	return e, ok
+}
+
+// Conflict describes a remote access that hit a line modified by another
+// core — the raw material for a cross-thread dependency.
+type Conflict struct {
+	Line     mem.Line
+	Writer   int    // core that last modified the line
+	WriterTS uint64 // epoch of that write
+	// Remote is true when the access required a cache-to-cache transfer
+	// from the modifying core — the coherence forwarding event that
+	// establishes a dependency under epoch persistency (§IV-E).
+	Remote bool
+	// AcquireOnRelease is true when the access is an acquire operation on
+	// a line last written by a release (the RP dependency condition).
+	AcquireOnRelease bool
+}
+
+// Write records a store by core to line l within epoch ts, invalidating
+// remote copies. It returns a Conflict when the line was last modified by a
+// different core (strong persist atomicity, §II-A), along with whether a
+// remote cache-to-cache transfer was required.
+func (d *Directory) Write(core int, l mem.Line, ts uint64) (conflict *Conflict, remote bool) {
+	e := d.Entry(l)
+	if e.LastWriter >= 0 && e.LastWriter != core {
+		conflict = &Conflict{Line: l, Writer: e.LastWriter, WriterTS: e.LastWriterTS}
+	}
+	if e.Owner >= 0 && e.Owner != core {
+		remote = true
+		d.remoteTransfers++
+		if conflict != nil {
+			conflict.Remote = true
+		}
+	}
+	if e.Sharers&^(1<<uint(core)) != 0 {
+		d.invalidations++
+	}
+	e.Owner = core
+	e.Sharers = 1 << uint(core)
+	e.Dirty = true
+	e.LastWriter = core
+	e.LastWriterTS = ts
+	e.Released = false
+	return conflict, remote
+}
+
+// Read records a load by core of line l. A dirty remote copy is downgraded
+// to shared (the data is supplied cache-to-cache). The returned Conflict is
+// non-nil when the line's last writer is a different core.
+func (d *Directory) Read(core int, l mem.Line, acquire bool) (conflict *Conflict, remote bool) {
+	e := d.Entry(l)
+	if e.LastWriter >= 0 && e.LastWriter != core {
+		c := &Conflict{Line: l, Writer: e.LastWriter, WriterTS: e.LastWriterTS}
+		if acquire && e.Released {
+			c.AcquireOnRelease = true
+			c.Writer = e.ReleasedBy
+			c.WriterTS = e.ReleaseTS
+		}
+		conflict = c
+	}
+	if e.Dirty && e.Owner != core && e.Owner >= 0 {
+		remote = true
+		d.remoteTransfers++
+		if conflict != nil {
+			conflict.Remote = true
+		}
+		e.Dirty = false
+		e.Owner = -1
+	}
+	e.Sharers |= 1 << uint(core)
+	return conflict, remote
+}
+
+// MarkRelease tags line l as last written by a release from core within
+// epoch ts. The machine calls this for the lock/flag line of a Release op.
+func (d *Directory) MarkRelease(core int, l mem.Line, ts uint64) {
+	e := d.Entry(l)
+	e.Released = true
+	e.ReleasedBy = core
+	e.ReleaseTS = ts
+}
+
+// RemoteTransfers and Invalidations report coherence traffic.
+func (d *Directory) RemoteTransfers() uint64 { return d.remoteTransfers }
+func (d *Directory) Invalidations() uint64   { return d.invalidations }

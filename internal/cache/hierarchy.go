@@ -1,0 +1,125 @@
+package cache
+
+import (
+	"asap/internal/config"
+	"asap/internal/mem"
+	"asap/internal/sim"
+)
+
+// AccessResult summarizes one core access through the hierarchy.
+type AccessResult struct {
+	Latency sim.Cycles
+	// Level the access was satisfied at: "l1", "l2", "remote", "llc", "mem".
+	Level string
+	// Conflict is non-nil when the line was last modified by another core.
+	Conflict *Conflict
+	// LLCEvicted lists lines evicted from the LLC by this access's fills.
+	// Persistent-memory lines are dropped rather than written back — the
+	// persist path owns durability (§V-A) — but the machine consults the
+	// MC Bloom filter before letting a NACK-pending line go (§V-F).
+	LLCEvicted []mem.Line
+}
+
+// Hierarchy is the private-L1/private-L2/shared-LLC cache model with a
+// directory for coherence, per Table II.
+type Hierarchy struct {
+	cfg config.Config
+	l1  []*SetAssoc
+	l2  []*SetAssoc
+	llc *SetAssoc
+	dir *Directory
+}
+
+// NewHierarchy builds the hierarchy for cfg.Cores cores.
+func NewHierarchy(cfg config.Config) *Hierarchy {
+	h := &Hierarchy{
+		cfg: cfg,
+		l1:  make([]*SetAssoc, cfg.Cores),
+		l2:  make([]*SetAssoc, cfg.Cores),
+		llc: NewSetAssoc(cfg.LLCSize, cfg.LLCWays),
+		dir: NewDirectory(),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1[i] = NewSetAssoc(cfg.L1Size, cfg.L1Ways)
+		h.l2[i] = NewSetAssoc(cfg.L2Size, cfg.L2Ways)
+	}
+	return h
+}
+
+// Directory exposes the coherence directory (the machine marks releases and
+// inspects last-writer state through it).
+func (h *Hierarchy) Directory() *Directory { return h.dir }
+
+// Access performs a load (write=false) or store (write=true) by core to
+// line l, executed within the core's persistency epoch ts. acquire marks
+// the access as an acquire operation for release-persistency dependency
+// detection.
+func (h *Hierarchy) Access(core int, l mem.Line, write, acquire bool, ts uint64) AccessResult {
+	var res AccessResult
+	var remote bool
+	if write {
+		res.Conflict, remote = h.dir.Write(core, l, ts)
+	} else {
+		res.Conflict, remote = h.dir.Read(core, l, acquire)
+	}
+
+	switch {
+	case h.l1[core].Lookup(l) && !remote:
+		res.Latency = h.cfg.L1Hit
+		res.Level = "l1"
+	case h.l2[core].Lookup(l) && !remote:
+		res.Latency = h.cfg.L1Hit + h.cfg.L2Hit
+		res.Level = "l2"
+		h.fillPrivate(core, l)
+	case remote:
+		// Cache-to-cache transfer from the modifying core.
+		res.Latency = h.cfg.RemoteXfer
+		res.Level = "remote"
+		h.fillPrivate(core, l)
+		res.LLCEvicted = h.fillLLC(l, res.LLCEvicted)
+	case h.llc.Lookup(l):
+		res.Latency = h.cfg.LLCHit
+		res.Level = "llc"
+		h.fillPrivate(core, l)
+	default:
+		// Fill from persistent memory.
+		res.Latency = h.cfg.LLCHit + h.cfg.NVMRead
+		res.Level = "mem"
+		h.fillPrivate(core, l)
+		res.LLCEvicted = h.fillLLC(l, res.LLCEvicted)
+	}
+
+	if write {
+		// Invalidate remote private copies (directory already updated).
+		for c := 0; c < h.cfg.Cores; c++ {
+			if c != core {
+				h.l1[c].Invalidate(l)
+				h.l2[c].Invalidate(l)
+			}
+		}
+	}
+	return res
+}
+
+// fillPrivate installs the line in the core's L1 and L2. Private evictions
+// of persistent lines are silent: their durable copies travel through the
+// persist buffers, and a write-back buffer (WBB) holds lines whose persists
+// are still queued (§V-F), which we model as a free drop here with the WBB
+// occupancy accounted by the machine.
+func (h *Hierarchy) fillPrivate(core int, l mem.Line) {
+	h.l1[core].Insert(l)
+	h.l2[core].Insert(l)
+}
+
+// fillLLC installs the line in the shared LLC, collecting evictions.
+func (h *Hierarchy) fillLLC(l mem.Line, evicted []mem.Line) []mem.Line {
+	if v, had := h.llc.Insert(l); had {
+		evicted = append(evicted, v)
+	}
+	return evicted
+}
+
+// L1 and L2 expose per-core caches; LLC the shared cache (tests, stats).
+func (h *Hierarchy) L1(core int) *SetAssoc { return h.l1[core] }
+func (h *Hierarchy) L2(core int) *SetAssoc { return h.l2[core] }
+func (h *Hierarchy) LLC() *SetAssoc        { return h.llc }

@@ -1,0 +1,137 @@
+// Package cache models the three-level cache hierarchy and the MESI-style
+// directory of Table II. Only presence and coherence metadata are tracked —
+// data values travel through the persist path (package persist) — but
+// placement is a real set-associative LRU model so that hit rates, remote
+// transfers and LLC evictions behave realistically.
+package cache
+
+import "asap/internal/mem"
+
+// SetAssoc is a set-associative cache of line presence with LRU replacement.
+type SetAssoc struct {
+	sets  int
+	ways  int
+	lines []mem.Line // sets*ways entries; 0 slot uses valid mask
+	valid []bool
+	// lru[i] is the recency rank of slot i within its set: 0 = MRU.
+	lru []uint8
+
+	hits, misses, evictions uint64
+}
+
+// NewSetAssoc builds a cache of sizeBytes capacity with the given
+// associativity over 64-byte lines. Sizes that do not divide evenly are
+// rounded down to a whole number of sets (minimum one).
+func NewSetAssoc(sizeBytes, ways int) *SetAssoc {
+	if ways <= 0 || sizeBytes <= 0 {
+		panic("cache: size and ways must be positive")
+	}
+	numLines := sizeBytes / mem.LineSize
+	sets := numLines / ways
+	if sets == 0 {
+		sets = 1
+	}
+	n := sets * ways
+	return &SetAssoc{
+		sets:  sets,
+		ways:  ways,
+		lines: make([]mem.Line, n),
+		valid: make([]bool, n),
+		lru:   make([]uint8, n),
+	}
+}
+
+func (c *SetAssoc) setOf(l mem.Line) int { return int(uint64(l) % uint64(c.sets)) }
+
+// Lookup reports whether line l is present, updating recency on a hit.
+func (c *SetAssoc) Lookup(l mem.Line) bool {
+	base := c.setOf(l) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.lines[i] == l {
+			c.touch(base, i)
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Contains reports presence without updating recency or hit counters.
+func (c *SetAssoc) Contains(l mem.Line) bool {
+	base := c.setOf(l) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.lines[i] == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert places line l, evicting the LRU way if the set is full. It returns
+// the evicted line and whether an eviction happened. Inserting a present
+// line only refreshes recency.
+func (c *SetAssoc) Insert(l mem.Line) (mem.Line, bool) {
+	base := c.setOf(l) * c.ways
+	victim := -1
+	var worst uint8
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.lines[i] == l {
+			c.touch(base, i)
+			return 0, false
+		}
+		if !c.valid[i] {
+			if victim == -1 || c.valid[victim] {
+				victim = i
+			}
+		} else if victim == -1 || (c.valid[victim] && c.lru[i] > worst) {
+			victim = i
+			worst = c.lru[i]
+		}
+	}
+	evicted := c.lines[victim]
+	hadEvict := c.valid[victim]
+	c.lines[victim] = l
+	c.valid[victim] = true
+	// A freshly filled slot ranks as least-recent so that touch ages
+	// every other valid way exactly once.
+	c.lru[victim] = uint8(c.ways)
+	c.touch(base, victim)
+	if hadEvict {
+		c.evictions++
+	}
+	return evicted, hadEvict
+}
+
+// Invalidate removes line l if present.
+func (c *SetAssoc) Invalidate(l mem.Line) {
+	base := c.setOf(l) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.lines[i] == l {
+			c.valid[i] = false
+			return
+		}
+	}
+}
+
+// touch makes slot i the MRU of its set, aging the ways that were more
+// recent than it.
+func (c *SetAssoc) touch(base, i int) {
+	old := c.lru[i]
+	for w := 0; w < c.ways; w++ {
+		j := base + w
+		if j != i && c.valid[j] && c.lru[j] < old {
+			c.lru[j]++
+		}
+	}
+	c.lru[i] = 0
+}
+
+// Hits, Misses and Evictions report access outcomes.
+func (c *SetAssoc) Hits() uint64      { return c.hits }
+func (c *SetAssoc) Misses() uint64    { return c.misses }
+func (c *SetAssoc) Evictions() uint64 { return c.evictions }

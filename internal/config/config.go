@@ -1,0 +1,124 @@
+// Package config holds the machine configuration shared by the cache,
+// persist and model packages. Defaults reproduce Table II of the ASAP paper
+// (4 cores @2 GHz, 2 memory controllers, Optane-like NVM timing).
+package config
+
+import "asap/internal/sim"
+
+// Config describes one simulated machine. All latencies are in cycles of the
+// 2 GHz core clock (1 ns = 2 cycles).
+type Config struct {
+	// Topology.
+	Cores           int
+	MCs             int
+	InterleaveBytes uint64 // address interleave granularity across MCs
+
+	// Cache hierarchy (sizes in bytes).
+	L1Size, L1Ways   int
+	L2Size, L2Ways   int
+	LLCSize, LLCWays int
+
+	// Access latencies.
+	L1Hit      sim.Cycles // 1 ns
+	L2Hit      sim.Cycles // 10 ns
+	LLCHit     sim.Cycles
+	RemoteXfer sim.Cycles // cache-to-cache transfer
+	NVMRead    sim.Cycles // 175 ns
+	NVMWrite   sim.Cycles // 90 ns
+	// NVMDrainGap is the WPQ→media drain interval per line: the media's
+	// write *throughput*, distinct from the 90 ns write latency. Optane
+	// DIMMs overlap writes internally (~2.3 GB/s per DIMM [38]), so the
+	// per-line service interval is well below the access latency.
+	NVMDrainGap sim.Cycles
+	// NVMReadGap is the per-line read-throughput interval at the
+	// controller. PM read bandwidth is ~3x its write bandwidth (the
+	// asymmetry §V-A relies on to make undo-record reads cheap); the
+	// controller pipelines reads, so an undo-record read serializes the
+	// front-end for this interval, not the full access latency.
+	NVMReadGap sim.Cycles
+	XPBufHit   sim.Cycles // Optane internal buffer hit
+	FlushLat   sim.Cycles // persist buffer -> MC flush, 60 ns
+	MsgLat     sim.Cycles // on-chip message (ACK/NACK/commit/CDR)
+
+	// Structure sizes (entries).
+	PBEntries  int // persist buffer, per core
+	ETEntries  int // epoch table, per core
+	RTEntries  int // recovery table, per MC
+	WPQEntries int // write pending queue, per MC
+	XPBufLines int // XPBuffer lines, per MC
+
+	// Issue limits.
+	PBMaxInflight int // outstanding un-ACKed flushes per persist buffer
+
+	// HOPS cross-thread dependency resolution (§VII): poll the global TS
+	// register every PollInterval cycles, each access costing PollCost.
+	HOPSPollInterval sim.Cycles
+	HOPSPollCost     sim.Cycles
+
+	// Base op costs at the core.
+	StoreCost sim.Cycles
+	LoadCost  sim.Cycles
+	FenceCost sim.Cycles // fixed pipeline cost of executing a fence op
+
+	// ASAPNoEager disables eager flushing in the ASAP models (ablation):
+	// persist buffers issue only safe flushes, so the recovery tables are
+	// never used. Isolates the contribution of speculation vs buffering.
+	ASAPNoEager bool
+}
+
+// Default returns the Table II configuration.
+func Default() Config {
+	return Config{
+		Cores:           4,
+		MCs:             2,
+		InterleaveBytes: 256,
+
+		L1Size: 32 << 10, L1Ways: 8,
+		L2Size: 2 << 20, L2Ways: 8,
+		LLCSize: 16 << 20, LLCWays: 16,
+
+		L1Hit:       sim.NS(1),
+		L2Hit:       sim.NS(10),
+		LLCHit:      sim.NS(25),
+		RemoteXfer:  sim.NS(40),
+		NVMRead:     sim.NS(175),
+		NVMWrite:    sim.NS(90),
+		NVMDrainGap: sim.NS(28), // ~2.3 GB/s per controller
+		NVMReadGap:  sim.NS(10), // ~6.4 GB/s per controller
+		XPBufHit:    sim.NS(10),
+		FlushLat:    sim.NS(60),
+		MsgLat:      sim.NS(10), // on-chip ACK/NACK/commit/CDR hop
+
+		PBEntries:  32,
+		ETEntries:  32,
+		RTEntries:  32,
+		WPQEntries: 16,
+		XPBufLines: 512, // ~16 KB XPBuffer per DIMM, several DIMMs per MC
+
+		PBMaxInflight: 8,
+
+		HOPSPollInterval: 500,
+		HOPSPollCost:     50,
+
+		StoreCost: 1,
+		LoadCost:  1,
+		FenceCost: 2,
+	}
+}
+
+// Validate panics if the configuration is internally inconsistent. Call it
+// after hand-editing a Config.
+func (c Config) Validate() {
+	switch {
+	case c.Cores <= 0:
+		panic("config: Cores must be positive")
+	case c.MCs <= 0:
+		panic("config: MCs must be positive")
+	case c.PBEntries <= 0 || c.ETEntries <= 0 || c.WPQEntries <= 0:
+		panic("config: structure sizes must be positive")
+	case c.PBMaxInflight <= 0:
+		panic("config: PBMaxInflight must be positive")
+	case c.InterleaveBytes == 0 || c.InterleaveBytes%64 != 0:
+		panic("config: InterleaveBytes must be a positive multiple of the line size")
+	}
+}

@@ -1,0 +1,53 @@
+package config
+
+import "testing"
+
+func TestDefaultIsValid(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Default() failed validation: %v", r)
+		}
+	}()
+	Default().Validate()
+}
+
+func TestDefaultMatchesTableII(t *testing.T) {
+	c := Default()
+	if c.Cores != 4 || c.MCs != 2 {
+		t.Error("topology differs from Table II")
+	}
+	if c.PBEntries != 32 || c.ETEntries != 32 || c.RTEntries != 32 || c.WPQEntries != 16 {
+		t.Error("structure sizes differ from Table II")
+	}
+	if c.NVMRead != 350 || c.NVMWrite != 180 { // 175 ns / 90 ns @ 2 GHz
+		t.Error("NVM latencies differ from Table II")
+	}
+	if c.FlushLat != 120 { // 60 ns
+		t.Error("persist buffer flush latency differs from Table II")
+	}
+	if c.HOPSPollInterval != 500 || c.HOPSPollCost != 50 {
+		t.Error("HOPS polling parameters differ from §VII")
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.MCs = 0 },
+		func(c *Config) { c.PBEntries = 0 },
+		func(c *Config) { c.PBMaxInflight = 0 },
+		func(c *Config) { c.InterleaveBytes = 100 },
+	}
+	for i, mutate := range cases {
+		c := Default()
+		mutate(&c)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid config did not panic", i)
+				}
+			}()
+			c.Validate()
+		}()
+	}
+}

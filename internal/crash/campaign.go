@@ -1,0 +1,76 @@
+package crash
+
+import (
+	"fmt"
+
+	"asap/internal/config"
+	"asap/internal/machine"
+	"asap/internal/rng"
+	"asap/internal/sim"
+	"asap/internal/trace"
+)
+
+// CampaignResult summarizes a crash-injection campaign.
+type CampaignResult struct {
+	Model     string
+	Runs      int
+	Crashes   int // runs where the crash fired before completion
+	Failures  []Report
+	MaxCycles sim.Cycles
+}
+
+// String renders a one-line summary.
+func (c CampaignResult) String() string {
+	return fmt.Sprintf("%-10s runs=%d crashes=%d failures=%d", c.Model, c.Runs, c.Crashes, len(c.Failures))
+}
+
+// Campaign runs the trace under the model repeatedly, injecting a crash at
+// a pseudo-random cycle within the run each time, and checks every
+// resulting NVM image. The first clean (no-crash) run establishes the run
+// length used to spread crash points.
+//
+// The eADR model is excluded by callers: its persistence domain is the
+// whole cache hierarchy, which the ADR crash path deliberately does not
+// model (see DESIGN.md).
+func Campaign(cfg config.Config, modelName string, tr *trace.Trace, runs int, seed uint64) (CampaignResult, error) {
+	res := CampaignResult{Model: modelName, Runs: runs}
+	r := rng.New(seed)
+
+	// Reference run to learn the execution time.
+	ref, err := machine.New(cfg, modelName, tr)
+	if err != nil {
+		return res, err
+	}
+	refRes := ref.Run(0)
+	res.MaxCycles = refRes.Cycles
+	if refRes.Cycles == 0 {
+		return res, fmt.Errorf("crash: reference run of %s reported zero cycles", modelName)
+	}
+	// Verify the completed image too: after a clean run everything
+	// committed must be durable once controllers drain.
+	for _, mc := range ref.MCs {
+		mc.CrashFlush()
+	}
+	if rep := Check(ref); !rep.OK {
+		res.Failures = append(res.Failures, rep)
+	}
+
+	for i := 0; i < runs; i++ {
+		m, err := machine.New(cfg, modelName, tr)
+		if err != nil {
+			return res, err
+		}
+		// Crash points concentrate in the active window, including very
+		// early cycles to catch initialization races.
+		at := 1 + r.Uint64n(uint64(refRes.Cycles)+1)
+		m.ScheduleCrash(at)
+		m.Run(0)
+		if m.Crashed {
+			res.Crashes++
+		}
+		if rep := Check(m); !rep.OK {
+			res.Failures = append(res.Failures, rep)
+		}
+	}
+	return res, nil
+}

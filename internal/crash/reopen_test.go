@@ -1,0 +1,222 @@
+package crash
+
+import (
+	"testing"
+
+	"asap/internal/config"
+	"asap/internal/machine"
+	"asap/internal/model"
+	"asap/internal/pmds"
+	"asap/internal/rng"
+)
+
+// TestCCEHReopenAfterCrash is the paper's §V-E claim end to end: build a
+// real CCEH table, replay its trace under ASAP, crash at an arbitrary
+// cycle, reconstruct the NVM byte image from the surviving tokens, reopen
+// the table on it with *no recovery pass*, and check crash consistency at
+// the data-structure level:
+//
+//  1. every inserted key found in the reopened table maps to a value that
+//     was actually written for it (no torn slots: CCEH's value-then-key
+//     commit order held through ASAP's reordering);
+//  2. every insert whose commit-marker epoch had committed before the
+//     crash is present with its committed value (Lemma 1.1 at the KV
+//     level).
+func TestCCEHReopenAfterCrash(t *testing.T) {
+	const heapBytes = 8 << 20
+
+	for _, crashAt := range []uint64{5_000, 20_000, 60_000, 120_000} {
+		// Generation: single thread (see RebuildImage docs), images on.
+		h := pmds.NewHeap(heapBytes, 1)
+		h.CaptureImages()
+		table := pmds.NewCCEH(h, 2, 8)
+		r := rng.New(31)
+
+		written := map[uint64][]uint64{} // key -> every value written
+		markerSeq := map[uint64]int{}    // key -> pstore seq of its commit marker
+		lastVal := map[uint64]uint64{}   // key -> last written value
+		for i := 0; i < 400; i++ {
+			k := 1 + r.Uint64n(512)
+			v := r.Uint64()
+			if table.Insert(k, v) {
+				written[k] = append(written[k], v)
+				lastVal[k] = v
+				// The key (or updated value) word is the last persistent
+				// store of the insert.
+				markerSeq[k] = h.PStoreCount(0) - 1
+			}
+		}
+		tr := h.Trace("cceh-reopen")
+
+		// Replay under ASAP with a crash.
+		m, err := machine.New(config.Default(), model.NameASAPRP, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.ScheduleCrash(crashAt)
+		m.Run(0)
+		if !m.Crashed {
+			t.Fatalf("crash@%d never fired", crashAt)
+		}
+		if rep := Check(m); !rep.OK {
+			t.Fatalf("crash@%d: inconsistent NVM image: %v", crashAt, rep.Problems)
+		}
+
+		// Reconstruct the byte image and reopen with no recovery pass.
+		img, err := RebuildImage(m, h, heapBytes)
+		if err != nil {
+			t.Fatalf("crash@%d: %v", crashAt, err)
+		}
+		h2 := pmds.ReopenHeap(img, 1)
+		reopened := pmds.ReopenCCEH(h2, table.RootAddr(), 8)
+
+		found := 0
+		for k, vals := range written {
+			got, ok := reopened.Get(k)
+			if !ok {
+				continue
+			}
+			found++
+			legal := false
+			for _, v := range vals {
+				if got == v {
+					legal = true
+					break
+				}
+			}
+			if !legal {
+				t.Fatalf("crash@%d: key %d has torn value %d", crashAt, k, got)
+			}
+		}
+
+		// Committed inserts must have survived with their final value.
+		committedChecked := 0
+		for k, seq := range markerSeq {
+			tok := m.Ledger.TokenForOrigin(machine.Origin{Thread: 0, Seq: seq})
+			if tok == 0 {
+				continue // store never issued before the crash
+			}
+			rec, ok := m.Ledger.TokenRec(tok)
+			if !ok || !m.Ledger.IsCommitted(rec.Epoch) {
+				continue
+			}
+			got, ok := reopened.Get(k)
+			if !ok {
+				t.Fatalf("crash@%d: committed key %d missing after reopen", crashAt, k)
+			}
+			if got != lastVal[k] {
+				// A later (uncommitted) update may have been rolled
+				// back; then any earlier written value is legal.
+				legal := false
+				for _, v := range written[k] {
+					if got == v {
+						legal = true
+						break
+					}
+				}
+				if !legal {
+					t.Fatalf("crash@%d: committed key %d has foreign value", crashAt, k)
+				}
+			}
+			committedChecked++
+		}
+		t.Logf("crash@%d: %d/%d keys recovered, %d committed inserts verified",
+			crashAt, found, len(written), committedChecked)
+	}
+}
+
+// TestCCEHReopenCleanRun: after a run that completes (all epochs committed,
+// controllers drained), the reopened table holds every inserted key with
+// its final value.
+func TestCCEHReopenCleanRun(t *testing.T) {
+	const heapBytes = 8 << 20
+	h := pmds.NewHeap(heapBytes, 1)
+	h.CaptureImages()
+	table := pmds.NewCCEH(h, 2, 8)
+	r := rng.New(97)
+	last := map[uint64]uint64{}
+	for i := 0; i < 300; i++ {
+		k := 1 + r.Uint64n(400)
+		v := r.Uint64()
+		if table.Insert(k, v) {
+			last[k] = v
+		}
+	}
+	m, err := machine.New(config.Default(), model.NameASAPRP, h.Trace("clean"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(0)
+	for _, mc := range m.MCs {
+		mc.CrashFlush() // drain WPQs into the image
+	}
+	img, err := RebuildImage(m, h, heapBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopened := pmds.ReopenCCEH(pmds.ReopenHeap(img, 1), table.RootAddr(), 8)
+	for k, v := range last {
+		got, ok := reopened.Get(k)
+		if !ok || got != v {
+			t.Fatalf("key %d = (%d,%v), want (%d,true) after a clean run", k, got, ok, v)
+		}
+	}
+}
+
+// TestFastFairReopenAfterCrash: the B+-tree version of the restart story.
+func TestFastFairReopenAfterCrash(t *testing.T) {
+	const heapBytes = 8 << 20
+	h := pmds.NewHeap(heapBytes, 1)
+	h.CaptureImages()
+	tree := pmds.NewFastFair(h, 8, 8)
+	r := rng.New(41)
+	written := map[uint64][]uint64{}
+	for i := 0; i < 300; i++ {
+		k := 1 + r.Uint64n(600)
+		v := r.Uint64()
+		tree.Insert(k, v)
+		written[k] = append(written[k], v)
+	}
+	m, err := machine.New(config.Default(), model.NameASAPRP, h.Trace("ff-reopen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ScheduleCrash(100_000)
+	m.Run(0)
+	if rep := Check(m); !rep.OK {
+		t.Fatalf("inconsistent image: %v", rep.Problems)
+	}
+	img, err := RebuildImage(m, h, heapBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopened := pmds.ReopenFastFair(pmds.ReopenHeap(img, 1), tree.RootAddr(), 8, 8)
+	found := 0
+	for k, vals := range written {
+		got, ok := reopened.Get(k)
+		if !ok {
+			continue
+		}
+		found++
+		legal := false
+		for _, v := range vals {
+			if got == v {
+				legal = true
+			}
+		}
+		if !legal {
+			t.Fatalf("key %d has torn value %d after reopen", k, got)
+		}
+	}
+	if found == 0 {
+		t.Fatal("nothing recovered despite a late crash")
+	}
+	// A range scan over the recovered tree must be sorted and duplicate-free.
+	keys, _ := reopened.Scan(0, 1<<30)
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatalf("recovered tree scan out of order at %d: %d <= %d", i, keys[i], keys[i-1])
+		}
+	}
+	t.Logf("recovered %d/%d keys; scan returned %d sorted keys", found, len(written), len(keys))
+}

@@ -1,0 +1,240 @@
+// Package harness regenerates every figure and table of the ASAP paper's
+// evaluation (§VII). Each experiment returns a Table that the cmd/asapfig
+// binary prints as text or CSV; EXPERIMENTS.md records paper-vs-measured.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asap/internal/config"
+	"asap/internal/machine"
+	"asap/internal/trace"
+	"asap/internal/workload"
+)
+
+// Table is one rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Text renders the table for a terminal.
+func (t *Table) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Header)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return b.String()
+}
+
+// Options scales experiments: Ops is structure-level operations per thread.
+type Options struct {
+	Ops  int
+	Seed uint64
+}
+
+// DefaultOptions gives publication-scale runs (a few seconds per figure).
+func DefaultOptions() Options { return Options{Ops: 400, Seed: 1} }
+
+// QuickOptions gives fast runs for tests and benchmarks.
+func QuickOptions() Options { return Options{Ops: 80, Seed: 1} }
+
+// Harness caches generated traces and run results across experiments.
+type Harness struct {
+	opts   Options
+	traces map[string]*trace.Trace
+	runs   map[string]machine.Result
+}
+
+// New builds a harness.
+func New(opts Options) *Harness {
+	if opts.Ops <= 0 {
+		opts = DefaultOptions()
+	}
+	return &Harness{
+		opts:   opts,
+		traces: make(map[string]*trace.Trace),
+		runs:   make(map[string]machine.Result),
+	}
+}
+
+// Workloads returns the Table III workload list (the bandwidth micro is
+// excluded; it has its own experiment).
+func Workloads() []string {
+	var out []string
+	for _, n := range workload.Names() {
+		if n != "bandwidth" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (h *Harness) params(threads int) workload.Params {
+	p := workload.Default()
+	p.Threads = threads
+	p.OpsPerThread = h.opts.Ops
+	p.Seed = h.opts.Seed
+	return p
+}
+
+func (h *Harness) traceFor(wl string, threads int) *trace.Trace {
+	key := fmt.Sprintf("%s/%d", wl, threads)
+	if tr, ok := h.traces[key]; ok {
+		return tr
+	}
+	tr, err := workload.Generate(wl, h.params(threads))
+	if err != nil {
+		panic(err)
+	}
+	h.traces[key] = tr
+	return tr
+}
+
+// Run executes workload wl under the named model with `threads` threads on
+// a machine with max(threads, 4) cores and 2 MCs, caching the result.
+func (h *Harness) Run(wl, mdl string, threads int) machine.Result {
+	key := fmt.Sprintf("%s/%s/%d", wl, mdl, threads)
+	if r, ok := h.runs[key]; ok {
+		return r
+	}
+	cfg := config.Default()
+	if threads > cfg.Cores {
+		cfg.Cores = threads
+	}
+	m, err := machine.New(cfg, mdl, h.traceFor(wl, threads))
+	if err != nil {
+		panic(err)
+	}
+	r := m.Run(0)
+	if r.Cycles == 0 {
+		panic(fmt.Sprintf("harness: %s produced zero cycles", key))
+	}
+	h.runs[key] = r
+	return r
+}
+
+func (h *Harness) cfgFor(threads int) config.Config {
+	cfg := config.Default()
+	if threads > cfg.Cores {
+		cfg.Cores = threads
+	}
+	return cfg
+}
+
+func (h *Harness) runTrace(cfg config.Config, mdl string, tr *trace.Trace) machine.Result {
+	m, err := machine.New(cfg, mdl, tr)
+	if err != nil {
+		panic(err)
+	}
+	r := m.Run(0)
+	if r.Cycles == 0 {
+		panic("harness: run produced zero cycles")
+	}
+	return r
+}
+
+// RunMachine builds and runs a machine without caching, returning it for
+// inspection (used by experiments needing ledger access).
+func (h *Harness) RunMachine(wl, mdl string, threads int) *machine.Machine {
+	cfg := config.Default()
+	if threads > cfg.Cores {
+		cfg.Cores = threads
+	}
+	m, err := machine.New(cfg, mdl, h.traceFor(wl, threads))
+	if err != nil {
+		panic(err)
+	}
+	m.Run(0)
+	return m
+}
+
+// Experiments lists the available experiment IDs in paper order.
+func Experiments() []string {
+	ids := make([]string, 0, len(experiments))
+	for id := range experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+var experiments = map[string]func(*Harness) *Table{
+	"fig2":  (*Harness).Fig2,
+	"fig3":  (*Harness).Fig3,
+	"fig8":  (*Harness).Fig8,
+	"fig9":  (*Harness).Fig9,
+	"fig10": (*Harness).Fig10,
+	"fig11": (*Harness).Fig11,
+	"fig12": (*Harness).Fig12,
+	"fig13": (*Harness).Fig13,
+	"tab5":  (*Harness).Tab5,
+}
+
+// Experiment runs one experiment by ID.
+func (h *Harness) Experiment(id string) (*Table, error) {
+	fn, ok := experiments[id]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, Experiments())
+	}
+	return fn(h), nil
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tb := &Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	out := tb.Text()
+	if !strings.Contains(out, "== x: demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "# a note") {
+		t.Error("missing note")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Columns align: "333" forces column width 3.
+	if !strings.HasPrefix(lines[2], "1  ") {
+		t.Errorf("row not padded: %q", lines[2])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"x,y", `say "hi"`}},
+	}
+	out := tb.CSV()
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := Experiments()
+	wantIDs := []string{"fig2", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"tab4", "tab5", "abl_rt", "abl_pb", "abl_eager", "abl_xpbuf", "abl_interleave", "abl_nvmbw"}
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range wantIDs {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	h := New(QuickOptions())
+	if _, err := h.Experiment("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestWorkloadsExcludesBandwidth(t *testing.T) {
+	for _, wl := range Workloads() {
+		if wl == "bandwidth" {
+			t.Fatal("bandwidth micro must not be in the Table III workload list")
+		}
+	}
+	if len(Workloads()) != 14 {
+		t.Fatalf("expected 14 Table III workloads, got %d", len(Workloads()))
+	}
+}
+
+// TestRunDeterminism: the harness cache must be consistent — and two
+// harnesses with the same options must agree on cycle counts.
+func TestRunDeterminism(t *testing.T) {
+	a := New(QuickOptions())
+	b := New(QuickOptions())
+	ra := a.Run("cceh", "asap_rp", 4)
+	rb := b.Run("cceh", "asap_rp", 4)
+	if ra.Cycles != rb.Cycles || ra.PMWrites != rb.PMWrites {
+		t.Fatalf("non-deterministic: %d/%d vs %d/%d cycles/writes",
+			ra.Cycles, ra.PMWrites, rb.Cycles, rb.PMWrites)
+	}
+	// Cached second run returns the identical result.
+	if r2 := a.Run("cceh", "asap_rp", 4); r2.Cycles != ra.Cycles {
+		t.Fatal("cache returned a different result")
+	}
+}
+
+// TestTab5Static: the hardware-cost table needs no simulation and must
+// always produce 4 rows.
+func TestTab5Static(t *testing.T) {
+	h := New(QuickOptions())
+	tb, err := h.Experiment("tab5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("tab5 rows = %d", len(tb.Rows))
+	}
+}
+
+// TestFigureShapes: one shared quick harness; every figure has the expected
+// table structure and physically sensible values.
+func TestFigureShapes(t *testing.T) {
+	h := New(QuickOptions())
+	nWL := len(Workloads())
+
+	fig2 := h.Fig2()
+	if len(fig2.Rows) != nWL {
+		t.Errorf("fig2 rows = %d, want %d", len(fig2.Rows), nWL)
+	}
+
+	fig3 := h.Fig3()
+	if len(fig3.Rows) != nWL+1 { // + average
+		t.Errorf("fig3 rows = %d", len(fig3.Rows))
+	}
+
+	fig8 := h.Fig8()
+	if len(fig8.Rows) != nWL+1 || len(fig8.Header) != 6 {
+		t.Errorf("fig8 shape %dx%d", len(fig8.Rows), len(fig8.Header))
+	}
+	for _, row := range fig8.Rows {
+		for _, cell := range row[1:] {
+			var v float64
+			if _, err := fmtSscan(cell, &v); err == nil && (v <= 0 || v > 50) {
+				t.Errorf("fig8 speedup %q out of physical range", cell)
+			}
+		}
+	}
+
+	fig12 := h.Fig12()
+	for _, row := range fig12.Rows[:len(fig12.Rows)-1] {
+		var occ int
+		if _, err := fmtSscan(row[1], &occ); err == nil && occ > 32 {
+			t.Errorf("fig12: RT occupancy %d exceeds its 32-entry capacity", occ)
+		}
+	}
+
+	fig13 := h.Fig13()
+	if len(fig13.Rows) != 3 {
+		t.Errorf("fig13 rows = %d", len(fig13.Rows))
+	}
+}
+
+func fmtSscan(s string, v interface{}) (int, error) { return fmt.Sscan(s, v) }

@@ -1,0 +1,14 @@
+package harness
+
+import "testing"
+
+func TestAllExperimentsQuick(t *testing.T) {
+	h := New(QuickOptions())
+	for _, id := range Experiments() {
+		tb, err := h.Experiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("\n%s", tb.Text())
+	}
+}

@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"fmt"
+
+	"asap/internal/config"
+	"asap/internal/model"
+	"asap/internal/workload"
+)
+
+// Tab4 makes the paper's qualitative related-work comparison (Table IV)
+// quantitative for the designs implemented here: the six evaluated models
+// plus DPO (conservative flushing, snooped dependency resolution, weak
+// multi-MC story) and PMEM-Spec (unbuffered speculation with software
+// mis-speculation recovery). PMEM-Spec also runs on a 1-MC machine, the
+// configuration where the paper says it matches ASAP.
+func (h *Harness) Tab4() *Table {
+	models := []string{
+		model.NameLBPP, model.NameHOPSRP, model.NameDPO, model.NameLRP,
+		model.NameVorpal, model.NamePMEMSpec, model.NameASAPRP, model.NameEADR,
+	}
+	t := &Table{
+		ID:    "tab4",
+		Title: "Quantitative Table IV: speedup over baseline (2 MCs; pmem_spec also at 1 MC)",
+		Header: append(append([]string{"workload"}, models...),
+			"pmem_spec@1mc", "asap_rp@1mc"),
+	}
+	wls := []string{"nstore", "cceh", "fast_fair", "atlas_queue", "p_masstree"}
+	for _, wl := range wls {
+		base := float64(h.Run(wl, model.NameBaseline, 4).Cycles)
+		row := []string{wl}
+		for _, mn := range models {
+			r := h.Run(wl, mn, 4)
+			row = append(row, f2(base/float64(r.Cycles)))
+		}
+		// Single-controller runs: PMEM-Spec never mis-speculates there.
+		oneMC := config.Default()
+		oneMC.MCs = 1
+		base1 := float64(h.runTrace(oneMC, model.NameBaseline, h.traceFor(wl, 4)).Cycles)
+		spec1 := float64(h.runTrace(oneMC, model.NamePMEMSpec, h.traceFor(wl, 4)).Cycles)
+		asap1 := float64(h.runTrace(oneMC, model.NameASAPRP, h.traceFor(wl, 4)).Cycles)
+		row = append(row, f2(base1/spec1), f2(base1/asap1))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper Table IV: every conservative design (LB++, HOPS, DPO, LRP) below ASAP; DPO ~ HOPS;",
+		"PMEM-Spec: no stalls but high recovery cost in multi-MC systems, ~ASAP at 1 MC;",
+		"eADR: no stalls, large battery. Mis-speculation counts appear in run stats (specMisspeculations).",
+		"note: this LB++ omits its cache-eviction stalls, so it can beat polling-bound HOPS on short epochs;",
+		"vorpal pays a 500-cycle clock broadcast before any epoch's successor may persist, so dfence-heavy",
+		"workloads fall below even the synchronous baseline — the paper's broadcast-frequency criticism")
+	return t
+}
+
+// AblNVMBW sweeps the per-controller NVM write bandwidth on the
+// bandwidth-bound microbenchmark: the paper's §I claim that ASAP "offers
+// greater performance benefit with increasing NVM write bandwidth" — faster
+// media raises ASAP's eager-flushing ceiling while conservative designs
+// stay bound by their per-epoch ACK round trip.
+func (h *Harness) AblNVMBW() *Table {
+	t := &Table{
+		ID:     "abl_nvmbw",
+		Title:  "Sensitivity: NVM write bandwidth per MC vs ASAP's advantage over HOPS (bandwidth micro)",
+		Header: []string{"threads", "1.1GB/s", "2.3GB/s", "4.6GB/s", "9.1GB/s"},
+	}
+	gaps := []uint64{56, 28, 14, 7} // NVMDrainGap in ns
+	for _, th := range []int{1, 2} {
+		p := h.params(th)
+		p.OpsPerThread = h.opts.Ops * 4
+		tr, err := workload.Generate("bandwidth", p)
+		if err != nil {
+			panic(err)
+		}
+		row := []string{fmt.Sprintf("%d", th)}
+		for _, gapNS := range gaps {
+			cfg := h.cfgFor(th)
+			cfg.NVMDrainGap = 2 * gapNS // ns -> cycles
+			hops := float64(h.runTrace(cfg, model.NameHOPSRP, tr).Cycles)
+			asap := float64(h.runTrace(cfg, model.NameASAPRP, tr).Cycles)
+			row = append(row, f2(hops/asap))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("cells: HOPS/ASAP cycle ratio (>1 = ASAP faster); drain gaps swept: %v ns/line", gaps),
+		"paper §I: ASAP offers greater benefit with increasing NVM write bandwidth")
+	return t
+}
+
+func init() {
+	experiments["tab4"] = (*Harness).Tab4
+	experiments["abl_nvmbw"] = (*Harness).AblNVMBW
+}

@@ -1,0 +1,64 @@
+package hwcost
+
+import "testing"
+
+func TestRelativeMagnitudes(t *testing.T) {
+	pb := Model(PersistBuffer())
+	et := Model(EpochTable())
+	rt := Model(RecoveryTable())
+	l1 := Model(L1Cache())
+
+	// Table V's qualitative relationships.
+	if et.AreaMM2 >= pb.AreaMM2 {
+		t.Error("epoch table should be far smaller than the persist buffer")
+	}
+	if pb.AreaMM2 >= l1.AreaMM2/2 {
+		t.Errorf("persist buffer (%.3f) should be a small fraction of L1 (%.3f)", pb.AreaMM2, l1.AreaMM2)
+	}
+	if rt.AreaMM2 < pb.AreaMM2*0.7 || rt.AreaMM2 > pb.AreaMM2*1.6 {
+		t.Errorf("RT (%.3f) and PB (%.3f) should be comparable", rt.AreaMM2, pb.AreaMM2)
+	}
+	if l1.WriteEnergy < 5*pb.WriteEnergy {
+		t.Error("L1 access energy should dwarf the small CAMs")
+	}
+	if et.AccessNS >= pb.AccessNS || pb.AccessNS >= l1.AccessNS {
+		t.Error("latency ordering ET < PB < L1 violated")
+	}
+}
+
+func TestCalibrationBallpark(t *testing.T) {
+	// Within ~3x of the paper's CACTI numbers (first-order model).
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"PB area", Model(PersistBuffer()).AreaMM2, 0.093},
+		{"ET area", Model(EpochTable()).AreaMM2, 0.006},
+		{"RT area", Model(RecoveryTable()).AreaMM2, 0.097},
+		{"L1 area", Model(L1Cache()).AreaMM2, 0.759},
+		{"PB write pJ", Model(PersistBuffer()).WriteEnergy, 30},
+		{"RT write pJ", Model(RecoveryTable()).WriteEnergy, 31.5},
+		{"L1 write pJ", Model(L1Cache()).WriteEnergy, 327.9},
+	}
+	for _, c := range checks {
+		ratio := c.got / c.want
+		if ratio < 1.0/3 || ratio > 3 {
+			t.Errorf("%s = %.4f, paper %.4f (ratio %.2f out of band)", c.name, c.got, c.want, ratio)
+		}
+	}
+}
+
+func TestMonotoneInEntries(t *testing.T) {
+	small := Model(Structure{Name: "s", Entries: 8, BitsPerEntry: 100, CAMBits: 20, Ports: 1})
+	big := Model(Structure{Name: "b", Entries: 64, BitsPerEntry: 100, CAMBits: 20, Ports: 1})
+	if big.AreaMM2 <= small.AreaMM2 || big.AccessNS <= small.AccessNS || big.WriteEnergy <= small.WriteEnergy {
+		t.Error("cost must grow with entries")
+	}
+}
+
+func TestDrainBytes(t *testing.T) {
+	b := DrainBytes(32, 2)
+	if b <= 0 || b > 4096 {
+		t.Errorf("drain obligation %d should be under the paper's 4 KB bound", b)
+	}
+}

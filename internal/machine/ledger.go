@@ -1,0 +1,154 @@
+package machine
+
+import (
+	"asap/internal/mem"
+	"asap/internal/persist"
+)
+
+// WriteRec is one persistent write as ground truth for the crash checker.
+type WriteRec struct {
+	Token mem.Token
+	Epoch persist.EpochID
+}
+
+// Origin locates a token in its source trace: the Seq-th persistent store
+// of thread Thread. It bridges the token-based timing model back to the
+// byte-level heap images recorded by pmds (post-crash reopen).
+type Origin struct {
+	Thread int
+	Seq    int
+}
+
+// Ledger is the machine's ground-truth log: for every line the ordered
+// sequence of persistent writes (coherence order), the cross-thread
+// dependency edges the model created, and the set of committed epochs.
+// The crash checker (package crash) verifies the post-crash NVM image
+// against it — implementing Theorem 2 of the paper as an executable check.
+type Ledger struct {
+	writes      map[mem.Line][]WriteRec
+	tokenPos    map[mem.Token]int // position of token within its line's order
+	tokenRec    map[mem.Token]WriteRec
+	tokenLine   map[mem.Token]mem.Line
+	epochWrites map[persist.EpochID][]EpochWrite
+	deps        map[persist.EpochID][]persist.EpochID // epoch -> predecessors
+	committed   map[persist.EpochID]bool
+	origins     map[mem.Token]Origin
+	nDeps       uint64
+}
+
+// EpochWrite is one write attributed to an epoch.
+type EpochWrite struct {
+	Line  mem.Line
+	Token mem.Token
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		writes:      make(map[mem.Line][]WriteRec),
+		tokenPos:    make(map[mem.Token]int),
+		tokenRec:    make(map[mem.Token]WriteRec),
+		tokenLine:   make(map[mem.Token]mem.Line),
+		epochWrites: make(map[persist.EpochID][]EpochWrite),
+		deps:        make(map[persist.EpochID][]persist.EpochID),
+		committed:   make(map[persist.EpochID]bool),
+		origins:     make(map[mem.Token]Origin),
+	}
+}
+
+// RecordWrite implements model.Ledger.
+func (lg *Ledger) RecordWrite(e persist.EpochID, line mem.Line, token mem.Token) {
+	rec := WriteRec{Token: token, Epoch: e}
+	lg.tokenPos[token] = len(lg.writes[line])
+	lg.tokenRec[token] = rec
+	lg.tokenLine[token] = line
+	lg.writes[line] = append(lg.writes[line], rec)
+	lg.epochWrites[e] = append(lg.epochWrites[e], EpochWrite{Line: line, Token: token})
+}
+
+// DepCreated implements model.Ledger.
+func (lg *Ledger) DepCreated(src, dst persist.EpochID) {
+	lg.deps[dst] = append(lg.deps[dst], src)
+	lg.nDeps++
+}
+
+// EpochCommitted implements model.Ledger.
+func (lg *Ledger) EpochCommitted(e persist.EpochID) {
+	lg.committed[e] = true
+}
+
+// Writes returns the write order of a line.
+func (lg *Ledger) Writes(line mem.Line) []WriteRec { return lg.writes[line] }
+
+// Lines calls fn for every line with at least one persistent write.
+func (lg *Ledger) Lines(fn func(mem.Line, []WriteRec)) {
+	for l, ws := range lg.writes {
+		fn(l, ws)
+	}
+}
+
+// TokenPos returns the position of token in its line's write order.
+func (lg *Ledger) TokenPos(token mem.Token) (int, bool) {
+	p, ok := lg.tokenPos[token]
+	return p, ok
+}
+
+// TokenRec returns the write record for a token.
+func (lg *Ledger) TokenRec(token mem.Token) (WriteRec, bool) {
+	r, ok := lg.tokenRec[token]
+	return r, ok
+}
+
+// IsCommitted reports whether epoch e committed before the crash. Epochs on
+// the same thread with a lower timestamp than any committed epoch are
+// committed transitively (models commit per-thread in order).
+func (lg *Ledger) IsCommitted(e persist.EpochID) bool { return lg.committed[e] }
+
+// Predecessors returns the recorded dependency sources of epoch e; the
+// intra-thread predecessor (TS-1) is implicit and not included.
+func (lg *Ledger) Predecessors(e persist.EpochID) []persist.EpochID { return lg.deps[e] }
+
+// EpochWrites returns the writes attributed to epoch e (nil for an epoch
+// that issued none).
+func (lg *Ledger) EpochWrites(e persist.EpochID) []EpochWrite { return lg.epochWrites[e] }
+
+// TokenLine returns the line a token was written to.
+func (lg *Ledger) TokenLine(token mem.Token) (mem.Line, bool) {
+	l, ok := lg.tokenLine[token]
+	return l, ok
+}
+
+// CommittedEpochs calls fn for every committed epoch.
+func (lg *Ledger) CommittedEpochs(fn func(persist.EpochID)) {
+	for e := range lg.committed {
+		fn(e)
+	}
+}
+
+// SetOrigin records the trace origin of a token (set by the machine when
+// the store issues).
+func (lg *Ledger) SetOrigin(token mem.Token, o Origin) { lg.origins[token] = o }
+
+// Origin returns the trace origin of a token.
+func (lg *Ledger) Origin(token mem.Token) (Origin, bool) {
+	o, ok := lg.origins[token]
+	return o, ok
+}
+
+// TokenForOrigin finds the token issued for the given trace origin (0 if
+// that store never issued, e.g. the run crashed first).
+func (lg *Ledger) TokenForOrigin(o Origin) mem.Token {
+	for tok, org := range lg.origins {
+		if org == o {
+			return tok
+		}
+	}
+	return 0
+}
+
+// NumDeps returns the number of cross-thread dependency edges recorded —
+// the quantity plotted in Figure 2.
+func (lg *Ledger) NumDeps() uint64 { return lg.nDeps }
+
+// NumCommitted returns the number of committed epochs.
+func (lg *Ledger) NumCommitted() int { return len(lg.committed) }

@@ -1,0 +1,381 @@
+// Package machine assembles a complete simulated system — cores replaying a
+// trace, the cache hierarchy with its coherence directory, simulated
+// spinlocks, the persistence model under test, and the memory controllers —
+// and runs it to completion or to an injected crash.
+package machine
+
+import (
+	"fmt"
+
+	"asap/internal/cache"
+	"asap/internal/config"
+	"asap/internal/mem"
+	"asap/internal/model"
+	"asap/internal/persist"
+	"asap/internal/sim"
+	"asap/internal/stats"
+	"asap/internal/trace"
+)
+
+// SampleInterval is the period of the occupancy/blocked-cycles sampler.
+const SampleInterval sim.Cycles = 200
+
+// Machine is one runnable system instance. Build with New, run with Run.
+type Machine struct {
+	Eng    *sim.Engine
+	Cfg    config.Config
+	Model  model.Model
+	Hier   *cache.Hierarchy
+	MCs    []*persist.MC
+	IL     *mem.Interleaver
+	St     *stats.Set
+	Ledger *Ledger
+
+	cores    []*coreState
+	locks    map[mem.Line]*lockState
+	pmLines  map[mem.Line]bool
+	wbbs     []*persist.WBB
+	tokenSeq mem.Token
+	finished int
+
+	crashAt sim.Cycles
+	Crashed bool
+}
+
+type coreState struct {
+	id      int
+	ops     []trace.Op
+	pc      int
+	pstores int // persistent stores issued so far (token origin index)
+	finish  sim.Cycles
+	done    bool
+}
+
+type lockState struct {
+	held    bool
+	holder  int
+	waiters []*coreState
+}
+
+// New builds a machine running the named model over the trace. The trace
+// may use at most cfg.Cores threads.
+func New(cfg config.Config, modelName string, tr *trace.Trace) (*Machine, error) {
+	cfg.Validate()
+	if tr.NumThreads() > cfg.Cores {
+		return nil, fmt.Errorf("machine: trace has %d threads but config has %d cores", tr.NumThreads(), cfg.Cores)
+	}
+	eng := sim.NewEngine()
+	st := stats.New()
+	m := &Machine{
+		Eng:     eng,
+		Cfg:     cfg,
+		Hier:    cache.NewHierarchy(cfg),
+		IL:      mem.NewInterleaver(cfg.MCs, cfg.InterleaveBytes),
+		St:      st,
+		Ledger:  NewLedger(),
+		locks:   make(map[mem.Line]*lockState),
+		pmLines: make(map[mem.Line]bool),
+	}
+	spec := model.Speculative(modelName)
+	m.MCs = make([]*persist.MC, cfg.MCs)
+	for i := range m.MCs {
+		m.MCs[i] = persist.NewMC(i, eng, cfg, spec, st)
+	}
+	mdl, err := model.New(modelName, model.Env{
+		Eng:    eng,
+		Cfg:    cfg,
+		MCs:    m.MCs,
+		IL:     m.IL,
+		Dir:    m.Hier.Directory(),
+		St:     st,
+		Ledger: m.Ledger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.Model = mdl
+	m.cores = make([]*coreState, tr.NumThreads())
+	m.wbbs = make([]*persist.WBB, tr.NumThreads())
+	for i := range m.cores {
+		m.cores[i] = &coreState{id: i, ops: tr.Threads[i]}
+		m.wbbs[i] = persist.NewWBB(16)
+	}
+	return m, nil
+}
+
+// WBB returns the core's write-back buffer (§V-F), which parks LLC
+// evictions of lines whose writes are still queued in the persist buffer.
+func (m *Machine) WBB(core int) *persist.WBB { return m.wbbs[core] }
+
+// ScheduleCrash arranges a power failure at the given cycle: the ADR logic
+// runs (WPQ drain plus undo-record write-back) and the simulation halts.
+func (m *Machine) ScheduleCrash(at sim.Cycles) {
+	m.crashAt = at
+	m.Eng.At(at, func() {
+		m.Crashed = true
+		for _, mc := range m.MCs {
+			mc.CrashFlush()
+		}
+		m.Eng.Halt()
+	})
+}
+
+// Result summarizes one run.
+type Result struct {
+	ModelName string
+	Cycles    sim.Cycles // max per-core finish time (execution time)
+	PerCore   []sim.Cycles
+	Stats     *stats.Set
+	PMWrites  uint64 // media writes across all controllers (Figure 9)
+	PMReads   uint64
+	RTMaxOcc  int // max recovery-table occupancy across MCs (Figure 12)
+	WPQMaxOcc int
+	Crashed   bool
+}
+
+// Run starts all cores and dispatches events until every core drains (and
+// the controllers go idle), a scheduled crash fires, or limit cycles pass
+// (0 = no limit). It returns the run summary.
+func (m *Machine) Run(limit sim.Cycles) Result {
+	for _, c := range m.cores {
+		c := c
+		m.Eng.After(0, func() { m.step(c) })
+	}
+	m.Eng.After(SampleInterval, m.sample)
+	m.Eng.Run(limit)
+	return m.result()
+}
+
+func (m *Machine) result() Result {
+	res := Result{
+		ModelName: m.Model.Name(),
+		Stats:     m.St,
+		PerCore:   make([]sim.Cycles, len(m.cores)),
+		Crashed:   m.Crashed,
+	}
+	for i, c := range m.cores {
+		res.PerCore[i] = c.finish
+		if c.finish > res.Cycles {
+			res.Cycles = c.finish
+		}
+	}
+	if !m.allDone() && !m.Crashed {
+		// Ran into the limit; report the clock so callers notice.
+		res.Cycles = m.Eng.Now()
+	}
+	for _, mc := range m.MCs {
+		res.PMWrites += mc.NVM.Writes()
+		res.PMReads += mc.NVM.Reads()
+		if mc.RT != nil && mc.RT.MaxOccupancy() > res.RTMaxOcc {
+			res.RTMaxOcc = mc.RT.MaxOccupancy()
+		}
+		if mc.WPQ.MaxOccupancy() > res.WPQMaxOcc {
+			res.WPQMaxOcc = mc.WPQ.MaxOccupancy()
+		}
+	}
+	return res
+}
+
+func (m *Machine) allDone() bool { return m.finished == len(m.cores) }
+
+// step executes the next op of core c.
+func (m *Machine) step(c *coreState) {
+	if m.Eng.Halted() || c.done {
+		return
+	}
+	if c.pc >= len(c.ops) {
+		m.Model.StartDrain(c.id, func() {
+			c.done = true
+			c.finish = m.Eng.Now()
+			m.finished++
+		})
+		return
+	}
+	op := c.ops[c.pc]
+	c.pc++
+	next := func() { m.step(c) }
+
+	switch op.Kind {
+	case trace.OpCompute:
+		m.Eng.After(sim.Cycles(op.N), next)
+
+	case trace.OpLoad:
+		line := mem.LineOf(op.Addr)
+		res := m.access(c.id, line, false, false)
+		m.Eng.After(res.Latency+m.Cfg.LoadCost, next)
+
+	case trace.OpStore:
+		line := mem.LineOf(op.Addr)
+		m.access(c.id, line, true, false)
+		// Stores retire through the store buffer: the 8-way OoO cores of
+		// Table II hide write-allocate miss latency, so the core is
+		// charged only the L1 write port. The cache state (fills,
+		// invalidations, evictions) still updates above, and the persist
+		// path sees the write immediately.
+		lat := m.Cfg.L1Hit + m.Cfg.StoreCost
+		if op.Persistent {
+			m.pmLines[line] = true
+			m.tokenSeq++
+			token := m.tokenSeq
+			m.Ledger.SetOrigin(token, Origin{Thread: c.id, Seq: c.pstores})
+			c.pstores++
+			m.Eng.After(lat, func() {
+				m.Model.Store(c.id, line, token, next)
+			})
+		} else {
+			m.Eng.After(lat, next)
+		}
+
+	case trace.OpOfence:
+		m.Eng.After(m.Cfg.FenceCost, func() { m.Model.Ofence(c.id, next) })
+
+	case trace.OpDfence:
+		m.Eng.After(m.Cfg.FenceCost, func() { m.Model.Dfence(c.id, next) })
+
+	case trace.OpAcquire:
+		m.acquire(c, mem.LineOf(op.Addr))
+
+	case trace.OpRelease:
+		m.release(c, mem.LineOf(op.Addr))
+
+	case trace.OpStrand:
+		// Strand boundaries are free for models without strand support:
+		// their epoch ordering is a conservative superset (§VII-E).
+		if sm, ok := m.Model.(model.StrandModel); ok {
+			sm.Strand(c.id)
+		}
+		m.Eng.After(1, next)
+
+	default:
+		panic(fmt.Sprintf("machine: unknown op kind %v", op.Kind))
+	}
+}
+
+// access runs one hierarchy access, reports conflicts to the model, and
+// handles LLC evictions of persistent lines.
+func (m *Machine) access(core int, line mem.Line, write, acq bool) cache.AccessResult {
+	res := m.Hier.Access(core, line, write, acq, m.Model.CurrentTS(core))
+	if res.Level == "mem" {
+		// Demand fill from the media: account the PM read (Figure 9's
+		// read traffic baseline against which undo reads add ~5%).
+		m.MCs[m.IL.Home(line)].NVM.Read(line)
+	}
+	if res.Conflict != nil {
+		m.Model.Conflict(core, res.Conflict)
+	}
+	for _, ev := range res.LLCEvicted {
+		if !m.pmLines[ev] {
+			continue // volatile line: ordinary DRAM write-back, not modelled
+		}
+		// Persistent lines are dropped on LLC eviction (the persist path
+		// owns durability, §V-A) — unless the line's writes are still
+		// queued in the owner's persist buffer, in which case the
+		// write-back buffer parks the eviction (§V-F), or the MC's Bloom
+		// filter says a NACKed flush still holds the newest value.
+		if e, ok := m.Hier.Directory().Peek(ev); ok && e.LastWriter >= 0 &&
+			e.LastWriter < len(m.wbbs) && m.Model.PBHasLine(e.LastWriter, ev) {
+			if m.wbbs[e.LastWriter].Park(ev, 0) {
+				m.St.Inc("wbbParked")
+			} else {
+				m.St.Inc("wbbFullStalls")
+			}
+			continue
+		}
+		mc := m.MCs[m.IL.Home(ev)]
+		if mc.Bloom != nil && mc.Bloom.MaybeContains(ev) {
+			m.St.Inc("llcEvictionsDelayed")
+		} else {
+			m.St.Inc("pmLinesDropped")
+		}
+	}
+	return res
+}
+
+// acquire takes the spinlock at line, parking the core when held.
+func (m *Machine) acquire(c *coreState, line mem.Line) {
+	lk := m.lock(line)
+	if lk.held {
+		m.St.Inc("lockContended")
+		lk.waiters = append(lk.waiters, c)
+		return // release hands off and resumes us
+	}
+	lk.held = true
+	lk.holder = c.id
+	m.finishAcquire(c, line)
+}
+
+// finishAcquire performs the lock-line read with acquire semantics and
+// resumes the core.
+func (m *Machine) finishAcquire(c *coreState, line mem.Line) {
+	res := m.access(c.id, line, false, true)
+	m.Model.Acquire(c.id, line)
+	m.Eng.After(res.Latency+m.Cfg.LoadCost, func() { m.step(c) })
+}
+
+// release runs the model's release work (epoch close, or flush+fence on the
+// baseline), then performs the lock-line store, tags the release epoch in
+// the directory, and hands the lock to the next waiter.
+func (m *Machine) release(c *coreState, line mem.Line) {
+	relTS := m.Model.CurrentTS(c.id)
+	m.Eng.After(m.Cfg.FenceCost, func() {
+		m.Model.Release(c.id, line, func() {
+			res := m.access(c.id, line, true, false)
+			m.Hier.Directory().MarkRelease(c.id, line, relTS)
+
+			lk := m.lock(line)
+			if !lk.held || lk.holder != c.id {
+				panic("machine: release of a lock not held by this core")
+			}
+			if len(lk.waiters) > 0 {
+				next := lk.waiters[0]
+				lk.waiters = lk.waiters[1:]
+				lk.holder = next.id
+				m.Eng.After(m.Cfg.RemoteXfer, func() { m.finishAcquire(next, line) })
+			} else {
+				lk.held = false
+			}
+			m.Eng.After(res.Latency+m.Cfg.StoreCost, func() { m.step(c) })
+		})
+	})
+}
+
+func (m *Machine) lock(line mem.Line) *lockState {
+	lk, ok := m.locks[line]
+	if !ok {
+		lk = &lockState{}
+		m.locks[line] = lk
+	}
+	return lk
+}
+
+// sample periodically records persist-buffer occupancy (Figure 11), blocked
+// flushing (Figure 3), and recovery-table occupancy, until all cores finish.
+func (m *Machine) sample() {
+	if m.allDone() || m.Eng.Halted() {
+		return
+	}
+	for _, c := range m.cores {
+		if c.done {
+			continue
+		}
+		m.St.Observe("pbOccupancy", uint64(m.Model.PBOccupancy(c.id)))
+		if m.Model.PBBlocked(c.id) {
+			m.St.Add("cyclesBlocked", uint64(SampleInterval))
+		}
+		m.St.Add("coreSampledCycles", uint64(SampleInterval))
+	}
+	for _, mc := range m.MCs {
+		if mc.RT != nil {
+			m.St.Observe("rtOccupancy", uint64(mc.RT.Occupancy()))
+		}
+	}
+	// Lazily release parked write-back-buffer evictions whose persist
+	// buffer entries have since flushed.
+	for i, wbb := range m.wbbs {
+		if wbb.Len() > 0 {
+			i := i
+			wbb.ReleaseIf(func(l mem.Line) bool { return !m.Model.PBHasLine(i, l) })
+		}
+	}
+	m.Eng.After(SampleInterval, m.sample)
+}

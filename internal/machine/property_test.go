@@ -1,0 +1,93 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asap/internal/config"
+	"asap/internal/model"
+	"asap/internal/rng"
+	"asap/internal/trace"
+)
+
+// genTrace builds a pseudo-random trace from a compact recipe, shared by the
+// property tests below.
+func genTrace(seed uint64, threads, ops int) *trace.Trace {
+	r := rng.New(seed)
+	tr := &trace.Trace{Name: "prop"}
+	const (
+		pmBase = 1 << 30
+		nLocks = 3
+	)
+	for t := 0; t < threads; t++ {
+		var b trace.Builder
+		for i := 0; i < ops; i++ {
+			switch r.Intn(12) {
+			case 0, 1, 2:
+				b.StoreP(uint64(pmBase + t<<16 + r.Intn(24)*64))
+			case 3:
+				b.StoreP(uint64(pmBase + 1<<22 + r.Intn(8)*64)) // shared
+			case 4:
+				lock := uint64(1<<20 + r.Intn(nLocks)*64)
+				b.Acquire(lock)
+				b.StoreP(uint64(pmBase + 1<<23 + r.Intn(6)*64))
+				b.Ofence()
+				b.StoreP(uint64(pmBase + 1<<23 + 8*64))
+				b.Release(lock)
+			case 5:
+				b.Ofence()
+			case 6:
+				b.Dfence()
+			case 7:
+				b.Load(uint64(pmBase + r.Intn(64)*64))
+			case 8:
+				b.StoreV(uint64(1<<21 + r.Intn(16)*64))
+			default:
+				b.Compute(uint32(5 + r.Intn(40)))
+			}
+		}
+		b.Dfence()
+		tr.Threads = append(tr.Threads, b.Ops())
+	}
+	return tr
+}
+
+// TestPropertyAllModelsComplete (Theorem 1 as a property): for arbitrary
+// seeds, every model completes the generated contended trace.
+func TestPropertyAllModelsComplete(t *testing.T) {
+	names := model.ExtendedNames()
+	prop := func(seed uint64, pick uint8) bool {
+		name := names[int(pick)%len(names)]
+		tr := genTrace(seed, 3, 60)
+		m, err := New(config.Default(), name, tr)
+		if err != nil {
+			return false
+		}
+		m.Run(1_000_000_000)
+		if !m.allDone() {
+			t.Logf("seed=%d model=%s deadlocked", seed, name)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDeterministicReplay: the same trace under the same model
+// always produces identical cycle counts and PM write counts.
+func TestPropertyDeterministicReplay(t *testing.T) {
+	prop := func(seed uint64) bool {
+		tr := genTrace(seed, 3, 50)
+		a, _ := New(config.Default(), model.NameASAPRP, tr)
+		ra := a.Run(0)
+		b, _ := New(config.Default(), model.NameASAPRP, tr)
+		rb := b.Run(0)
+		return ra.Cycles == rb.Cycles && ra.PMWrites == rb.PMWrites &&
+			ra.Stats.Get("totSpecWrites") == rb.Stats.Get("totSpecWrites")
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+// Package mem models the persistent-memory substrate: the physical address
+// map, the NVM devices behind each memory controller, Optane's XPBuffer line
+// cache, and the ADR-protected write-pending queue (WPQ). Timing decisions
+// live with the controllers in package persist; this package owns state.
+package mem
+
+// LineSize is the cache-line granularity of all flushes and persists (§IV-B).
+const LineSize = 64
+
+// Line identifies a cache line by its line number (byte address / LineSize).
+type Line uint64
+
+// LineOf returns the line containing byte address addr.
+func LineOf(addr uint64) Line { return Line(addr / LineSize) }
+
+// Addr returns the first byte address of the line.
+func (l Line) Addr() uint64 { return uint64(l) * LineSize }
+
+// Interleaver maps lines to memory controllers. The paper interleaves data
+// across controllers to raise write bandwidth (§III); Intel platforms
+// typically interleave at 4 KB (page) or 256 B granularity.
+type Interleaver struct {
+	numMC     int
+	granLines uint64 // interleave granularity in lines
+}
+
+// NewInterleaver builds an interleaver across numMC controllers with the
+// given granularity in bytes (must be a multiple of LineSize).
+func NewInterleaver(numMC int, granularityBytes uint64) *Interleaver {
+	if numMC <= 0 {
+		panic("mem: interleaver needs at least one MC")
+	}
+	if granularityBytes%LineSize != 0 || granularityBytes == 0 {
+		panic("mem: interleave granularity must be a positive multiple of the line size")
+	}
+	return &Interleaver{numMC: numMC, granLines: granularityBytes / LineSize}
+}
+
+// NumMC returns the number of memory controllers.
+func (iv *Interleaver) NumMC() int { return iv.numMC }
+
+// Home returns the controller that owns line l.
+func (iv *Interleaver) Home(l Line) int {
+	return int((uint64(l) / iv.granLines) % uint64(iv.numMC))
+}

@@ -1,0 +1,64 @@
+package mem
+
+// Token is the value stored in one NVM line. The timing model does not
+// simulate byte contents; instead every store in a workload carries a unique
+// monotonically increasing token (a global store sequence number). The crash
+// checker uses tokens to decide whether the post-recovery memory image could
+// have been produced by a legal persist order (Theorem 2 in the paper).
+//
+// Token 0 means "never written".
+type Token uint64
+
+// NVM is the non-volatile media behind one memory controller. Contents
+// survive a simulated crash by construction (they are only mutated by
+// persists).
+type NVM struct {
+	lines  map[Line]Token
+	writes uint64
+	reads  uint64
+}
+
+// NewNVM returns an empty device.
+func NewNVM() *NVM {
+	return &NVM{lines: make(map[Line]Token)}
+}
+
+// Write persists token t to line l.
+func (n *NVM) Write(l Line, t Token) {
+	n.lines[l] = t
+	n.writes++
+}
+
+// Read returns the token at line l (0 if never written).
+func (n *NVM) Read(l Line) Token {
+	n.reads++
+	return n.lines[l]
+}
+
+// Peek returns the token at line l without counting a media access. Used by
+// the crash checker.
+func (n *NVM) Peek(l Line) Token { return n.lines[l] }
+
+// Writes returns the number of media write operations performed, the
+// quantity plotted in Figure 9 (PM write endurance).
+func (n *NVM) Writes() uint64 { return n.writes }
+
+// Reads returns the number of media read operations performed.
+func (n *NVM) Reads() uint64 { return n.reads }
+
+// Snapshot copies the current contents. Used by tests to compare pre- and
+// post-crash images.
+func (n *NVM) Snapshot() map[Line]Token {
+	out := make(map[Line]Token, len(n.lines))
+	for l, t := range n.lines {
+		out[l] = t
+	}
+	return out
+}
+
+// Lines calls fn for every written line.
+func (n *NVM) Lines(fn func(Line, Token)) {
+	for l, t := range n.lines {
+		fn(l, t)
+	}
+}

@@ -1,0 +1,85 @@
+package mem
+
+// WPQ is the write-pending queue of a memory controller. On platforms with
+// ADR the WPQ is inside the persistence domain: a write is durable the
+// moment it is accepted here (§II-C), and the queue is drained to NVM on a
+// power failure. The queue coalesces writes to the same line, which the
+// paper observes reduces PM write traffic for concurrent workloads (§VII-A,
+// "Coalescing in the WPQ").
+type WPQ struct {
+	capacity  int
+	order     []Line // FIFO of distinct lines
+	pending   map[Line]Token
+	coalesced uint64
+	maxOcc    int
+}
+
+// NewWPQ returns a queue holding capacity distinct lines.
+func NewWPQ(capacity int) *WPQ {
+	if capacity <= 0 {
+		panic("mem: WPQ capacity must be positive")
+	}
+	return &WPQ{
+		capacity: capacity,
+		pending:  make(map[Line]Token, capacity),
+	}
+}
+
+// Full reports whether a new distinct line cannot currently be accepted.
+func (w *WPQ) Full() bool { return len(w.order) >= w.capacity }
+
+// Len returns the number of distinct queued lines.
+func (w *WPQ) Len() int { return len(w.order) }
+
+// MaxOccupancy returns the high-water mark of Len.
+func (w *WPQ) MaxOccupancy() int { return w.maxOcc }
+
+// Coalesced returns the number of inserts absorbed by an existing entry.
+func (w *WPQ) Coalesced() uint64 { return w.coalesced }
+
+// Contains reports whether line l has a pending write, returning its token.
+func (w *WPQ) Contains(l Line) (Token, bool) {
+	t, ok := w.pending[l]
+	return t, ok
+}
+
+// Insert queues token t for line l. If the line is already pending the
+// write coalesces in place and Insert always succeeds; otherwise it fails
+// when the queue is full. It reports whether the insert was accepted.
+func (w *WPQ) Insert(l Line, t Token) bool {
+	if _, ok := w.pending[l]; ok {
+		w.pending[l] = t
+		w.coalesced++
+		return true
+	}
+	if w.Full() {
+		return false
+	}
+	w.order = append(w.order, l)
+	w.pending[l] = t
+	if len(w.order) > w.maxOcc {
+		w.maxOcc = len(w.order)
+	}
+	return true
+}
+
+// Pop removes and returns the oldest pending write. It panics on an empty
+// queue; callers gate on Len.
+func (w *WPQ) Pop() (Line, Token) {
+	if len(w.order) == 0 {
+		panic("mem: Pop on empty WPQ")
+	}
+	l := w.order[0]
+	w.order = w.order[1:]
+	t := w.pending[l]
+	delete(w.pending, l)
+	return l, t
+}
+
+// Drain empties the queue into nvm, as the ADR logic does on power failure.
+func (w *WPQ) Drain(nvm *NVM) {
+	for len(w.order) > 0 {
+		l, t := w.Pop()
+		nvm.Write(l, t)
+	}
+}

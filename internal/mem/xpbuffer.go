@@ -1,0 +1,104 @@
+package mem
+
+// XPBuffer models the small internal line cache of an Optane DIMM. The ASAP
+// paper leans on it to argue that the read-before-write needed to create an
+// undo record is usually cheap: "XPBuffer in Intel Optane Persistent memory
+// caches most recently accessed lines. Writes would mostly hit in this
+// cache" (§V-A). We model it as an LRU cache of line tokens, populated by
+// both reads and writes.
+type XPBuffer struct {
+	capacity int
+	entries  map[Line]*xpNode
+	head     *xpNode // most recently used
+	tail     *xpNode // least recently used
+	hits     uint64
+	misses   uint64
+}
+
+type xpNode struct {
+	line       Line
+	token      Token
+	prev, next *xpNode
+}
+
+// NewXPBuffer returns an LRU buffer holding capacity lines. A capacity of
+// zero disables the buffer (every lookup misses).
+func NewXPBuffer(capacity int) *XPBuffer {
+	return &XPBuffer{
+		capacity: capacity,
+		entries:  make(map[Line]*xpNode, capacity),
+	}
+}
+
+// Lookup returns the cached token for line l and whether it was present.
+func (x *XPBuffer) Lookup(l Line) (Token, bool) {
+	n, ok := x.entries[l]
+	if !ok {
+		x.misses++
+		return 0, false
+	}
+	x.hits++
+	x.moveToFront(n)
+	return n.token, true
+}
+
+// Insert caches token t for line l, evicting the LRU entry if full.
+func (x *XPBuffer) Insert(l Line, t Token) {
+	if x.capacity == 0 {
+		return
+	}
+	if n, ok := x.entries[l]; ok {
+		n.token = t
+		x.moveToFront(n)
+		return
+	}
+	if len(x.entries) >= x.capacity {
+		lru := x.tail
+		x.unlink(lru)
+		delete(x.entries, lru.line)
+	}
+	n := &xpNode{line: l, token: t}
+	x.entries[l] = n
+	x.pushFront(n)
+}
+
+// Len returns the number of cached lines.
+func (x *XPBuffer) Len() int { return len(x.entries) }
+
+// Hits and Misses report lookup outcomes.
+func (x *XPBuffer) Hits() uint64   { return x.hits }
+func (x *XPBuffer) Misses() uint64 { return x.misses }
+
+func (x *XPBuffer) moveToFront(n *xpNode) {
+	if x.head == n {
+		return
+	}
+	x.unlink(n)
+	x.pushFront(n)
+}
+
+func (x *XPBuffer) pushFront(n *xpNode) {
+	n.prev = nil
+	n.next = x.head
+	if x.head != nil {
+		x.head.prev = n
+	}
+	x.head = n
+	if x.tail == nil {
+		x.tail = n
+	}
+}
+
+func (x *XPBuffer) unlink(n *xpNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		x.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		x.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

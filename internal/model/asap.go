@@ -1,0 +1,460 @@
+package model
+
+import (
+	"asap/internal/cache"
+	"asap/internal/mem"
+	"asap/internal/persist"
+	"asap/internal/sim"
+	"asap/internal/stats"
+)
+
+// ASAP implements the paper's design: per-core persist buffers flush writes
+// eagerly — possibly out of epoch order and before cross-thread dependencies
+// resolve — marking flushes from not-yet-safe epochs as early. The memory
+// controllers (persist.MC) speculatively update memory and keep undo/delay
+// records per Table I. Epoch tables run the commit protocol of §V-C: commit
+// messages to the controllers that saw early flushes, then CDR messages to
+// dependent threads. A NACK (full recovery table) drops the buffer into
+// conservative flushing until the NACKed epoch commits (§V-D).
+type ASAP struct {
+	env Env
+	rp  bool // release persistency (vs epoch persistency)
+
+	cores []*asapCore
+}
+
+type asapCore struct {
+	id int
+	pb *persist.PersistBuffer
+	et *persist.EpochTable
+
+	// conservative flushing mode after a NACK; cleared when consTS commits.
+	conservative bool
+	consTS       uint64
+
+	flushScheduled bool
+
+	// stalled operations.
+	storeWaiters []func()
+	fenceWaiter  func() // blocked ofence (epoch table full)
+	dfenceWaiter func() // blocked dfence or drain
+	dfenceStart  sim.Cycles
+}
+
+func newASAP(env Env, rp bool) *ASAP {
+	m := &ASAP{env: env, rp: rp}
+	m.cores = make([]*asapCore, env.Cfg.Cores)
+	for i := range m.cores {
+		m.cores[i] = &asapCore{
+			id: i,
+			pb: persist.NewPersistBuffer(env.Cfg.PBEntries),
+			et: persist.NewEpochTable(i, env.Cfg.ETEntries),
+		}
+	}
+	return m
+}
+
+// Name returns asap_ep or asap_rp.
+func (m *ASAP) Name() string {
+	if m.rp {
+		return NameASAPRP
+	}
+	return NameASAPEP
+}
+
+// Stats returns the shared stat set.
+func (m *ASAP) Stats() *stats.Set { return m.env.St }
+
+// CurrentTS returns the open epoch of the core.
+func (m *ASAP) CurrentTS(core int) uint64 { return m.cores[core].et.CurrentTS() }
+
+// EpochCommitted reports durability of epoch e: retired entries are
+// committed; live entries carry their state.
+func (m *ASAP) EpochCommitted(e persist.EpochID) bool {
+	c := m.cores[e.Thread]
+	if ent, ok := c.et.Get(e.TS); ok {
+		return ent.Committed
+	}
+	// Absent entries below the current TS were retired after committing.
+	return e.TS < c.et.CurrentTS() || e.TS < c.et.OldestTS()
+}
+
+// epochSafe reports whether epoch ts satisfies all ordering constraints:
+// the preceding epoch committed and all cross dependencies resolved (§IV-B).
+func (m *ASAP) epochSafe(c *asapCore, ts uint64) bool {
+	ent, ok := c.et.Get(ts)
+	if !ok {
+		return true // retired == committed == safe
+	}
+	return c.et.PrevCommitted(ts) && ent.DepsResolved()
+}
+
+// Store enqueues the write in the persist buffer, stalling the core when
+// the buffer is full (cyclesStalled).
+func (m *ASAP) Store(core int, line mem.Line, token mem.Token, done func()) {
+	c := m.cores[core]
+	m.tryEnqueue(c, line, token, done)
+}
+
+func (m *ASAP) tryEnqueue(c *asapCore, line mem.Line, token mem.Token, done func()) {
+	ts := c.et.CurrentTS()
+	coalesced, ok := c.pb.Enqueue(line, token, ts)
+	if !ok {
+		began := m.env.Eng.Now()
+		c.storeWaiters = append(c.storeWaiters, func() {
+			m.env.St.Add("cyclesStalled", uint64(m.env.Eng.Now()-began))
+			m.tryEnqueue(c, line, token, done)
+		})
+		m.kickFlusher(c)
+		return
+	}
+	m.env.St.Inc("entriesInserted")
+	if coalesced {
+		m.env.St.Inc("pbCoalesced")
+	} else {
+		c.et.Current().Unacked++
+	}
+	m.env.Ledger.RecordWrite(persist.EpochID{Thread: c.id, TS: ts}, line, token)
+	m.kickFlusher(c)
+	done()
+}
+
+// Ofence closes the current epoch (§V-A): increment the timestamp and add a
+// new epoch table entry, stalling if the table is full.
+func (m *ASAP) Ofence(core int, done func()) {
+	c := m.cores[core]
+	if c.et.Full() {
+		began := m.env.Eng.Now()
+		c.fenceWaiter = func() {
+			m.env.St.Add("ofenceStalled", uint64(m.env.Eng.Now()-began))
+			m.Ofence(core, done)
+		}
+		return
+	}
+	closed := c.et.CurrentTS()
+	c.et.Advance()
+	m.tryCommit(c, closed)
+	done()
+}
+
+// Dfence waits until every in-flight epoch of the thread has committed.
+func (m *ASAP) Dfence(core int, done func()) {
+	c := m.cores[core]
+	if c.et.Full() {
+		began := m.env.Eng.Now()
+		c.fenceWaiter = func() {
+			m.env.St.Add("ofenceStalled", uint64(m.env.Eng.Now()-began))
+			m.Dfence(core, done)
+		}
+		return
+	}
+	closed := c.et.CurrentTS()
+	c.et.Advance()
+	m.tryCommit(c, closed)
+	m.waitAllCommitted(c, done)
+}
+
+func (m *ASAP) waitAllCommitted(c *asapCore, done func()) {
+	if c.et.AllCommitted() {
+		done()
+		return
+	}
+	if c.dfenceWaiter != nil {
+		panic("asap: overlapping dfence waits on one core")
+	}
+	c.dfenceStart = m.env.Eng.Now()
+	c.dfenceWaiter = done
+	m.kickFlusher(c)
+}
+
+// Release is a one-sided barrier: writes preceding it must persist before
+// it, so the epoch containing those writes is closed. The machine tags the
+// lock line with the closed epoch after performing the release store, so a
+// later acquire can find the release epoch (§IV-A).
+func (m *ASAP) Release(core int, line mem.Line, done func()) {
+	c := m.cores[core]
+	if m.rp && !c.et.Full() {
+		relTS := c.et.CurrentTS()
+		c.et.Advance()
+		m.tryCommit(c, relTS)
+	}
+	// Under epoch persistency a release is an ordinary store; the
+	// workload's explicit ofences provide intra-thread ordering and the
+	// coherence conflict on the lock line provides the cross-thread
+	// dependency.
+	done()
+}
+
+// Acquire needs no direct action: the dependency, if any, arrives through
+// Conflict when the lock line is read.
+func (m *ASAP) Acquire(core int, line mem.Line) {}
+
+// Conflict applies the dependency policy. With release persistency only an
+// acquire that synchronizes with a release creates a dependency; with epoch
+// persistency any remote dirty-line transfer does (§IV-E).
+func (m *ASAP) Conflict(core int, cf *cache.Conflict) {
+	src, ok := m.depSource(cf)
+	if !ok {
+		return
+	}
+	m.addDependency(core, src)
+}
+
+// depSource extracts the source epoch of a potential dependency per the
+// model's persistency policy, reporting ok=false when no dependency arises.
+func (m *ASAP) depSource(cf *cache.Conflict) (persist.EpochID, bool) {
+	if m.rp {
+		if !cf.AcquireOnRelease {
+			return persist.EpochID{}, false
+		}
+		src := persist.EpochID{Thread: cf.Writer, TS: cf.WriterTS}
+		return src, !m.EpochCommitted(src)
+	}
+	if !cf.Remote {
+		return persist.EpochID{}, false
+	}
+	// The owner replies with its *current* epoch number and splits
+	// (deadlock avoidance borrowed from [14]).
+	w := m.cores[cf.Writer]
+	src := persist.EpochID{Thread: cf.Writer, TS: w.et.CurrentTS()}
+	return src, true
+}
+
+// addDependency records that the requesting core's next writes depend on
+// epoch src, splitting epochs on both sides per §IV-E.
+func (m *ASAP) addDependency(core int, src persist.EpochID) {
+	m.env.St.Inc("interTEpochConflict")
+	w := m.cores[src.Thread]
+	// Source side: close the source epoch so it can commit. This split is
+	// unconditional — leaving the source epoch open could deadlock two
+	// mutually-dependent blocked cores (Lemma 0.1 requires it).
+	if w.et.CurrentTS() == src.TS {
+		w.et.Advance()
+		m.tryCommit(w, src.TS)
+	}
+	// Dependent side: open a new epoch carrying the dependency.
+	c := m.cores[core]
+	prev := c.et.CurrentTS()
+	c.et.Advance()
+	m.tryCommit(c, prev)
+	cur := c.et.Current()
+	dst := persist.EpochID{Thread: core, TS: cur.TS}
+	if ent, ok := w.et.Get(src.TS); ok && !ent.Committed {
+		cur.Deps = append(cur.Deps, src)
+		ent.Dependents = append(ent.Dependents, dst)
+		m.env.Ledger.DepCreated(src, dst)
+	}
+	// If the source epoch committed between the check and here, no
+	// dependency is needed.
+}
+
+// StartDrain gives end-of-trace dfence semantics.
+func (m *ASAP) StartDrain(core int, done func()) {
+	m.Dfence(core, done)
+}
+
+// PBOccupancy and PBBlocked feed the sampler.
+func (m *ASAP) PBOccupancy(core int) int { return m.cores[core].pb.Len() }
+
+// PBBlocked reports a non-empty buffer with nothing eligible to flush —
+// with eager flushing this happens only in conservative (post-NACK) mode.
+func (m *ASAP) PBBlocked(core int) bool {
+	c := m.cores[core]
+	if c.pb.Empty() {
+		return false
+	}
+	return c.pb.NextWaiting(func(e *persist.PBEntry) bool { return m.eligible(c, e) }) == nil &&
+		c.pb.Inflight() == 0
+}
+
+// eligible implements the flush policy: eager mode issues anything not
+// NACKed; NACKed entries (and everything in conservative mode, or always
+// under the ASAPNoEager ablation) must wait for epoch safety and reissue as
+// safe flushes.
+func (m *ASAP) eligible(c *asapCore, e *persist.PBEntry) bool {
+	if m.env.Cfg.ASAPNoEager || c.conservative || e.Nacked {
+		return m.epochSafe(c, e.TS)
+	}
+	return true
+}
+
+func (m *ASAP) kickFlusher(c *asapCore) {
+	if c.flushScheduled {
+		return
+	}
+	c.flushScheduled = true
+	m.env.Eng.After(1, func() {
+		c.flushScheduled = false
+		m.flushOne(c)
+	})
+}
+
+// flushOne issues at most one flush, then reschedules itself while work
+// remains (one flush port per buffer, paced at flushIssuePace).
+func (m *ASAP) flushOne(c *asapCore) {
+	if c.pb.Inflight() >= m.env.Cfg.PBMaxInflight {
+		return // an ACK will kick us again
+	}
+	e := c.pb.NextWaiting(func(e *persist.PBEntry) bool { return m.eligible(c, e) })
+	if e == nil {
+		return
+	}
+	early := !m.epochSafe(c, e.TS)
+	retried := e.Nacked
+	c.pb.MarkInflight(e, early)
+	mcID := m.env.IL.Home(e.Line)
+	if early {
+		m.env.St.Inc("totSpecWrites")
+		if ent, ok := c.et.Get(e.TS); ok {
+			ent.EarlyMCs[mcID] = struct{}{}
+		}
+	}
+	pkt := persist.FlushPacket{
+		Line:  e.Line,
+		Token: e.Token,
+		Epoch: persist.EpochID{Thread: c.id, TS: e.TS},
+		Early: early,
+	}
+	id := e.ID
+	mc := m.env.MCs[mcID]
+	m.env.Eng.After(m.env.Cfg.FlushLat, func() {
+		if retried && mc.Bloom != nil {
+			// The retried flush clears the NACK Bloom filter entry,
+			// releasing any delayed LLC eviction (§V-F).
+			mc.Bloom.Remove(pkt.Line)
+		}
+		mc.Receive(pkt, func(res persist.FlushResult) {
+			m.onFlushReply(c, id, res)
+		})
+	})
+	if c.pb.Inflight() < m.env.Cfg.PBMaxInflight {
+		m.env.Eng.After(flushIssuePace, func() { m.flushOne(c) })
+	}
+}
+
+func (m *ASAP) onFlushReply(c *asapCore, id uint64, res persist.FlushResult) {
+	if res == persist.FlushNack {
+		e := c.pb.Nack(id)
+		if e == nil {
+			panic("asap: NACK for unknown persist buffer entry")
+		}
+		m.env.St.Inc("pbNacks")
+		if ent, ok := c.et.Get(e.TS); ok {
+			ent.Nacked = true
+		}
+		if !c.conservative || e.TS < c.consTS {
+			c.conservative = true
+			c.consTS = e.TS
+		}
+		m.kickFlusher(c)
+		return
+	}
+	e := c.pb.Ack(id)
+	if e == nil {
+		panic("asap: ACK for unknown persist buffer entry")
+	}
+	if ent, ok := c.et.Get(e.TS); ok {
+		ent.Unacked--
+		if ent.Unacked < 0 {
+			panic("asap: negative unacked count")
+		}
+		m.tryCommit(c, e.TS)
+	}
+	// Freed buffer space: wake one stalled store.
+	if len(c.storeWaiters) > 0 {
+		w := c.storeWaiters[0]
+		c.storeWaiters = c.storeWaiters[1:]
+		w()
+	}
+	m.kickFlusher(c)
+}
+
+// tryCommit runs the epoch commit state machine for epoch ts of core c:
+// when safe and complete, send commit messages to the controllers that saw
+// early flushes; once all acknowledge, the epoch is committed and CDR
+// messages notify dependent threads (§V-C).
+func (m *ASAP) tryCommit(c *asapCore, ts uint64) {
+	ent, ok := c.et.Get(ts)
+	if !ok || ent.Committed || ent.CommitSent {
+		return
+	}
+	safe := c.et.PrevCommitted(ts) && ent.DepsResolved()
+	complete := ent.Closed && ent.Unacked == 0
+	if !safe || !complete {
+		return
+	}
+	ent.CommitSent = true
+	if len(ent.EarlyMCs) == 0 {
+		m.finishCommit(c, ent)
+		return
+	}
+	ent.CommitAcks = len(ent.EarlyMCs)
+	epoch := persist.EpochID{Thread: c.id, TS: ts}
+	for mcID := range ent.EarlyMCs {
+		mc := m.env.MCs[mcID]
+		m.env.Eng.After(m.env.Cfg.MsgLat, func() {
+			mc.Commit(epoch, func() {
+				ent.CommitAcks--
+				if ent.CommitAcks == 0 {
+					m.finishCommit(c, ent)
+				}
+			})
+		})
+	}
+}
+
+func (m *ASAP) finishCommit(c *asapCore, ent *persist.ETEntry) {
+	ent.Committed = true
+	ts := ent.TS
+	m.env.St.Inc("epochsCommitted")
+	m.env.Ledger.EpochCommitted(persist.EpochID{Thread: c.id, TS: ts})
+
+	// Leaving conservative mode: the NACKed epoch has committed, so its
+	// recovery-table pressure is gone (§V-D).
+	if c.conservative && ts >= c.consTS {
+		c.conservative = false
+	}
+
+	// CDR messages to dependent threads.
+	for _, dep := range ent.Dependents {
+		dep := dep
+		m.env.Eng.After(m.env.Cfg.MsgLat, func() { m.deliverCDR(dep) })
+	}
+
+	c.et.Retire(ts)
+
+	// Committing may unblock: the next epoch's commit, a stalled ofence
+	// (table space freed), a dfence, and the flusher (epochs became safe).
+	m.tryCommit(c, ts+1)
+	if c.fenceWaiter != nil && !c.et.Full() {
+		w := c.fenceWaiter
+		c.fenceWaiter = nil
+		w()
+	}
+	if c.dfenceWaiter != nil && c.et.AllCommitted() {
+		w := c.dfenceWaiter
+		c.dfenceWaiter = nil
+		m.env.St.Add("dfenceStalled", uint64(m.env.Eng.Now()-c.dfenceStart))
+		w()
+	}
+	m.kickFlusher(c)
+}
+
+// deliverCDR resolves one dependency at the dependent core.
+func (m *ASAP) deliverCDR(dst persist.EpochID) {
+	c := m.cores[dst.Thread]
+	ent, ok := c.et.Get(dst.TS)
+	if !ok {
+		panic("asap: CDR for retired epoch")
+	}
+	ent.Resolved++
+	m.tryCommit(c, dst.TS)
+	m.kickFlusher(c)
+}
+
+var _ Model = (*ASAP)(nil)
+
+// PBHasLine reports whether the core's persist buffer holds the line.
+func (m *ASAP) PBHasLine(core int, line mem.Line) bool {
+	return m.cores[core].pb.HasLine(line)
+}

@@ -1,0 +1,168 @@
+// Package model implements the persistence architectures the ASAP paper
+// evaluates (§VII): the synchronous Intel baseline (clwb+sfence), HOPS with
+// epoch or release persistency, ASAP with epoch or release persistency, and
+// an eADR/BBB ideal. All models sit behind one Model interface driven by the
+// machine (package machine), which feeds them the program's stores, fences
+// and synchronization operations and reports coherence conflicts.
+package model
+
+import (
+	"fmt"
+
+	"asap/internal/cache"
+	"asap/internal/config"
+	"asap/internal/mem"
+	"asap/internal/persist"
+	"asap/internal/sim"
+	"asap/internal/stats"
+)
+
+// Ledger receives ground-truth notifications used by the crash checker: the
+// epoch each persistent write was issued under, the cross-thread dependency
+// edges each model created, and epoch commits. The machine implements it.
+type Ledger interface {
+	// RecordWrite logs that a persistent write of token to line entered
+	// the persist path under epoch e.
+	RecordWrite(e persist.EpochID, line mem.Line, token mem.Token)
+	// DepCreated logs a dependency: dst must not survive a crash unless
+	// src does.
+	DepCreated(src, dst persist.EpochID)
+	// EpochCommitted logs that epoch e committed (guaranteed durable).
+	EpochCommitted(e persist.EpochID)
+}
+
+// NopLedger discards all notifications.
+type NopLedger struct{}
+
+func (NopLedger) RecordWrite(persist.EpochID, mem.Line, mem.Token) {}
+func (NopLedger) DepCreated(persist.EpochID, persist.EpochID)      {}
+func (NopLedger) EpochCommitted(persist.EpochID)                   {}
+
+// Env is everything a model needs from the machine.
+type Env struct {
+	Eng    *sim.Engine
+	Cfg    config.Config
+	MCs    []*persist.MC
+	IL     *mem.Interleaver
+	Dir    *cache.Directory
+	St     *stats.Set
+	Ledger Ledger
+}
+
+// Model is one persistence architecture. Methods taking a done callback may
+// delay it to stall the core; they must invoke it exactly once. Conflict and
+// Acquire/Release bookkeeping never stalls the calling core directly.
+type Model interface {
+	Name() string
+
+	// Store enters a persistent write into the model's persist path.
+	Store(core int, line mem.Line, token mem.Token, done func())
+	// Ofence orders earlier writes of the thread before later ones.
+	Ofence(core int, done func())
+	// Dfence additionally guarantees earlier writes are durable.
+	Dfence(core int, done func())
+	// Release/Acquire are the one-sided synchronization barriers of
+	// release persistency applied to lock/flag line.
+	Release(core int, line mem.Line, done func())
+	Acquire(core int, line mem.Line)
+
+	// Conflict reports a coherence event where the accessed line was
+	// last modified by another core; the model decides whether it is a
+	// cross-thread persist dependency.
+	Conflict(core int, cf *cache.Conflict)
+
+	// CurrentTS returns the core's open epoch timestamp.
+	CurrentTS(core int) uint64
+	// EpochCommitted reports whether epoch e is guaranteed durable.
+	EpochCommitted(e persist.EpochID) bool
+
+	// StartDrain is called at end-of-trace: done fires when everything
+	// the core wrote is durable (dfence semantics).
+	StartDrain(core int, done func())
+
+	// PBOccupancy and PBBlocked feed the periodic sampler (Figures 3 and
+	// 11). Models without persist buffers report 0/false.
+	PBOccupancy(core int) int
+	PBBlocked(core int) bool
+	// PBHasLine reports whether the core's persist buffer still holds an
+	// unpersisted write to the line; the machine's write-back buffer
+	// (§V-F) parks LLC evictions of such lines.
+	PBHasLine(core int, line mem.Line) bool
+
+	// Stats returns the model's stat set (shared with Env.St).
+	Stats() *stats.Set
+}
+
+// Names of the six evaluated designs, plus the two related-work designs
+// implemented to make Table IV quantitative.
+const (
+	NameBaseline     = "baseline"
+	NameHOPSEP       = "hops_ep"
+	NameHOPSRP       = "hops_rp"
+	NameASAPEP       = "asap_ep"
+	NameASAPRP       = "asap_rp"
+	NameEADR         = "eadr"
+	NameDPO          = "dpo"
+	NamePMEMSpec     = "pmem_spec"
+	NameLBPP         = "lbpp"
+	NameLRP          = "lrp"
+	NameVorpal       = "vorpal"
+	NameStrandWeaver = "strandweaver"
+)
+
+// Speculative reports whether the named model needs recovery tables at the
+// memory controllers.
+func Speculative(name string) bool {
+	return name == NameASAPEP || name == NameASAPRP
+}
+
+// New builds the named model.
+func New(name string, env Env) (Model, error) {
+	if env.Ledger == nil {
+		env.Ledger = NopLedger{}
+	}
+	switch name {
+	case NameBaseline:
+		return newBaseline(env), nil
+	case NameHOPSEP:
+		return newHOPS(env, false), nil
+	case NameHOPSRP:
+		return newHOPS(env, true), nil
+	case NameASAPEP:
+		return newASAP(env, false), nil
+	case NameASAPRP:
+		return newASAP(env, true), nil
+	case NameEADR:
+		return newEADR(env), nil
+	case NameDPO:
+		return newDPO(env), nil
+	case NamePMEMSpec:
+		return newPMEMSpec(env), nil
+	case NameLBPP:
+		return newLBPP(env), nil
+	case NameLRP:
+		return newLRP(env), nil
+	case NameVorpal:
+		return newVorpal(env), nil
+	case NameStrandWeaver:
+		return newStrandWeaver(env), nil
+	default:
+		return nil, fmt.Errorf("model: unknown model %q (have %v)", name, AllNames())
+	}
+}
+
+// AllNames lists the six models the paper evaluates, in its presentation
+// order (Figure 8, left to right).
+func AllNames() []string {
+	return []string{NameBaseline, NameHOPSEP, NameHOPSRP, NameASAPEP, NameASAPRP, NameEADR}
+}
+
+// ExtendedNames adds the related-work designs built for the quantitative
+// Table IV comparison (lbpp, dpo, lrp, vorpal, pmem_spec).
+func ExtendedNames() []string {
+	return append(AllNames(), NameLBPP, NameDPO, NameLRP, NameVorpal, NameStrandWeaver, NamePMEMSpec)
+}
+
+// flushIssuePace is the minimum spacing between flush issues from one
+// persist buffer (models a single flush port).
+const flushIssuePace sim.Cycles = 4

@@ -1,0 +1,176 @@
+package persist
+
+// ETEntry is the metadata the epoch table keeps for one in-flight epoch
+// (§V-A): outstanding write counts, cross-thread dependencies in both
+// directions, the set of controllers that received early flushes, and the
+// commit state machine's progress.
+type ETEntry struct {
+	TS uint64
+
+	// Unacked counts writes of this epoch still live in the persist
+	// buffer (waiting or inflight). The epoch is complete when the thread
+	// has moved past it (Closed) and Unacked reaches zero.
+	Unacked int
+
+	// Deps are source epochs this epoch must wait on; Resolved counts CDR
+	// messages received. With the paper's epoch-splitting rule an epoch
+	// acquires at most one dependency, but the table supports several.
+	Deps     []EpochID
+	Resolved int
+
+	// Dependents are remote epochs to notify with a CDR after commit.
+	Dependents []EpochID
+
+	// EarlyMCs records controllers that received early flushes from this
+	// epoch, so commit messages go only where needed (§V-C).
+	EarlyMCs map[int]struct{}
+
+	// Closed: the thread has started a later epoch; no new writes will
+	// join this one.
+	Closed bool
+	// CommitSent: commit messages are in flight to the controllers.
+	CommitSent bool
+	// CommitAcks counts commit ACKs still outstanding.
+	CommitAcks int
+	// Committed: safe, complete, and all controllers acknowledged.
+	Committed bool
+	// Nacked: an early flush of this epoch was NACKed; the persist buffer
+	// is in conservative mode until this epoch commits.
+	Nacked bool
+}
+
+// DepsResolved reports whether every cross-thread dependency has been
+// cleared by a CDR message.
+func (e *ETEntry) DepsResolved() bool { return e.Resolved >= len(e.Deps) }
+
+// EpochTable tracks the in-flight epochs of one core. Entries are ordered by
+// TS; capacity bounds the number of uncommitted epochs, and an ofence that
+// would exceed it stalls the core (§VI-A).
+type EpochTable struct {
+	capacity int
+	thread   int
+	current  uint64 // TS of the open epoch
+	entries  map[uint64]*ETEntry
+	oldest   uint64 // lowest TS not yet retired
+	maxOcc   int
+}
+
+// NewEpochTable returns a table for the given hardware thread. Epoch 1 is
+// open immediately; TS 0 is reserved as "before all epochs".
+func NewEpochTable(thread, capacity int) *EpochTable {
+	if capacity <= 0 {
+		panic("persist: epoch table capacity must be positive")
+	}
+	et := &EpochTable{
+		capacity: capacity,
+		thread:   thread,
+		current:  1,
+		oldest:   1,
+		entries:  make(map[uint64]*ETEntry),
+	}
+	et.entries[1] = &ETEntry{TS: 1, EarlyMCs: make(map[int]struct{})}
+	et.maxOcc = 1
+	return et
+}
+
+// Thread returns the owning hardware thread.
+func (et *EpochTable) Thread() int { return et.thread }
+
+// CurrentTS returns the open epoch's timestamp.
+func (et *EpochTable) CurrentTS() uint64 { return et.current }
+
+// Current returns the open epoch's entry.
+func (et *EpochTable) Current() *ETEntry { return et.entries[et.current] }
+
+// Get returns the entry for epoch ts, if still tracked.
+func (et *EpochTable) Get(ts uint64) (*ETEntry, bool) {
+	e, ok := et.entries[ts]
+	return e, ok
+}
+
+// Len returns the number of tracked (unretired) epochs.
+func (et *EpochTable) Len() int { return len(et.entries) }
+
+// MaxOccupancy returns the high-water mark of Len.
+func (et *EpochTable) MaxOccupancy() int { return et.maxOcc }
+
+// Full reports whether opening another epoch would exceed capacity.
+func (et *EpochTable) Full() bool { return len(et.entries) >= et.capacity }
+
+// OldestTS returns the lowest unretired epoch timestamp.
+func (et *EpochTable) OldestTS() uint64 { return et.oldest }
+
+// Advance closes the current epoch and opens a new one, returning its entry.
+// Fence instructions must stall on Full before advancing; coherence-
+// triggered splits, however, call Advance unconditionally — a coherence
+// reply cannot stall without deadlocking the protocol, so the table may
+// transiently exceed its nominal capacity (hardware reserves entries for
+// this). Lemma 0.1's acyclicity argument requires that the dependency
+// source epoch is always closed at creation.
+func (et *EpochTable) Advance() *ETEntry {
+	et.entries[et.current].Closed = true
+	et.current++
+	e := &ETEntry{TS: et.current, EarlyMCs: make(map[int]struct{})}
+	et.entries[et.current] = e
+	if len(et.entries) > et.maxOcc {
+		et.maxOcc = len(et.entries)
+	}
+	return e
+}
+
+// Retire removes a committed epoch from the table, freeing an entry.
+func (et *EpochTable) Retire(ts uint64) {
+	e, ok := et.entries[ts]
+	if !ok {
+		return
+	}
+	if !e.Committed {
+		panic("persist: retiring uncommitted epoch")
+	}
+	delete(et.entries, ts)
+	for {
+		if _, ok := et.entries[et.oldest]; ok || et.oldest > et.current {
+			break
+		}
+		et.oldest++
+	}
+}
+
+// PrevCommitted reports whether the epoch preceding ts has committed (or ts
+// is the first epoch). Retired epochs are committed by definition.
+func (et *EpochTable) PrevCommitted(ts uint64) bool {
+	if ts <= 1 {
+		return true
+	}
+	prev, ok := et.entries[ts-1]
+	if !ok {
+		return true // already retired, hence committed
+	}
+	return prev.Committed
+}
+
+// AllCommitted reports whether no uncommitted epoch remains except possibly
+// an empty open epoch with no writes. This is the dfence condition (§V-A).
+func (et *EpochTable) AllCommitted() bool {
+	for _, e := range et.entries {
+		if e.Committed {
+			continue
+		}
+		if !e.Closed && e.Unacked == 0 && len(e.Deps) == 0 {
+			// The open epoch with nothing buffered does not block a
+			// dfence: there is nothing to persist.
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// Epochs calls fn for each tracked epoch in ascending TS order.
+func (et *EpochTable) Epochs(fn func(*ETEntry)) {
+	for ts := et.oldest; ts <= et.current; ts++ {
+		if e, ok := et.entries[ts]; ok {
+			fn(e)
+		}
+	}
+}

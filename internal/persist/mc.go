@@ -1,0 +1,346 @@
+package persist
+
+import (
+	"asap/internal/config"
+	"asap/internal/mem"
+	"asap/internal/sim"
+	"asap/internal/stats"
+	"fmt"
+)
+
+// mcJob is one unit of controller work: an incoming flush or a commit
+// message from an epoch table.
+type mcJob struct {
+	isCommit bool
+
+	// flush fields
+	pkt   FlushPacket
+	reply func(FlushResult)
+
+	// commit fields
+	epoch      EpochID
+	commitDone func()
+}
+
+// MC is a memory controller front-end. It owns a WPQ (in the ADR persistence
+// domain), the NVM media behind it, an XPBuffer line cache, and — when the
+// machine runs an ASAP model — a recovery table plus the NACK Bloom filter.
+//
+// The controller serves one job at a time (reads for undo-record creation
+// serialize with inserts), while an independent drain process retires WPQ
+// entries to NVM at the media write latency. A full WPQ back-pressures the
+// front-end: the job being served waits for a drain before inserting, and
+// jobs behind it queue up.
+type MC struct {
+	ID  int
+	eng *sim.Engine
+	cfg config.Config
+
+	WPQ   *mem.WPQ
+	RT    *RecoveryTable // nil for models without speculative persistence
+	XP    *mem.XPBuffer
+	NVM   *mem.NVM
+	Bloom *CountingBloom
+
+	queue      []mcJob
+	serving    bool
+	draining   bool
+	wpqWaiters []func()
+
+	st *stats.Set
+}
+
+// mcServeCost is the fixed front-end cost of handling one job (CAM lookup
+// plus control), in cycles. Table V reports ~0.4 ns RT access; 4 cycles
+// (2 ns) also covers the scheduling overheads.
+const mcServeCost sim.Cycles = 4
+
+// NewMC builds a controller. Pass speculative=true to attach a recovery
+// table and Bloom filter (ASAP); false gives the plain ADR controller used
+// by the baseline, HOPS and eADR models.
+func NewMC(id int, eng *sim.Engine, cfg config.Config, speculative bool, st *stats.Set) *MC {
+	mc := &MC{
+		ID:  id,
+		eng: eng,
+		cfg: cfg,
+		WPQ: mem.NewWPQ(cfg.WPQEntries),
+		XP:  mem.NewXPBuffer(cfg.XPBufLines),
+		NVM: mem.NewNVM(),
+		st:  st,
+	}
+	if speculative {
+		mc.RT = NewRecoveryTable(cfg.RTEntries)
+		mc.Bloom = NewCountingBloom(1024, 3)
+	}
+	return mc
+}
+
+// Stats returns the stat set the controller reports into.
+func (mc *MC) Stats() *stats.Set { return mc.st }
+
+// Receive accepts a flush packet. reply is invoked (after the on-chip
+// message latency) with ACK or NACK. Callers model the PB→MC flush latency
+// before calling Receive.
+func (mc *MC) Receive(pkt FlushPacket, reply func(FlushResult)) {
+	if pkt.Early {
+		mc.st.Inc("mcEarlyFlushes")
+	} else {
+		mc.st.Inc("mcSafeFlushes")
+	}
+	mc.queue = append(mc.queue, mcJob{pkt: pkt, reply: reply})
+	mc.serve()
+}
+
+// Commit accepts an epoch-commit message from an epoch table; done is the
+// ACK, invoked after the table has been cleaned and any delay records
+// processed (§V-C).
+func (mc *MC) Commit(e EpochID, done func()) {
+	mc.queue = append(mc.queue, mcJob{isCommit: true, epoch: e, commitDone: done})
+	mc.serve()
+}
+
+// QueueLen reports front-end jobs waiting to be served (for tests).
+func (mc *MC) QueueLen() int { return len(mc.queue) }
+
+// Idle reports whether the controller has no queued work, no job in
+// service, and an empty WPQ.
+func (mc *MC) Idle() bool {
+	return !mc.serving && len(mc.queue) == 0 && mc.WPQ.Len() == 0
+}
+
+func (mc *MC) serve() {
+	if mc.serving || len(mc.queue) == 0 {
+		return
+	}
+	mc.serving = true
+	j := mc.queue[0]
+	mc.queue = mc.queue[1:]
+	done := func() {
+		mc.serving = false
+		mc.serve()
+	}
+	mc.eng.After(mcServeCost, func() {
+		if j.isCommit {
+			mc.processCommit(j, done)
+		} else {
+			mc.processFlush(j, done)
+		}
+	})
+}
+
+// processFlush applies Table I.
+func (mc *MC) processFlush(j mcJob, done func()) {
+	pkt := j.pkt
+	if DebugLine != 0 && pkt.Line == DebugLine && mc.RT != nil {
+		u, hu := mc.RT.Undo(pkt.Line)
+		fmt.Printf("[%d] MC%d flush tok=%d epoch=%v early=%v hasUndo=%v undo=%+v mem=%d\n",
+			mc.eng.Now(), mc.ID, pkt.Token, pkt.Epoch, pkt.Early, hu, u, mc.NVM.Peek(pkt.Line))
+	}
+	ack := func() {
+		mc.eng.After(mc.cfg.MsgLat, func() { j.reply(FlushAck) })
+		done()
+	}
+	nack := func() {
+		mc.st.Inc("mcNacks")
+		if mc.Bloom != nil {
+			mc.Bloom.Add(pkt.Line)
+		}
+		mc.eng.After(mc.cfg.MsgLat, func() { j.reply(FlushNack) })
+		done()
+	}
+
+	if mc.RT == nil {
+		// Plain ADR controller: every flush is a memory write.
+		mc.insertWrite(pkt.Line, pkt.Token, ack)
+		return
+	}
+
+	// If this epoch already has a delayed write for the line, the incoming
+	// flush — early or safe — must coalesce into the delay record: the
+	// record is replayed at the epoch's commit, so it must carry the
+	// epoch's newest value for the line. Letting the flush take any other
+	// path would leave a stale delayed value to clobber memory at commit
+	// (same-line writes of one thread arrive in program order, so the
+	// incoming value is always the newer one).
+	if mc.RT.HasDelay(pkt.Line, pkt.Epoch) {
+		mc.RT.CreateDelay(pkt.Line, pkt.Token, pkt.Epoch)
+		mc.st.Inc("mcDelayCoalesced")
+		ack()
+		return
+	}
+
+	undo, hasUndo := mc.RT.Undo(pkt.Line)
+	switch {
+	case !pkt.Early && !hasUndo:
+		// Safe flush, no record: the normal path.
+		mc.insertWrite(pkt.Line, pkt.Token, ack)
+
+	case !pkt.Early && hasUndo && undo.Creator == pkt.Epoch:
+		// Safe flush finding an undo record its *own epoch* created:
+		// the speculative value in memory is an older write of this
+		// epoch (a same-line predecessor that issued early before the
+		// epoch turned safe), so the incoming value is the newest for
+		// the line and goes straight to memory. The undo record keeps
+		// the pre-epoch safe state for rollback. Without this case the
+		// newer write would be stashed in the undo record and deleted
+		// at commit.
+		mc.insertWrite(pkt.Line, pkt.Token, ack)
+
+	case !pkt.Early && hasUndo:
+		// Safe flush, record from another epoch: memory already holds
+		// a newer speculative value (the undo creator wrote after this
+		// flush in coherence order, or this is a NACK-retried older
+		// write). The incoming value becomes the recorded safe state;
+		// the memory write is suppressed.
+		mc.RT.UpdateUndo(pkt.Line, pkt.Token)
+		mc.st.Inc("mcWritesSuppressed")
+		ack()
+
+	case pkt.Early && hasUndo:
+		// Early flush, record present: delay it until its epoch commits.
+		if mc.RT.CreateDelay(pkt.Line, pkt.Token, pkt.Epoch) {
+			ack()
+		} else {
+			nack()
+		}
+
+	default: // early, no undo record
+		if mc.RT.Full() {
+			nack()
+			return
+		}
+		// Create the undo record by reading the current value, then
+		// speculatively update memory (§V-A). The read hits the WPQ or
+		// the XPBuffer most of the time; otherwise it pays the NVM read
+		// latency — the source of ASAP's ~5% PM read increase (§VII-A).
+		mc.readCurrent(pkt.Line, func(old mem.Token) {
+			if !mc.RT.CreateUndo(pkt.Line, old, pkt.Epoch) {
+				// A racing job cannot exist (single-served), but a
+				// commit between scheduling and execution cannot
+				// either; guard anyway.
+				nack()
+				return
+			}
+			mc.st.Inc("totalUndo")
+			mc.insertWrite(pkt.Line, pkt.Token, ack)
+		})
+	}
+}
+
+// processCommit deletes the epoch's undo records and replays its delay
+// records as freshly arrived flushes (§V-B rules 1 and 2).
+func (mc *MC) processCommit(j mcJob, done func()) {
+	delays := mc.RT.Commit(j.epoch)
+	if DebugLine != 0 {
+		for _, d := range delays {
+			if d.Line == DebugLine {
+				fmt.Printf("[%d] MC%d commit %v replays delay tok=%d mem=%d\n", mc.eng.Now(), mc.ID, j.epoch, d.Token, mc.NVM.Peek(d.Line))
+			}
+		}
+	}
+	mc.st.Inc("mcCommits")
+
+	var next func(i int)
+	next = func(i int) {
+		if i >= len(delays) {
+			mc.eng.After(mc.cfg.MsgLat, j.commitDone)
+			done()
+			return
+		}
+		d := delays[i]
+		if _, hasUndo := mc.RT.Undo(d.Line); hasUndo {
+			mc.RT.UpdateUndo(d.Line, d.Token)
+			mc.st.Inc("mcWritesSuppressed")
+			next(i + 1)
+			return
+		}
+		mc.insertWrite(d.Line, d.Token, func() { next(i + 1) })
+	}
+	next(0)
+}
+
+// readCurrent obtains the newest durable value of a line: a pending WPQ
+// write wins, then the XPBuffer, then the NVM media.
+func (mc *MC) readCurrent(l mem.Line, k func(mem.Token)) {
+	if t, ok := mc.WPQ.Contains(l); ok {
+		k(t)
+		return
+	}
+	if t, ok := mc.XP.Lookup(l); ok {
+		mc.eng.After(mc.cfg.XPBufHit, func() { k(t) })
+		return
+	}
+	mc.st.Inc("mcUndoMediaReads")
+	// The controller pipelines media reads: the front-end is occupied for
+	// the read-throughput interval, not the full access latency.
+	gap := mc.cfg.NVMReadGap
+	if gap == 0 {
+		gap = mc.cfg.NVMRead
+	}
+	mc.eng.After(gap, func() {
+		t := mc.NVM.Read(l)
+		mc.XP.Insert(l, t)
+		k(t)
+	})
+}
+
+// insertWrite places a write in the WPQ, waiting for drain space if full,
+// then invokes k. The write is durable (ADR domain) once inserted.
+func (mc *MC) insertWrite(l mem.Line, t mem.Token, k func()) {
+	if mc.WPQ.Insert(l, t) {
+		mc.pumpDrain()
+		k()
+		return
+	}
+	mc.st.Inc("mcWpqFullStalls")
+	mc.wpqWaiters = append(mc.wpqWaiters, func() { mc.insertWrite(l, t, k) })
+}
+
+// pumpDrain retires one WPQ entry to NVM every media drain interval (the
+// media's write throughput; the 90 ns NVMWrite figure is access latency,
+// which the ADR ACK point hides from the critical path).
+func (mc *MC) pumpDrain() {
+	if mc.draining || mc.WPQ.Len() == 0 {
+		return
+	}
+	gap := mc.cfg.NVMDrainGap
+	if gap == 0 {
+		gap = mc.cfg.NVMWrite
+	}
+	mc.draining = true
+	mc.eng.After(gap, func() {
+		mc.draining = false
+		if mc.WPQ.Len() > 0 {
+			l, t := mc.WPQ.Pop()
+			mc.NVM.Write(l, t)
+			mc.XP.Insert(l, t)
+		}
+		if len(mc.wpqWaiters) > 0 {
+			w := mc.wpqWaiters[0]
+			mc.wpqWaiters = mc.wpqWaiters[1:]
+			w()
+		}
+		mc.pumpDrain()
+	})
+}
+
+// CrashFlush performs the ADR power-fail sequence (§V-E): drain the WPQ to
+// media, then write every undo record's safe value, unwinding speculative
+// updates. Delay records are discarded. The recovery table is left empty,
+// as after a restart.
+func (mc *MC) CrashFlush() {
+	mc.WPQ.Drain(mc.NVM)
+	if mc.RT != nil {
+		for _, u := range mc.RT.UndoRecords() {
+			mc.NVM.Write(u.Line, u.Safe)
+		}
+		mc.RT.Reset()
+	}
+}
+
+// DebugLine, when non-zero, makes controllers print every event touching
+// that line (test diagnostics only).
+var DebugLine mem.Line
+
+// DebugLineFrom converts a raw line number for test diagnostics.
+func DebugLineFrom(l uint64) mem.Line { return mem.Line(l) }

@@ -1,0 +1,191 @@
+package persist
+
+import "asap/internal/mem"
+
+// PBState is the lifecycle of one persist buffer entry.
+type PBState int
+
+const (
+	// PBWaiting: enqueued, not yet flushed (or NACKed and awaiting retry).
+	PBWaiting PBState = iota
+	// PBInflight: flush issued to the memory controller, awaiting ACK.
+	PBInflight
+)
+
+// PBEntry is one buffered write. Entries keep FIFO order; an entry is
+// removed when the controller ACKs its flush (§V-A).
+type PBEntry struct {
+	ID    uint64
+	Line  mem.Line
+	Token mem.Token
+	TS    uint64 // epoch timestamp the write belongs to
+	State PBState
+	// Early records whether the last issue of this entry was speculative.
+	Early bool
+	// Nacked marks an entry whose early flush was rejected; it must be
+	// reissued as a safe flush once its epoch becomes safe (§V-D).
+	Nacked bool
+}
+
+// PersistBuffer is the per-core circular buffer queueing writes to NVM
+// alongside the private caches. Writes to the same line within the same
+// epoch coalesce while still waiting, which both reduces NVM traffic and
+// models the coalescing the paper credits for write-endurance gains.
+type PersistBuffer struct {
+	capacity int
+	nextID   uint64
+	entries  []*PBEntry // FIFO order, arbitrary removal on ACK
+	inflight int
+
+	inserted  uint64
+	coalesced uint64
+	maxOcc    int
+}
+
+// NewPersistBuffer returns a buffer holding capacity entries.
+func NewPersistBuffer(capacity int) *PersistBuffer {
+	if capacity <= 0 {
+		panic("persist: persist buffer capacity must be positive")
+	}
+	return &PersistBuffer{capacity: capacity}
+}
+
+// Len returns the number of live entries (waiting + inflight).
+func (pb *PersistBuffer) Len() int { return len(pb.entries) }
+
+// Full reports whether a new entry cannot be accepted; the core must stall
+// (cyclesStalled in Table VI).
+func (pb *PersistBuffer) Full() bool { return len(pb.entries) >= pb.capacity }
+
+// Empty reports whether the buffer has no live entries.
+func (pb *PersistBuffer) Empty() bool { return len(pb.entries) == 0 }
+
+// Inflight returns the number of entries awaiting an ACK.
+func (pb *PersistBuffer) Inflight() int { return pb.inflight }
+
+// Inserted returns total enqueued writes (entriesInserted in Table VI).
+func (pb *PersistBuffer) Inserted() uint64 { return pb.inserted }
+
+// Coalesced returns writes absorbed into an existing waiting entry.
+func (pb *PersistBuffer) Coalesced() uint64 { return pb.coalesced }
+
+// MaxOccupancy returns the high-water mark of Len.
+func (pb *PersistBuffer) MaxOccupancy() int { return pb.maxOcc }
+
+// Enqueue buffers a write of token to line within epoch ts. If a waiting
+// entry for the same line and epoch exists, the write coalesces into it.
+// It reports (coalesced, accepted); accepted is false when the buffer is
+// full and nothing coalesced.
+func (pb *PersistBuffer) Enqueue(line mem.Line, token mem.Token, ts uint64) (bool, bool) {
+	for i := len(pb.entries) - 1; i >= 0; i-- {
+		e := pb.entries[i]
+		if e.Line == line && e.TS == ts && e.State == PBWaiting {
+			e.Token = token
+			pb.coalesced++
+			return true, true
+		}
+		// Stop scanning past an older epoch's entry for this line:
+		// coalescing across epochs would break ordering.
+		if e.Line == line {
+			break
+		}
+	}
+	if pb.Full() {
+		return false, false
+	}
+	pb.nextID++
+	pb.entries = append(pb.entries, &PBEntry{
+		ID:    pb.nextID,
+		Line:  line,
+		Token: token,
+		TS:    ts,
+		State: PBWaiting,
+	})
+	pb.inserted++
+	if len(pb.entries) > pb.maxOcc {
+		pb.maxOcc = len(pb.entries)
+	}
+	return false, true
+}
+
+// NextWaiting returns the oldest waiting entry satisfying pred, or nil.
+// Models use pred to express their flushing policy: HOPS restricts to the
+// oldest epoch, ASAP's eager mode accepts anything, and ASAP's conservative
+// fallback accepts only safe epochs.
+func (pb *PersistBuffer) NextWaiting(pred func(*PBEntry) bool) *PBEntry {
+	for _, e := range pb.entries {
+		if e.State == PBWaiting && pred(e) {
+			return e
+		}
+	}
+	return nil
+}
+
+// MarkInflight transitions a waiting entry to inflight with the given
+// speculation mark.
+func (pb *PersistBuffer) MarkInflight(e *PBEntry, early bool) {
+	if e.State != PBWaiting {
+		panic("persist: MarkInflight on non-waiting entry")
+	}
+	e.State = PBInflight
+	e.Early = early
+	pb.inflight++
+}
+
+// Ack removes the entry with the given ID, returning it (nil if the ID is
+// unknown, which indicates a protocol bug upstream).
+func (pb *PersistBuffer) Ack(id uint64) *PBEntry {
+	for i, e := range pb.entries {
+		if e.ID == id {
+			if e.State != PBInflight {
+				panic("persist: ACK for entry that was not inflight")
+			}
+			pb.inflight--
+			pb.entries = append(pb.entries[:i], pb.entries[i+1:]...)
+			return e
+		}
+	}
+	return nil
+}
+
+// Nack returns the entry with the given ID to the waiting state and marks it
+// NACKed so the flush policy reissues it as a safe flush.
+func (pb *PersistBuffer) Nack(id uint64) *PBEntry {
+	for _, e := range pb.entries {
+		if e.ID == id {
+			if e.State != PBInflight {
+				panic("persist: NACK for entry that was not inflight")
+			}
+			pb.inflight--
+			e.State = PBWaiting
+			e.Nacked = true
+			return e
+		}
+	}
+	return nil
+}
+
+// PendingForEpoch counts live entries belonging to epoch ts.
+func (pb *PersistBuffer) PendingForEpoch(ts uint64) int {
+	n := 0
+	for _, e := range pb.entries {
+		if e.TS == ts {
+			n++
+		}
+	}
+	return n
+}
+
+// HasLine reports whether a live entry exists for line (used by the LLC
+// eviction path: the newest value may still be here, §V-F).
+func (pb *PersistBuffer) HasLine(line mem.Line) bool {
+	for _, e := range pb.entries {
+		if e.Line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Entries returns the live entries in FIFO order (read-only use).
+func (pb *PersistBuffer) Entries() []*PBEntry { return pb.entries }

@@ -1,0 +1,174 @@
+package persist
+
+import "asap/internal/mem"
+
+// UndoRecord stores the safe state for a speculatively updated address: the
+// value in memory prior to the speculative persist, or the value written by
+// the most recent safe flush (§V-A). Creator is the epoch whose early flush
+// created the record; the record is deleted when that epoch commits.
+type UndoRecord struct {
+	Line    mem.Line
+	Safe    mem.Token
+	Creator EpochID
+}
+
+// DelayRecord holds an early write that arrived while an undo record already
+// existed for its line. It is applied when its epoch commits (§IV-F).
+type DelayRecord struct {
+	Line  mem.Line
+	Token mem.Token
+	Epoch EpochID
+}
+
+// RecoveryTable is the CAM in each memory controller holding undo and delay
+// records. Undo and delay records share the table's capacity.
+type RecoveryTable struct {
+	capacity int
+	undo     map[mem.Line]*UndoRecord
+	// delay records, keyed by epoch for commit processing. Within one
+	// epoch, delays to the same line coalesce (§VII-A, "Coalescing in the
+	// Recovery Table"), and arrival order across lines is preserved.
+	delay     map[EpochID][]*DelayRecord
+	delayLen  int
+	maxOcc    int
+	undoMade  uint64
+	delayMade uint64
+	coalesced uint64
+}
+
+// NewRecoveryTable returns a table with the given total record capacity.
+func NewRecoveryTable(capacity int) *RecoveryTable {
+	if capacity <= 0 {
+		panic("persist: recovery table capacity must be positive")
+	}
+	return &RecoveryTable{
+		capacity: capacity,
+		undo:     make(map[mem.Line]*UndoRecord),
+		delay:    make(map[EpochID][]*DelayRecord),
+	}
+}
+
+// Occupancy returns the number of live records (undo + delay).
+func (rt *RecoveryTable) Occupancy() int { return len(rt.undo) + rt.delayLen }
+
+// MaxOccupancy returns the high-water mark of Occupancy, the quantity
+// plotted in Figure 12.
+func (rt *RecoveryTable) MaxOccupancy() int { return rt.maxOcc }
+
+// Full reports whether no new record can be allocated.
+func (rt *RecoveryTable) Full() bool { return rt.Occupancy() >= rt.capacity }
+
+// UndosCreated and DelaysCreated report allocation counts (totalUndo in
+// Table VI).
+func (rt *RecoveryTable) UndosCreated() uint64  { return rt.undoMade }
+func (rt *RecoveryTable) DelaysCreated() uint64 { return rt.delayMade }
+
+// DelaysCoalesced reports delay-record writes absorbed by an existing record.
+func (rt *RecoveryTable) DelaysCoalesced() uint64 { return rt.coalesced }
+
+// Undo returns the undo record for line l, if present.
+func (rt *RecoveryTable) Undo(l mem.Line) (*UndoRecord, bool) {
+	r, ok := rt.undo[l]
+	return r, ok
+}
+
+// CreateUndo allocates an undo record storing safe as the pre-speculation
+// value of line l on behalf of epoch e. It reports false when the table is
+// full (the controller NACKs the flush). Calling it when a record already
+// exists for l is a controller bug and panics.
+func (rt *RecoveryTable) CreateUndo(l mem.Line, safe mem.Token, e EpochID) bool {
+	if _, ok := rt.undo[l]; ok {
+		panic("persist: undo record already exists for line")
+	}
+	if rt.Full() {
+		return false
+	}
+	rt.undo[l] = &UndoRecord{Line: l, Safe: safe, Creator: e}
+	rt.undoMade++
+	rt.bumpOcc()
+	return true
+}
+
+// UpdateUndo overwrites the safe value of the undo record for line l. This
+// is the Table I action for a safe flush (or a committing delay record) that
+// finds an undo record: memory already holds a newer speculative value, so
+// the incoming value becomes the recorded safe state instead.
+func (rt *RecoveryTable) UpdateUndo(l mem.Line, safe mem.Token) {
+	r, ok := rt.undo[l]
+	if !ok {
+		panic("persist: UpdateUndo without a record")
+	}
+	r.Safe = safe
+}
+
+// CreateDelay records an early write that must wait for its epoch to commit.
+// Writes to the same line from the same epoch coalesce in place. It reports
+// false when a new record is needed but the table is full.
+func (rt *RecoveryTable) CreateDelay(l mem.Line, tok mem.Token, e EpochID) bool {
+	for _, d := range rt.delay[e] {
+		if d.Line == l {
+			d.Token = tok
+			rt.coalesced++
+			return true
+		}
+	}
+	if rt.Full() {
+		return false
+	}
+	rt.delay[e] = append(rt.delay[e], &DelayRecord{Line: l, Token: tok, Epoch: e})
+	rt.delayLen++
+	rt.delayMade++
+	rt.bumpOcc()
+	return true
+}
+
+// HasDelay reports whether epoch e already holds a delay record for line l.
+func (rt *RecoveryTable) HasDelay(l mem.Line, e EpochID) bool {
+	for _, d := range rt.delay[e] {
+		if d.Line == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Commit removes all records owned by epoch e: undo records created by e are
+// deleted (their speculative writes are now safe), and e's delay records are
+// removed and returned in arrival order so the controller can process them
+// as if the flushes had just arrived (§V-C).
+func (rt *RecoveryTable) Commit(e EpochID) []*DelayRecord {
+	for l, r := range rt.undo {
+		if r.Creator == e {
+			delete(rt.undo, l)
+		}
+	}
+	ds := rt.delay[e]
+	if ds != nil {
+		delete(rt.delay, e)
+		rt.delayLen -= len(ds)
+	}
+	return ds
+}
+
+// UndoRecords returns all live undo records; the crash handler writes their
+// safe values back to NVM (§V-E). Delay records play no role in a crash.
+func (rt *RecoveryTable) UndoRecords() []*UndoRecord {
+	out := make([]*UndoRecord, 0, len(rt.undo))
+	for _, r := range rt.undo {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Reset clears the table, as after a post-crash restart.
+func (rt *RecoveryTable) Reset() {
+	rt.undo = make(map[mem.Line]*UndoRecord)
+	rt.delay = make(map[EpochID][]*DelayRecord)
+	rt.delayLen = 0
+}
+
+func (rt *RecoveryTable) bumpOcc() {
+	if occ := rt.Occupancy(); occ > rt.maxOcc {
+		rt.maxOcc = occ
+	}
+}

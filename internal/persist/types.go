@@ -1,0 +1,42 @@
+// Package persist implements the hardware structures ASAP adds to the
+// machine: per-core persist buffers (PB) and epoch tables (ET), and the
+// per-memory-controller recovery table (RT) holding undo and delay records.
+// It also implements the memory controller front-end that applies the flush
+// handling rules of Table I and the commit protocol of §V-C.
+package persist
+
+import "asap/internal/mem"
+
+// Epoch numbers are per-thread logical timestamps (§V-A). The pair
+// (Thread, TS) globally identifies an epoch.
+type EpochID struct {
+	Thread int
+	TS     uint64
+}
+
+// FlushPacket is one cache line sent from a persist buffer to a memory
+// controller. Early marks a speculative flush from a not-yet-safe epoch.
+type FlushPacket struct {
+	Line  mem.Line
+	Token mem.Token
+	Epoch EpochID
+	Early bool
+}
+
+// FlushResult is the controller's reply to a flush.
+type FlushResult int
+
+const (
+	// FlushAck: the write is durable (accepted into the ADR domain).
+	FlushAck FlushResult = iota
+	// FlushNack: the recovery table had no space for the early flush; the
+	// persist buffer must fall back to conservative flushing (§V-D).
+	FlushNack
+)
+
+func (r FlushResult) String() string {
+	if r == FlushAck {
+		return "ACK"
+	}
+	return "NACK"
+}

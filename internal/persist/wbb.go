@@ -1,0 +1,89 @@
+package persist
+
+import "asap/internal/mem"
+
+// WBB is the write-back buffer of §V-F (borrowed from StrandWeaver [17]):
+// when a cache line is evicted from the private caches while writes to it
+// are still queued in the persist buffer, the eviction parks here instead
+// of propagating, so a later coherence request is still forwarded to the
+// owning core and the cross-thread dependency is not lost. The line leaves
+// the buffer once the persist buffer flushes the corresponding entry.
+//
+// Each entry records the persist-buffer entry ID it waits on ("WBB records
+// the tail index of the persist buffer when the cache initiates the
+// eviction").
+type WBB struct {
+	capacity int
+	entries  map[mem.Line]uint64 // line -> PB entry ID it waits for
+
+	parked   uint64
+	released uint64
+	maxOcc   int
+}
+
+// NewWBB returns a buffer holding capacity parked evictions.
+func NewWBB(capacity int) *WBB {
+	if capacity <= 0 {
+		panic("persist: WBB capacity must be positive")
+	}
+	return &WBB{capacity: capacity, entries: make(map[mem.Line]uint64)}
+}
+
+// Park holds an evicted line until PB entry id is flushed. It reports false
+// when the buffer is full (the eviction must then stall, which callers
+// model as a delayed retry).
+func (w *WBB) Park(line mem.Line, pbEntryID uint64) bool {
+	if _, ok := w.entries[line]; ok {
+		return true // already parked; keep the earlier dependency
+	}
+	if len(w.entries) >= w.capacity {
+		return false
+	}
+	w.entries[line] = pbEntryID
+	w.parked++
+	if len(w.entries) > w.maxOcc {
+		w.maxOcc = len(w.entries)
+	}
+	return true
+}
+
+// Contains reports whether the line is parked.
+func (w *WBB) Contains(line mem.Line) bool {
+	_, ok := w.entries[line]
+	return ok
+}
+
+// OnFlush releases every line waiting on PB entry id (or any earlier
+// entry), returning the released lines.
+func (w *WBB) OnFlush(pbEntryID uint64) []mem.Line {
+	var out []mem.Line
+	for l, id := range w.entries {
+		if id <= pbEntryID {
+			out = append(out, l)
+			delete(w.entries, l)
+			w.released++
+		}
+	}
+	return out
+}
+
+// ReleaseIf releases every parked line for which pred reports true (used by
+// machines that poll the persist buffer state instead of receiving per-entry
+// flush notifications) and returns the count released.
+func (w *WBB) ReleaseIf(pred func(mem.Line) bool) int {
+	n := 0
+	for l := range w.entries {
+		if pred(l) {
+			delete(w.entries, l)
+			w.released++
+			n++
+		}
+	}
+	return n
+}
+
+// Len, MaxOccupancy, Parked and Released report usage.
+func (w *WBB) Len() int          { return len(w.entries) }
+func (w *WBB) MaxOccupancy() int { return w.maxOcc }
+func (w *WBB) Parked() uint64    { return w.parked }
+func (w *WBB) ReleasedN() uint64 { return w.released }

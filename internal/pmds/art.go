@@ -1,0 +1,223 @@
+package pmds
+
+// ART is P-ART, the persistent adaptive radix tree from RECIPE (SOSP'19).
+// Keys are consumed 8 bits per level over a 256-way node; a tagged pointer
+// distinguishes child nodes from leaves. RECIPE's conversion recipe makes
+// each 8-byte pointer update failure-atomic with a flush+fence after the
+// store (ofence here). Lookups are lock-free.
+//
+// P-ART synchronizes writers per-node (ROWEX). We model that fine-grained
+// synchronization with 32 top-level subtree locks: key bits are first mixed
+// by a fixed bijection so that dense integer keys spread uniformly over
+// subtrees (real ART would concentrate small integers under one prefix
+// chain and a per-node protocol would serialize only the colliding nodes —
+// the striped locks reproduce the same contention behaviour: conflicts only
+// between writers in the same subtree). Each stripe covers exactly one
+// cache line of the root node (8 of its 256 slots), so two writers never
+// share a line without sharing a lock — required for release persistency,
+// which demands race-free code at persist (line) granularity (§IV-E). Lazy
+// expansion keeps single leaves near the root until a conflicting key
+// forces a path split, as in real ART.
+type ART struct {
+	h         *Heap
+	root      uint64 // address of the root node
+	locks     [32]uint64
+	valueSize int
+}
+
+// artMix is a fixed odd-multiplier bijection spreading key bits.
+func artMix(key uint64) uint64 {
+	return key * 0x9E3779B97F4A7C15
+}
+
+const (
+	artNodeSlots = 256
+	artNodeBytes = artNodeSlots * 8
+	// artLeafTag marks a pointer word as a leaf record.
+	artLeafTag = uint64(1)
+	// leaf record: key(8) + value(8)
+	artLeafBytes = 16
+)
+
+// NewART builds an empty tree.
+func NewART(h *Heap, valueSize int) *ART {
+	a := &ART{h: h, valueSize: valueSize}
+	for i := range a.locks {
+		a.locks[i] = h.NewLock()
+	}
+	a.root = a.newNode()
+	h.Dfence()
+	return a
+}
+
+func (a *ART) lockFor(mixed uint64) uint64 {
+	return a.locks[mixed>>59] // top 5 bits: one root line per stripe
+}
+
+func (a *ART) newNode() uint64 {
+	n := a.h.Alloc(artNodeBytes, 64)
+	// Fresh heap memory is zero; a real implementation zeroes and flushes
+	// the node before publishing. Model that with one header store.
+	a.h.Write64(n, 0)
+	return n
+}
+
+func artByte(key uint64, depth int) uint64 {
+	return (key >> uint(56-8*depth)) & 0xff
+}
+
+func (a *ART) slotAddr(n uint64, b uint64) uint64 { return n + b*8 }
+
+// Insert puts key -> val.
+func (a *ART) Insert(key, val uint64) {
+	h := a.h
+	h.Compute(10)
+	valWord := val
+	if a.valueSize > 8 {
+		va := h.Alloc(a.valueSize, 64)
+		h.WriteValue(va, val, a.valueSize)
+		h.Ofence()
+		valWord = va
+	}
+	mixed := artMix(key)
+	lock := a.lockFor(mixed)
+	h.Acquire(lock)
+	a.insertLocked(mixed, valWord)
+	h.Release(lock)
+	h.Dfence() // durability point after the release (RP idiom)
+}
+
+func (a *ART) insertLocked(key, val uint64) {
+	h := a.h
+	n := a.root
+	for depth := 0; depth < 8; depth++ {
+		slot := a.slotAddr(n, artByte(key, depth))
+		p := h.Read64(slot)
+		switch {
+		case p == 0:
+			// Empty slot: write the leaf record, fence, publish pointer.
+			leaf := a.newLeaf(key, val)
+			h.Ofence()
+			h.Write64(slot, leaf|artLeafTag)
+			h.Ofence()
+			return
+		case p&artLeafTag != 0:
+			leafAddr := p &^ artLeafTag
+			exKey := h.Read64(leafAddr)
+			if exKey == key {
+				h.Write64(leafAddr+8, val) // update in place
+				h.Ofence()
+				return
+			}
+			// Path split: push the existing leaf down until the key
+			// bytes diverge, then publish the new subtree atomically.
+			top, bottom := a.buildSplit(key, exKey, depth+1)
+			leaf := a.newLeaf(key, val)
+			h.Write64(a.slotAddr(bottom, artByte(key, a.divergeDepth(key, exKey))), leaf|artLeafTag)
+			h.Write64(a.slotAddr(bottom, artByte(exKey, a.divergeDepth(key, exKey))), p)
+			h.Ofence()
+			h.Write64(slot, top) // single atomic publish of the subtree
+			h.Ofence()
+			return
+		default:
+			n = p
+		}
+	}
+	panic("pmds: ART key bytes exhausted without placement")
+}
+
+// divergeDepth returns the first byte position where two keys differ.
+func (a *ART) divergeDepth(k1, k2 uint64) int {
+	for d := 0; d < 8; d++ {
+		if artByte(k1, d) != artByte(k2, d) {
+			return d
+		}
+	}
+	panic("pmds: ART duplicate keys cannot diverge")
+}
+
+// buildSplit builds the chain of nodes from depth to the divergence point,
+// returning the top node pointer and the bottom node where the two leaves
+// land.
+func (a *ART) buildSplit(key, exKey uint64, depth int) (top, bottom uint64) {
+	h := a.h
+	dd := a.divergeDepth(key, exKey)
+	if dd < depth {
+		panic("pmds: ART divergence above current depth")
+	}
+	bottom = a.newNode()
+	node := bottom
+	for d := dd - 1; d >= depth; d-- {
+		parent := a.newNode()
+		h.Write64(a.slotAddr(parent, artByte(key, d)), node)
+		node = parent
+	}
+	return node, bottom
+}
+
+func (a *ART) newLeaf(key, val uint64) uint64 {
+	leaf := a.h.Alloc(artLeafBytes, 16)
+	a.h.Write64(leaf, key)
+	a.h.Write64(leaf+8, val)
+	return leaf
+}
+
+// Get looks up key lock-free.
+func (a *ART) Get(key uint64) (uint64, bool) {
+	h := a.h
+	h.Compute(10)
+	key = artMix(key)
+	n := a.root
+	for depth := 0; depth < 8; depth++ {
+		p := h.Read64(a.slotAddr(n, artByte(key, depth)))
+		if p == 0 {
+			return 0, false
+		}
+		if p&artLeafTag != 0 {
+			leafAddr := p &^ artLeafTag
+			if h.Read64(leafAddr) != key {
+				return 0, false
+			}
+			v := h.Read64(leafAddr + 8)
+			if a.valueSize > 8 {
+				return h.ReadValue(v, a.valueSize), true
+			}
+			return v, true
+		}
+		n = p
+	}
+	return 0, false
+}
+
+// Delete removes key, reporting whether it was present. The leaf pointer is
+// cleared with one atomic store and fenced — path compaction is left to a
+// background pass in real P-ART and is not needed for correctness.
+func (a *ART) Delete(key uint64) bool {
+	h := a.h
+	h.Compute(10)
+	mixed := artMix(key)
+	lock := a.lockFor(mixed)
+	h.Acquire(lock)
+	n := a.root
+	for depth := 0; depth < 8; depth++ {
+		slot := a.slotAddr(n, artByte(mixed, depth))
+		p := h.Read64(slot)
+		if p == 0 {
+			h.Release(lock)
+			return false
+		}
+		if p&artLeafTag != 0 {
+			if h.Read64(p&^artLeafTag) != mixed {
+				h.Release(lock)
+				return false
+			}
+			h.Write64(slot, 0)
+			h.Release(lock)
+			h.Dfence()
+			return true
+		}
+		n = p
+	}
+	h.Release(lock)
+	return false
+}

@@ -1,0 +1,360 @@
+package pmds
+
+// Atlas-style structures (Chakrabarti et al., OOPSLA'14): persistence
+// sections are delimited by lock acquire/release — Atlas guarantees that
+// outermost critical sections are failure-atomic, which on this machine
+// maps onto release persistency (writes before the release persist before
+// it). The three hand-written structures from the paper's Table III:
+// a binary min-heap, a FIFO queue and a skip list, all insert/delete
+// element workloads under a global structure lock.
+
+// AtlasQueue is a persistent linked-list FIFO.
+type AtlasQueue struct {
+	h    *Heap
+	lock uint64
+	// head/tail pointer words in PM.
+	headAddr  uint64
+	tailAddr  uint64
+	valueSize int
+	length    int
+}
+
+// Queue node: value word(8) + next(8) + optional out-of-line value.
+const aqNodeBytes = 16
+
+// NewAtlasQueue builds an empty queue.
+func NewAtlasQueue(h *Heap, valueSize int) *AtlasQueue {
+	q := &AtlasQueue{h: h, lock: h.NewLock(), valueSize: valueSize}
+	q.headAddr = h.Alloc(8, 64)
+	q.tailAddr = h.Alloc(8, 64)
+	h.Write64(q.headAddr, 0)
+	h.Write64(q.tailAddr, 0)
+	h.Dfence()
+	return q
+}
+
+// Enqueue appends val.
+func (q *AtlasQueue) Enqueue(val uint64) {
+	h := q.h
+	h.Acquire(q.lock)
+	n := h.Alloc(aqNodeBytes, 64)
+	if q.valueSize > 8 {
+		va := h.Alloc(q.valueSize, 64)
+		h.WriteValue(va, val, q.valueSize)
+		h.Write64(n, va)
+	} else {
+		h.Write64(n, val)
+	}
+	h.Write64(n+8, 0)
+	h.Ofence() // node contents before linkage
+	tail := h.Read64(q.tailAddr)
+	if tail == 0 {
+		h.Write64(q.headAddr, n)
+	} else {
+		h.Write64(tail+8, n)
+	}
+	h.Ofence()
+	h.Write64(q.tailAddr, n)
+	q.length++
+	h.Release(q.lock)
+}
+
+// Dequeue removes and returns the oldest value, reporting emptiness.
+func (q *AtlasQueue) Dequeue() (uint64, bool) {
+	h := q.h
+	h.Acquire(q.lock)
+	head := h.Read64(q.headAddr)
+	if head == 0 {
+		h.Release(q.lock)
+		return 0, false
+	}
+	v := h.Read64(head)
+	if q.valueSize > 8 {
+		v = h.ReadValue(v, q.valueSize)
+	}
+	next := h.Read64(head + 8)
+	h.Write64(q.headAddr, next)
+	if next == 0 {
+		h.Write64(q.tailAddr, 0)
+	}
+	h.Ofence()
+	q.length--
+	h.Release(q.lock)
+	return v, true
+}
+
+// Len returns the element count (tests).
+func (q *AtlasQueue) Len() int { return q.length }
+
+// AtlasHeap is a persistent array-backed binary min-heap.
+type AtlasHeap struct {
+	h        *Heap
+	lock     uint64
+	arrAddr  uint64
+	sizeAddr uint64
+	capacity int
+}
+
+// NewAtlasHeap builds a heap holding up to capacity keys.
+func NewAtlasHeap(h *Heap, capacity int) *AtlasHeap {
+	a := &AtlasHeap{h: h, lock: h.NewLock(), capacity: capacity}
+	a.arrAddr = h.Alloc(capacity*8, 64)
+	a.sizeAddr = h.Alloc(8, 64)
+	h.Write64(a.sizeAddr, 0)
+	h.Dfence()
+	return a
+}
+
+func (a *AtlasHeap) at(i int) uint64 { return a.arrAddr + uint64(i*8) }
+
+// Insert adds key, sifting up with ordered swaps; reports false when full.
+func (a *AtlasHeap) Insert(key uint64) bool {
+	h := a.h
+	h.Acquire(a.lock)
+	n := int(h.Read64(a.sizeAddr))
+	if n >= a.capacity {
+		h.Release(a.lock)
+		return false
+	}
+	h.Write64(a.at(n), key)
+	h.Ofence()
+	h.Write64(a.sizeAddr, uint64(n+1))
+	h.Ofence()
+	// Sift up: each swap is two ordered stores.
+	i := n
+	for i > 0 {
+		p := (i - 1) / 2
+		ki := h.Read64(a.at(i))
+		kp := h.Read64(a.at(p))
+		if kp <= ki {
+			break
+		}
+		h.Write64(a.at(i), kp)
+		h.Write64(a.at(p), ki)
+		h.Ofence()
+		i = p
+	}
+	h.Release(a.lock)
+	return true
+}
+
+// PopMin removes the smallest key.
+func (a *AtlasHeap) PopMin() (uint64, bool) {
+	h := a.h
+	h.Acquire(a.lock)
+	n := int(h.Read64(a.sizeAddr))
+	if n == 0 {
+		h.Release(a.lock)
+		return 0, false
+	}
+	min := h.Read64(a.at(0))
+	last := h.Read64(a.at(n - 1))
+	h.Write64(a.at(0), last)
+	h.Ofence()
+	h.Write64(a.sizeAddr, uint64(n-1))
+	h.Ofence()
+	n--
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		ks := h.Read64(a.at(i))
+		if l < n {
+			if kl := h.Read64(a.at(l)); kl < ks {
+				smallest, ks = l, kl
+			}
+		}
+		if r < n {
+			if kr := h.Read64(a.at(r)); kr < ks {
+				smallest, ks = r, kr
+			}
+		}
+		if smallest == i {
+			break
+		}
+		ki := h.Read64(a.at(i))
+		h.Write64(a.at(i), h.Read64(a.at(smallest)))
+		h.Write64(a.at(smallest), ki)
+		h.Ofence()
+		i = smallest
+	}
+	h.Release(a.lock)
+	return min, true
+}
+
+// Size returns the element count.
+func (a *AtlasHeap) Size() int { return int(a.h.Peek64(a.sizeAddr)) }
+
+// AtlasSkipList is a persistent skip list with towers up to 8 levels.
+type AtlasSkipList struct {
+	h         *Heap
+	lock      uint64
+	head      uint64 // head tower: levels x next pointers
+	levels    int
+	rngState  uint64
+	valueSize int
+	length    int
+}
+
+// Skip node layout: key(8) + value(8) + level(8) + next[level] pointers.
+func slNodeBytes(level int) int { return 24 + 8*level }
+
+// NewAtlasSkipList builds an empty list.
+func NewAtlasSkipList(h *Heap, valueSize int) *AtlasSkipList {
+	s := &AtlasSkipList{h: h, lock: h.NewLock(), levels: 8, rngState: 0xA5A5A5A5, valueSize: valueSize}
+	s.head = h.Alloc(slNodeBytes(s.levels), 64)
+	for l := 0; l < s.levels; l++ {
+		h.Write64(s.nextAddr(s.head, l), 0)
+	}
+	h.Dfence()
+	return s
+}
+
+func (s *AtlasSkipList) nextAddr(node uint64, level int) uint64 {
+	return node + 24 + uint64(8*level)
+}
+
+func (s *AtlasSkipList) randLevel() int {
+	// xorshift; each extra level with probability 1/2.
+	x := s.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rngState = x
+	lvl := 1
+	for x&1 == 1 && lvl < s.levels {
+		lvl++
+		x >>= 1
+	}
+	return lvl
+}
+
+// Insert adds key -> val (no duplicates; existing keys update in place).
+func (s *AtlasSkipList) Insert(key, val uint64) {
+	h := s.h
+	valWord := val
+	if s.valueSize > 8 {
+		va := h.Alloc(s.valueSize, 64)
+		h.WriteValue(va, val, s.valueSize)
+		h.Ofence()
+		valWord = va
+	}
+	h.Acquire(s.lock)
+	// Find predecessors at every level.
+	preds := make([]uint64, s.levels)
+	x := s.head
+	for l := s.levels - 1; l >= 0; l-- {
+		for {
+			next := h.Read64(s.nextAddr(x, l))
+			if next == 0 || h.Read64(next) >= key {
+				break
+			}
+			x = next
+		}
+		preds[l] = x
+	}
+	if next := h.Read64(s.nextAddr(x, 0)); next != 0 && h.Read64(next) == key {
+		h.Write64(next+8, valWord)
+		h.Ofence()
+		h.Release(s.lock)
+		return
+	}
+	lvl := s.randLevel()
+	n := h.Alloc(slNodeBytes(lvl), 64)
+	h.Write64(n, key)
+	h.Write64(n+8, valWord)
+	h.Write64(n+16, uint64(lvl))
+	for l := 0; l < lvl; l++ {
+		h.Write64(s.nextAddr(n, l), h.Read64(s.nextAddr(preds[l], l)))
+	}
+	h.Ofence() // node fully built before linking
+	for l := 0; l < lvl; l++ {
+		h.Write64(s.nextAddr(preds[l], l), n)
+		h.Ofence() // bottom-up linking, each level ordered
+	}
+	s.length++
+	h.Release(s.lock)
+}
+
+// Delete removes key, reporting whether it existed.
+func (s *AtlasSkipList) Delete(key uint64) bool {
+	h := s.h
+	h.Acquire(s.lock)
+	preds := make([]uint64, s.levels)
+	x := s.head
+	for l := s.levels - 1; l >= 0; l-- {
+		for {
+			next := h.Read64(s.nextAddr(x, l))
+			if next == 0 || h.Read64(next) >= key {
+				break
+			}
+			x = next
+		}
+		preds[l] = x
+	}
+	target := h.Read64(s.nextAddr(x, 0))
+	if target == 0 || h.Read64(target) != key {
+		h.Release(s.lock)
+		return false
+	}
+	lvl := int(h.Read64(target + 16))
+	// Unlink top-down so a crash leaves the node reachable at level 0
+	// until the last unlink.
+	for l := lvl - 1; l >= 0; l-- {
+		if h.Read64(s.nextAddr(preds[l], l)) == target {
+			h.Write64(s.nextAddr(preds[l], l), h.Read64(s.nextAddr(target, l)))
+			h.Ofence()
+		}
+	}
+	s.length--
+	h.Release(s.lock)
+	return true
+}
+
+// Get looks up key.
+func (s *AtlasSkipList) Get(key uint64) (uint64, bool) {
+	h := s.h
+	x := s.head
+	for l := s.levels - 1; l >= 0; l-- {
+		for {
+			next := h.Read64(s.nextAddr(x, l))
+			if next == 0 || h.Read64(next) > key {
+				break
+			}
+			if h.Read64(next) == key {
+				v := h.Read64(next + 8)
+				if s.valueSize > 8 {
+					return h.ReadValue(v, s.valueSize), true
+				}
+				return v, true
+			}
+			x = next
+		}
+	}
+	return 0, false
+}
+
+// Len returns the element count.
+func (s *AtlasSkipList) Len() int { return s.length }
+
+// Scan returns up to max keys >= start in ascending order (level-0 walk).
+func (s *AtlasSkipList) Scan(start uint64, max int) []uint64 {
+	h := s.h
+	var out []uint64
+	x := s.head
+	for l := s.levels - 1; l >= 0; l-- {
+		for {
+			next := h.Read64(s.nextAddr(x, l))
+			if next == 0 || h.Read64(next) >= start {
+				break
+			}
+			x = next
+		}
+	}
+	for n := h.Read64(s.nextAddr(x, 0)); n != 0 && len(out) < max; n = h.Read64(s.nextAddr(n, 0)) {
+		if k := h.Read64(n); k >= start {
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package pmds
+
+import (
+	"testing"
+
+	"asap/internal/rng"
+)
+
+// Data-structure microbenchmarks: operation cost in the functional layer
+// (trace recording included, as in workload generation).
+
+func benchKV(b *testing.B, mk func(h *Heap) (insert func(k, v uint64), get func(k uint64))) {
+	b.Helper()
+	h := NewHeap(256<<20, 1)
+	insert, get := mk(h)
+	r := rng.New(1)
+	// Preload.
+	for i := 0; i < 10000; i++ {
+		insert(1+r.Uint64n(1<<20), r.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := 1 + r.Uint64n(1<<20)
+		if i%5 == 0 {
+			get(k)
+		} else {
+			insert(k, uint64(i))
+		}
+	}
+}
+
+func BenchmarkCCEHOps(b *testing.B) {
+	benchKV(b, func(h *Heap) (func(k, v uint64), func(k uint64)) {
+		c := NewCCEH(h, 6, 8)
+		return func(k, v uint64) { c.Insert(k, v) }, func(k uint64) { c.Get(k) }
+	})
+}
+
+func BenchmarkFastFairOps(b *testing.B) {
+	benchKV(b, func(h *Heap) (func(k, v uint64), func(k uint64)) {
+		t := NewFastFair(h, 14, 8)
+		return func(k, v uint64) { t.Insert(k, v) }, func(k uint64) { t.Get(k) }
+	})
+}
+
+func BenchmarkARTOps(b *testing.B) {
+	benchKV(b, func(h *Heap) (func(k, v uint64), func(k uint64)) {
+		a := NewART(h, 8)
+		return func(k, v uint64) { a.Insert(k, v) }, func(k uint64) { a.Get(k) }
+	})
+}
+
+func BenchmarkCLHTOps(b *testing.B) {
+	benchKV(b, func(h *Heap) (func(k, v uint64), func(k uint64)) {
+		c := NewCLHT(h, 1<<15, 8)
+		return func(k, v uint64) { c.Insert(k, v) }, func(k uint64) { c.Get(k) }
+	})
+}
+
+func BenchmarkMasstreeOps(b *testing.B) {
+	benchKV(b, func(h *Heap) (func(k, v uint64), func(k uint64)) {
+		m := NewMasstree(h, 15, 8)
+		return func(k, v uint64) { m.Insert(k, v) }, func(k uint64) { m.Get(k) }
+	})
+}
+
+func BenchmarkDashLHOps(b *testing.B) {
+	benchKV(b, func(h *Heap) (func(k, v uint64), func(k uint64)) {
+		d := NewDashLH(h, 1<<18, 8)
+		return func(k, v uint64) { d.Insert(k, v) }, func(k uint64) { d.Get(k) }
+	})
+}
+
+func BenchmarkSkipListOps(b *testing.B) {
+	h := NewHeap(256<<20, 1)
+	s := NewAtlasSkipList(h, 8)
+	r := rng.New(2)
+	for i := 0; i < 10000; i++ {
+		s.Insert(1+r.Uint64n(1<<18), r.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := 1 + r.Uint64n(1<<18)
+		switch i % 4 {
+		case 0:
+			s.Get(k)
+		case 1:
+			s.Delete(k)
+		default:
+			s.Insert(k, uint64(i))
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package pmds
+
+// CCEH is cacheline-conscious extendible hashing (Nam et al., FAST'19), one
+// of the concurrent persistent data structures whose frequent cross-thread
+// dependencies motivate ASAP (Figure 2). A directory of segment pointers is
+// indexed by the top globalDepth hash bits; segments hold buckets of
+// four 16-byte slots probed linearly across a small neighbourhood. Inserts
+// write the value word first and the key word last (the key is the commit
+// marker), with an ofence between — CCEH's logging-free crash consistency —
+// and a dfence before returning. A full neighbourhood splits the segment:
+// a new segment is allocated, entries are rehashed and the directory is
+// atomically repointed, each step ordered by fences.
+type CCEH struct {
+	h *Heap
+
+	rootAddr    uint64 // persistent root record: [dirAddr, globalDepth]
+	dirAddr     uint64 // directory: dirSize segment addresses
+	globalDepth uint
+	segLocks    map[uint64]uint64 // segment addr -> lock addr
+	valueSize   int
+
+	// geometry
+	bucketsPerSeg uint64
+	slotsPerBkt   uint64
+	probeBuckets  uint64
+}
+
+const (
+	ccehSlotBytes   = 16 // key(8) + value(8)
+	ccehSegDepthOff = 0
+	ccehSegHeader   = 64 // one line of segment header (local depth)
+)
+
+// NewCCEH builds a table with 2^initialDepth segments. valueSize bytes are
+// written out-of-line per insert when larger than 8.
+func NewCCEH(h *Heap, initialDepth uint, valueSize int) *CCEH {
+	c := &CCEH{
+		h:             h,
+		globalDepth:   initialDepth,
+		segLocks:      make(map[uint64]uint64),
+		valueSize:     valueSize,
+		bucketsPerSeg: 64,
+		slotsPerBkt:   4,
+		probeBuckets:  2,
+	}
+	dirSize := uint64(1) << initialDepth
+	c.rootAddr = h.Alloc(16, 64)
+	c.dirAddr = h.Alloc(int(dirSize*8), 64)
+	for i := uint64(0); i < dirSize; i++ {
+		seg := c.newSegment(initialDepth)
+		h.Write64(c.dirAddr+i*8, seg)
+	}
+	h.Ofence()
+	// Publish the persistent root record last: a reopen after a crash
+	// finds a fully initialized table or none.
+	h.Write64(c.rootAddr, c.dirAddr)
+	h.Write64(c.rootAddr+8, uint64(initialDepth))
+	h.Dfence()
+	return c
+}
+
+// RootAddr returns the persistent root record's address; pass it to
+// ReopenCCEH after a (simulated) restart.
+func (c *CCEH) RootAddr() uint64 { return c.rootAddr }
+
+// ReopenCCEH reattaches to a CCEH table in an existing heap image (e.g. one
+// reconstructed after a crash): it reads the root record, walks the
+// directory, and rebuilds the volatile lock table — the only state that
+// does not live in persistent memory. No recovery pass is needed, which is
+// the paper's §V-E point: ASAP restores memory during the crash itself.
+func ReopenCCEH(h *Heap, rootAddr uint64, valueSize int) *CCEH {
+	c := &CCEH{
+		h:             h,
+		rootAddr:      rootAddr,
+		segLocks:      make(map[uint64]uint64),
+		valueSize:     valueSize,
+		bucketsPerSeg: 64,
+		slotsPerBkt:   4,
+		probeBuckets:  2,
+	}
+	c.dirAddr = h.Read64(rootAddr)
+	c.globalDepth = uint(h.Read64(rootAddr + 8))
+	dirSize := uint64(1) << c.globalDepth
+	for i := uint64(0); i < dirSize; i++ {
+		seg := h.Read64(c.dirAddr + i*8)
+		if _, ok := c.segLocks[seg]; !ok && seg != 0 {
+			c.segLocks[seg] = h.NewLock()
+		}
+	}
+	return c
+}
+
+func (c *CCEH) segBytes() int {
+	return ccehSegHeader + int(c.bucketsPerSeg*c.slotsPerBkt)*ccehSlotBytes
+}
+
+func (c *CCEH) newSegment(depth uint) uint64 {
+	seg := c.h.Alloc(c.segBytes(), 64)
+	c.h.Write64(seg+ccehSegDepthOff, uint64(depth))
+	c.segLocks[seg] = c.h.NewLock()
+	return seg
+}
+
+func (c *CCEH) slotAddr(seg, bucket, slot uint64) uint64 {
+	return seg + ccehSegHeader + (bucket*c.slotsPerBkt+slot)*ccehSlotBytes
+}
+
+// hash is a splitmix64 mix; the top bits select the segment.
+func ccehHash(key uint64) uint64 {
+	z := key + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (c *CCEH) dirIndex(hash uint64) uint64 {
+	if c.globalDepth == 0 {
+		return 0
+	}
+	return hash >> (64 - c.globalDepth)
+}
+
+func (c *CCEH) segment(hash uint64) uint64 {
+	return c.h.Read64(c.dirAddr + c.dirIndex(hash)*8)
+}
+
+// Insert puts key -> val. Keys must be non-zero (zero marks an empty slot).
+// It reports whether the insert succeeded (duplicate keys update in place).
+func (c *CCEH) Insert(key, val uint64) bool {
+	if key == 0 {
+		panic("pmds: CCEH key must be non-zero")
+	}
+	h := c.h
+	h.Compute(20) // hash + index arithmetic
+
+	// Out-of-line value for large value sizes.
+	valAddr := val
+	if c.valueSize > 8 {
+		va := h.Alloc(c.valueSize, 64)
+		h.WriteValue(va, val, c.valueSize)
+		h.Ofence()
+		valAddr = va
+	}
+
+	for attempt := 0; attempt < 8; attempt++ {
+		hash := ccehHash(key)
+		seg := c.segment(hash)
+		lock := c.segLocks[seg]
+		h.Acquire(lock)
+		// Re-check the directory under the lock (a split may have moved us).
+		if c.segment(hash) != seg {
+			h.Release(lock)
+			continue
+		}
+		bkt := (hash >> 32) % c.bucketsPerSeg
+		// Probe the whole neighbourhood for the key first (deletions
+		// leave holes, so a free slot does not prove absence), keeping
+		// the first free slot for the insert.
+		freeSlot := uint64(0)
+		haveFree := false
+		for p := uint64(0); p < c.probeBuckets; p++ {
+			b := (bkt + p) % c.bucketsPerSeg
+			for s := uint64(0); s < c.slotsPerBkt; s++ {
+				a := c.slotAddr(seg, b, s)
+				k := h.Read64(a)
+				if k == key {
+					// Update in place: value word only.
+					h.Write64(a+8, valAddr)
+					h.Release(lock)
+					h.Dfence() // durability point after the release (RP idiom)
+					return true
+				}
+				if k == 0 && !haveFree {
+					freeSlot, haveFree = a, true
+				}
+			}
+		}
+		if haveFree {
+			// Value first, fence, then the key as commit marker.
+			h.Write64(freeSlot+8, valAddr)
+			h.Ofence()
+			h.Write64(freeSlot, key)
+			h.Release(lock)
+			h.Dfence() // durability point after the release (RP idiom)
+			return true
+		}
+		// Neighbourhood full: split the segment, then retry.
+		c.split(seg, hash)
+		h.Release(lock)
+	}
+	return false
+}
+
+// split rehashes a full segment into two, one local-depth deeper, and
+// repoints the directory half that moves. Requires the segment lock.
+func (c *CCEH) split(seg uint64, hash uint64) {
+	h := c.h
+	localDepth := uint(h.Read64(seg + ccehSegDepthOff))
+	if localDepth >= c.globalDepth {
+		c.doubleDirectory()
+	}
+	newDepth := localDepth + 1
+	newSeg := c.newSegment(newDepth)
+
+	// Rehash: entries whose split bit is 1 move to the new segment.
+	for b := uint64(0); b < c.bucketsPerSeg; b++ {
+		for s := uint64(0); s < c.slotsPerBkt; s++ {
+			a := c.slotAddr(seg, b, s)
+			k := h.Read64(a)
+			if k == 0 {
+				continue
+			}
+			kh := ccehHash(k)
+			if (kh>>(64-newDepth))&1 == 1 {
+				v := h.Read64(a + 8)
+				nb := (kh >> 32) % c.bucketsPerSeg
+				if !c.placeRaw(newSeg, nb, k, v) {
+					// Extremely unlikely with half occupancy; place in
+					// any free slot.
+					c.placeAnywhere(newSeg, k, v)
+				}
+				h.Ofence()
+				h.Write64(a, 0) // clear source slot after the copy persists
+			}
+		}
+	}
+	h.Write64(seg+ccehSegDepthOff, uint64(newDepth))
+	h.Ofence()
+
+	// Repoint the directory half that now maps to the new segment: the
+	// old segment covered a 2^(globalDepth-localDepth) aligned run of
+	// directory entries; the odd half (split bit set) moves.
+	dirSize := uint64(1) << c.globalDepth
+	run := uint64(1) << (c.globalDepth - localDepth)
+	first := (c.dirIndex(hash) / run) * run
+	for i := first; i < first+run && i < dirSize; i++ {
+		if (i>>(c.globalDepth-newDepth))&1 == 1 {
+			h.Write64(c.dirAddr+i*8, newSeg)
+		}
+	}
+	h.Dfence()
+}
+
+// placeRaw inserts into the probe neighbourhood of a fresh segment.
+func (c *CCEH) placeRaw(seg, bkt uint64, key, val uint64) bool {
+	h := c.h
+	for p := uint64(0); p < c.probeBuckets; p++ {
+		b := (bkt + p) % c.bucketsPerSeg
+		for s := uint64(0); s < c.slotsPerBkt; s++ {
+			a := c.slotAddr(seg, b, s)
+			if h.Read64(a) == 0 {
+				h.Write64(a+8, val)
+				h.Write64(a, key)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *CCEH) placeAnywhere(seg uint64, key, val uint64) {
+	h := c.h
+	for b := uint64(0); b < c.bucketsPerSeg; b++ {
+		for s := uint64(0); s < c.slotsPerBkt; s++ {
+			a := c.slotAddr(seg, b, s)
+			if h.Read64(a) == 0 {
+				h.Write64(a+8, val)
+				h.Write64(a, key)
+				return
+			}
+		}
+	}
+	panic("pmds: CCEH split target segment full")
+}
+
+// doubleDirectory doubles the directory, copying pointers.
+func (c *CCEH) doubleDirectory() {
+	h := c.h
+	oldSize := uint64(1) << c.globalDepth
+	newDir := h.Alloc(int(oldSize*2*8), 64)
+	for i := uint64(0); i < oldSize; i++ {
+		p := h.Read64(c.dirAddr + i*8)
+		h.Write64(newDir+(2*i)*8, p)
+		h.Write64(newDir+(2*i+1)*8, p)
+	}
+	h.Ofence()
+	c.dirAddr = newDir
+	c.globalDepth++
+	// Repoint the persistent root record (directory pointer first, then
+	// depth; readers tolerate the old smaller directory meanwhile).
+	h.Write64(c.rootAddr, newDir)
+	h.Ofence()
+	h.Write64(c.rootAddr+8, uint64(c.globalDepth))
+	h.Dfence()
+}
+
+// Get looks up key, returning (value, found). For out-of-line values the
+// stored word is the value address; Get follows it.
+func (c *CCEH) Get(key uint64) (uint64, bool) {
+	h := c.h
+	h.Compute(20)
+	hash := ccehHash(key)
+	seg := c.segment(hash)
+	bkt := (hash >> 32) % c.bucketsPerSeg
+	for p := uint64(0); p < c.probeBuckets; p++ {
+		b := (bkt + p) % c.bucketsPerSeg
+		for s := uint64(0); s < c.slotsPerBkt; s++ {
+			a := c.slotAddr(seg, b, s)
+			if h.Read64(a) == key {
+				v := h.Read64(a + 8)
+				if c.valueSize > 8 {
+					return h.ReadValue(v, c.valueSize), true
+				}
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Depth returns the current global depth (tests).
+func (c *CCEH) Depth() uint { return c.globalDepth }
+
+// Delete removes key, reporting whether it was present. The key word is
+// cleared first (making the slot logically free), then fenced — the
+// reverse of the insert commit order.
+func (c *CCEH) Delete(key uint64) bool {
+	h := c.h
+	h.Compute(20)
+	hash := ccehHash(key)
+	seg := c.segment(hash)
+	lock := c.segLocks[seg]
+	h.Acquire(lock)
+	if c.segment(hash) != seg {
+		// Raced with a split; retry once on the new segment.
+		h.Release(lock)
+		seg = c.segment(hash)
+		lock = c.segLocks[seg]
+		h.Acquire(lock)
+	}
+	bkt := (hash >> 32) % c.bucketsPerSeg
+	for p := uint64(0); p < c.probeBuckets; p++ {
+		b := (bkt + p) % c.bucketsPerSeg
+		for s := uint64(0); s < c.slotsPerBkt; s++ {
+			a := c.slotAddr(seg, b, s)
+			if h.Read64(a) == key {
+				h.Write64(a, 0)
+				h.Release(lock)
+				h.Dfence()
+				return true
+			}
+		}
+	}
+	h.Release(lock)
+	return false
+}

@@ -1,0 +1,152 @@
+package pmds
+
+// CLHT is P-CLHT from RECIPE: a cache-line hash table whose bucket — one
+// cache line — holds three key/value pairs plus a lock word and a chain
+// pointer. Writers take the per-bucket lock (fine-grained, so cross-thread
+// persist dependencies arise only on real collisions); an insert writes the
+// value word then the key word with an ofence between, then fences before
+// unlocking. Lookups are lock-free.
+type CLHT struct {
+	h         *Heap
+	buckets   uint64
+	tableAddr uint64
+	locks     []uint64 // per-bucket volatile lock addresses
+	valueSize int
+}
+
+// Bucket layout (64 bytes): 3 x (key 8B, value 8B) + chain pointer 8B +
+// 8B pad.
+const (
+	clhtSlots      = 3
+	clhtBucketSize = 64
+	clhtChainOff   = 48
+)
+
+// NewCLHT builds a table with the given bucket count (rounded up to a power
+// of two).
+func NewCLHT(h *Heap, buckets uint64, valueSize int) *CLHT {
+	n := uint64(1)
+	for n < buckets {
+		n <<= 1
+	}
+	t := &CLHT{h: h, buckets: n, valueSize: valueSize}
+	t.tableAddr = h.Alloc(int(n*clhtBucketSize), 64)
+	t.locks = make([]uint64, n)
+	for i := range t.locks {
+		t.locks[i] = h.NewLock()
+	}
+	h.Dfence()
+	return t
+}
+
+func (t *CLHT) bucketAddr(b uint64) uint64 { return t.tableAddr + b*clhtBucketSize }
+
+func (t *CLHT) bucketOf(key uint64) uint64 { return ccehHash(key) & (t.buckets - 1) }
+
+// Insert puts key -> val (non-zero key), chaining on overflow.
+func (t *CLHT) Insert(key, val uint64) {
+	if key == 0 {
+		panic("pmds: CLHT key must be non-zero")
+	}
+	h := t.h
+	h.Compute(15)
+	valWord := val
+	if t.valueSize > 8 {
+		va := h.Alloc(t.valueSize, 64)
+		h.WriteValue(va, val, t.valueSize)
+		h.Ofence()
+		valWord = va
+	}
+	b := t.bucketOf(key)
+	h.Acquire(t.locks[b])
+	t.insertChain(t.bucketAddr(b), key, valWord)
+	h.Release(t.locks[b])
+	h.Dfence() // durability point after the release (RP idiom)
+}
+
+func (t *CLHT) insertChain(bkt uint64, key, val uint64) {
+	h := t.h
+	// First pass: look for the key anywhere in the chain (deletions leave
+	// holes, so a free slot does not prove absence), remembering the first
+	// free slot for the insert.
+	freeSlot := uint64(0)
+	lastBkt := bkt
+	for b := bkt; b != 0; b = h.Read64(b + clhtChainOff) {
+		lastBkt = b
+		for s := 0; s < clhtSlots; s++ {
+			a := b + uint64(s*16)
+			k := h.Read64(a)
+			if k == key {
+				h.Write64(a+8, val) // update in place
+				return
+			}
+			if k == 0 && freeSlot == 0 {
+				freeSlot = a
+			}
+		}
+	}
+	if freeSlot != 0 {
+		h.Write64(freeSlot+8, val)
+		h.Ofence()
+		h.Write64(freeSlot, key)
+		return
+	}
+	// Chain a fresh bucket.
+	nb := h.Alloc(clhtBucketSize, 64)
+	h.Write64(nb, 0) // initialize header line
+	h.Write64(nb+8, val)
+	h.Ofence()
+	h.Write64(nb, key)
+	h.Ofence()
+	h.Write64(lastBkt+clhtChainOff, nb) // publish the chained bucket
+}
+
+// Get looks up key lock-free.
+func (t *CLHT) Get(key uint64) (uint64, bool) {
+	h := t.h
+	h.Compute(15)
+	bkt := t.bucketAddr(t.bucketOf(key))
+	for {
+		for s := 0; s < clhtSlots; s++ {
+			a := bkt + uint64(s*16)
+			if h.Read64(a) == key {
+				v := h.Read64(a + 8)
+				if t.valueSize > 8 {
+					return h.ReadValue(v, t.valueSize), true
+				}
+				return v, true
+			}
+		}
+		next := h.Read64(bkt + clhtChainOff)
+		if next == 0 {
+			return 0, false
+		}
+		bkt = next
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *CLHT) Delete(key uint64) bool {
+	h := t.h
+	h.Compute(15)
+	b := t.bucketOf(key)
+	h.Acquire(t.locks[b])
+	bkt := t.bucketAddr(b)
+	for {
+		for s := 0; s < clhtSlots; s++ {
+			a := bkt + uint64(s*16)
+			if h.Read64(a) == key {
+				h.Write64(a, 0) // clearing the key word frees the slot atomically
+				h.Release(t.locks[b])
+				h.Dfence()
+				return true
+			}
+		}
+		next := h.Read64(bkt + clhtChainOff)
+		if next == 0 {
+			h.Release(t.locks[b])
+			return false
+		}
+		bkt = next
+	}
+}

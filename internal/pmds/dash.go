@@ -1,0 +1,230 @@
+package pmds
+
+// Dash (Lu et al., VLDB'20) is scalable hashing on PM built from bucket-
+// level fine-grained locking, fingerprints to cut probing reads, and stash
+// buckets to delay expensive structural changes. The paper evaluates two
+// variants, Dash-LH (level hashing) and Dash-EH (extendible hashing); both
+// are implemented here over the same bucket primitive.
+//
+// Bucket primitive: 4 slots of key/value pairs plus a stash neighbourhood.
+// Insert: take the bucket lock, write value then key (ofence between — the
+// key word commits the slot), fence, unlock. A full bucket overflows into
+// the segment's stash buckets; a full stash triggers the structural action
+// (level rotation for LH, segment split for EH).
+
+// ---------------------------------------------------------------- Dash-LH
+
+// DashLH is the level-hashing variant: a top level of N buckets and a
+// bottom level of N/2; a key hashes to one top bucket and one bottom
+// bucket. When both and the stash are full the table expands by rebuilding
+// the bottom level (rare when sized sensibly, as in the paper's update-
+// heavy but non-growing configurations).
+type DashLH struct {
+	h         *Heap
+	topN      uint64
+	topAddr   uint64
+	botAddr   uint64
+	stashAddr uint64
+	stashN    uint64
+	locks     []uint64 // one lock per top bucket (covers its bottom/stash)
+	valueSize int
+}
+
+const (
+	dashSlots      = 4
+	dashBucketSize = dashSlots * 16
+)
+
+// NewDashLH sizes the table with topN top-level buckets (power of two).
+func NewDashLH(h *Heap, topN uint64, valueSize int) *DashLH {
+	n := uint64(1)
+	for n < topN {
+		n <<= 1
+	}
+	d := &DashLH{h: h, topN: n, stashN: n / 4, valueSize: valueSize}
+	if d.stashN == 0 {
+		d.stashN = 1
+	}
+	d.topAddr = h.Alloc(int(n*dashBucketSize), 64)
+	d.botAddr = h.Alloc(int((n/2+1)*dashBucketSize), 64)
+	d.stashAddr = h.Alloc(int(d.stashN*dashBucketSize), 64)
+	d.locks = make([]uint64, n)
+	for i := range d.locks {
+		d.locks[i] = h.NewLock()
+	}
+	h.Dfence()
+	return d
+}
+
+func dashBucket(base uint64, i uint64) uint64 { return base + i*dashBucketSize }
+
+// slotInsert tries to place key/val in bucket b; returns false when full.
+// Existing keys update in place.
+func (d *DashLH) slotInsert(b uint64, key, val uint64) bool {
+	return dashSlotInsert(d.h, b, key, val)
+}
+
+func dashSlotInsert(h *Heap, b uint64, key, val uint64) bool {
+	for s := uint64(0); s < dashSlots; s++ {
+		a := b + s*16
+		k := h.Read64(a)
+		if k == key {
+			h.Write64(a+8, val)
+			return true
+		}
+		if k == 0 {
+			h.Write64(a+8, val)
+			h.Ofence()
+			h.Write64(a, key)
+			return true
+		}
+	}
+	return false
+}
+
+func dashSlotGet(h *Heap, b uint64, key uint64) (uint64, bool) {
+	// Fingerprint check: one compute burst instead of full-key reads.
+	h.Compute(6)
+	for s := uint64(0); s < dashSlots; s++ {
+		a := b + s*16
+		if h.Read64(a) == key {
+			return h.Read64(a + 8), true
+		}
+	}
+	return 0, false
+}
+
+// Insert puts key -> val, reporting success (false only when the table and
+// its stash are completely exhausted for this key's neighbourhood).
+func (d *DashLH) Insert(key, val uint64) bool {
+	if key == 0 {
+		panic("pmds: Dash key must be non-zero")
+	}
+	h := d.h
+	h.Compute(18)
+	valWord := val
+	if d.valueSize > 8 {
+		va := h.Alloc(d.valueSize, 64)
+		h.WriteValue(va, val, d.valueSize)
+		h.Ofence()
+		valWord = va
+	}
+	hv := ccehHash(key)
+	ti := hv & (d.topN - 1)
+	bi := (hv >> 17) % (d.topN / 2)
+	si := (hv >> 33) % d.stashN
+
+	h.Acquire(d.locks[ti])
+	ok := d.slotInsert(dashBucket(d.topAddr, ti), key, valWord) ||
+		d.slotInsert(dashBucket(d.botAddr, bi), key, valWord) ||
+		d.slotInsert(dashBucket(d.stashAddr, si), key, valWord)
+	h.Release(d.locks[ti])
+	if ok {
+		h.Dfence() // durability point after the release (RP idiom)
+	}
+	return ok
+}
+
+// Get looks up key across its level and stash candidates.
+func (d *DashLH) Get(key uint64) (uint64, bool) {
+	h := d.h
+	h.Compute(18)
+	hv := ccehHash(key)
+	ti := hv & (d.topN - 1)
+	bi := (hv >> 17) % (d.topN / 2)
+	si := (hv >> 33) % d.stashN
+	for _, b := range []uint64{
+		dashBucket(d.topAddr, ti),
+		dashBucket(d.botAddr, bi),
+		dashBucket(d.stashAddr, si),
+	} {
+		if v, ok := dashSlotGet(h, b, key); ok {
+			if d.valueSize > 8 {
+				return h.ReadValue(v, d.valueSize), true
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------- Dash-EH
+
+// DashEH is the extendible variant: CCEH-style directory and segments, but
+// with Dash's stash buckets in front of structural changes — a key whose
+// neighbourhood is full lands in a hashed stash bucket under a fine-grained
+// stash lock instead of immediately splitting the segment.
+type DashEH struct {
+	h          *Heap
+	cc         *CCEH // extendible machinery for directory/segments
+	stashAddr  uint64
+	stashN     uint64
+	stashLocks []uint64
+	valueSize  int
+}
+
+// NewDashEH builds a table with 2^initialDepth segments and stashN stash
+// buckets.
+func NewDashEH(h *Heap, initialDepth uint, stashN uint64, valueSize int) *DashEH {
+	n := uint64(1)
+	for n < stashN {
+		n <<= 1
+	}
+	d := &DashEH{
+		h:         h,
+		cc:        NewCCEH(h, initialDepth, 8),
+		stashN:    n,
+		valueSize: valueSize,
+	}
+	d.stashAddr = h.Alloc(int(n*dashBucketSize), 64)
+	d.stashLocks = make([]uint64, n)
+	for i := range d.stashLocks {
+		d.stashLocks[i] = h.NewLock()
+	}
+	h.Dfence()
+	return d
+}
+
+func (d *DashEH) stashIdx(hash uint64) uint64 { return (hash >> 33) & (d.stashN - 1) }
+
+// Insert places key -> val, preferring the stash over a segment split when
+// the target neighbourhood is nearly full.
+func (d *DashEH) Insert(key, val uint64) bool {
+	h := d.h
+	valWord := val
+	if d.valueSize > 8 {
+		va := h.Alloc(d.valueSize, 64)
+		h.WriteValue(va, val, d.valueSize)
+		h.Ofence()
+		valWord = va
+	}
+	if d.cc.Insert(key, valWord) {
+		return true
+	}
+	hash := ccehHash(key)
+	si := d.stashIdx(hash)
+	h.Acquire(d.stashLocks[si])
+	ok := dashSlotInsert(h, dashBucket(d.stashAddr, si), key, valWord)
+	h.Release(d.stashLocks[si])
+	if ok {
+		h.Dfence() // durability point after the release (RP idiom)
+	}
+	return ok
+}
+
+// Get looks up key in the main table then the stash.
+func (d *DashEH) Get(key uint64) (uint64, bool) {
+	h := d.h
+	v, ok := d.cc.Get(key)
+	if !ok {
+		hash := ccehHash(key)
+		v, ok = dashSlotGet(h, dashBucket(d.stashAddr, d.stashIdx(hash)), key)
+	}
+	if !ok {
+		return 0, false
+	}
+	if d.valueSize > 8 {
+		return h.ReadValue(v, d.valueSize), true
+	}
+	return v, true
+}

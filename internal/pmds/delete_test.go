@@ -1,0 +1,159 @@
+package pmds
+
+import (
+	"sort"
+	"testing"
+
+	"asap/internal/rng"
+)
+
+// kvDeleter extends the oracle interface with deletion.
+type kvDeleter interface {
+	kvStore
+	del(key uint64) bool
+}
+
+// runKVDeleteOracle mixes inserts, deletes and lookups against a map oracle.
+func runKVDeleteOracle(t *testing.T, h *Heap, s kvDeleter, n int, keyRange uint64, threads int, seed uint64) {
+	t.Helper()
+	r := rng.New(seed)
+	oracle := make(map[uint64]uint64)
+	for i := 0; i < n; i++ {
+		h.SetThread(i % threads)
+		key := 1 + r.Uint64n(keyRange)
+		switch r.Intn(10) {
+		case 0, 1, 2, 3, 4:
+			val := r.Uint64()
+			if s.insert(key, val) {
+				oracle[key] = val
+			}
+		case 5, 6:
+			got := s.del(key)
+			_, want := oracle[key]
+			if got != want {
+				t.Fatalf("op %d: delete(%d)=%v, oracle=%v", i, key, got, want)
+			}
+			delete(oracle, key)
+		default:
+			got, ok := s.get(key)
+			want, exists := oracle[key]
+			if ok != exists || (ok && got != want) {
+				t.Fatalf("op %d: get(%d)=(%d,%v), oracle=(%d,%v)", i, key, got, ok, want, exists)
+			}
+		}
+	}
+	for k, want := range oracle {
+		if got, ok := s.get(k); !ok || got != want {
+			t.Fatalf("final: get(%d)=(%d,%v), want %d", k, got, ok, want)
+		}
+	}
+}
+
+type ccehDelAdapter struct{ c *CCEH }
+
+func (a ccehDelAdapter) insert(k, v uint64) bool     { return a.c.Insert(k, v) }
+func (a ccehDelAdapter) get(k uint64) (uint64, bool) { return a.c.Get(k) }
+func (a ccehDelAdapter) del(k uint64) bool           { return a.c.Delete(k) }
+
+func TestCCEHDeleteOracle(t *testing.T) {
+	h := NewHeap(64<<20, 4)
+	c := NewCCEH(h, 3, 8)
+	runKVDeleteOracle(t, h, ccehDelAdapter{c}, 6000, 2000, 4, 51)
+}
+
+type clhtDelAdapter struct{ c *CLHT }
+
+func (a clhtDelAdapter) insert(k, v uint64) bool     { a.c.Insert(k, v); return true }
+func (a clhtDelAdapter) get(k uint64) (uint64, bool) { return a.c.Get(k) }
+func (a clhtDelAdapter) del(k uint64) bool           { return a.c.Delete(k) }
+
+func TestCLHTDeleteOracle(t *testing.T) {
+	h := NewHeap(64<<20, 4)
+	c := NewCLHT(h, 256, 8)
+	runKVDeleteOracle(t, h, clhtDelAdapter{c}, 6000, 2000, 4, 52)
+}
+
+type artDelAdapter struct{ a *ART }
+
+func (x artDelAdapter) insert(k, v uint64) bool     { x.a.Insert(k, v); return true }
+func (x artDelAdapter) get(k uint64) (uint64, bool) { return x.a.Get(k) }
+func (x artDelAdapter) del(k uint64) bool           { return x.a.Delete(k) }
+
+func TestARTDeleteOracle(t *testing.T) {
+	h := NewHeap(512<<20, 4)
+	a := NewART(h, 8)
+	runKVDeleteOracle(t, h, artDelAdapter{a}, 4000, 1000, 4, 53)
+}
+
+type mtDelAdapter struct{ m *Masstree }
+
+func (x mtDelAdapter) insert(k, v uint64) bool     { x.m.Insert(k, v); return true }
+func (x mtDelAdapter) get(k uint64) (uint64, bool) { return x.m.Get(k) }
+func (x mtDelAdapter) del(k uint64) bool           { return x.m.Delete(k) }
+
+func TestMasstreeDeleteOracle(t *testing.T) {
+	h := NewHeap(128<<20, 4)
+	m := NewMasstree(h, 15, 8)
+	runKVDeleteOracle(t, h, mtDelAdapter{m}, 5000, 1500, 4, 54)
+}
+
+func TestFastFairScan(t *testing.T) {
+	h := NewHeap(64<<20, 1)
+	f := NewFastFair(h, 8, 8)
+	r := rng.New(55)
+	inserted := map[uint64]uint64{}
+	for i := 0; i < 2000; i++ {
+		k := 1 + r.Uint64n(10000)
+		v := r.Uint64()
+		f.Insert(k, v)
+		inserted[k] = v
+	}
+	var sorted []uint64
+	for k := range inserted {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	start := sorted[len(sorted)/3]
+	keys, vals := f.Scan(start, 50)
+	if len(keys) != 50 {
+		t.Fatalf("scan returned %d keys", len(keys))
+	}
+	// Expected: the 50 smallest keys >= start.
+	idx := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= start })
+	for i := 0; i < 50; i++ {
+		want := sorted[idx+i]
+		if keys[i] != want {
+			t.Fatalf("scan[%d] = %d, want %d", i, keys[i], want)
+		}
+		if vals[i] != inserted[want] {
+			t.Fatalf("scan[%d] value mismatch", i)
+		}
+	}
+	// Scan past the end returns what is left.
+	keys, _ = f.Scan(sorted[len(sorted)-1], 50)
+	if len(keys) != 1 {
+		t.Fatalf("tail scan returned %d keys", len(keys))
+	}
+}
+
+func TestSkipListScan(t *testing.T) {
+	h := NewHeap(32<<20, 1)
+	s := NewAtlasSkipList(h, 8)
+	for k := uint64(10); k <= 1000; k += 10 {
+		s.Insert(k, k)
+	}
+	got := s.Scan(500, 10)
+	if len(got) != 10 {
+		t.Fatalf("scan returned %d", len(got))
+	}
+	for i, k := range got {
+		want := uint64(500 + 10*i)
+		if k != want {
+			t.Fatalf("scan[%d]=%d, want %d", i, k, want)
+		}
+	}
+	if out := s.Scan(2000, 5); len(out) != 0 {
+		t.Fatalf("scan past end returned %v", out)
+	}
+}

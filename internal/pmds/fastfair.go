@@ -1,0 +1,344 @@
+package pmds
+
+// FastFair is the FAST & FAIR B+-tree (Hwang et al., FAST'18): a sorted-node
+// B+-tree whose insert path shifts entries one by one, each 8-byte shift
+// made durable and ordered (an ofence per shift) before the next — "failure-
+// atomic shift" — so no logging is needed: a crash mid-shift leaves a
+// duplicate entry that readers tolerate. Writers serialize on a tree lock;
+// searches are lock-free as in the paper.
+type FastFair struct {
+	h         *Heap
+	rootAddr  uint64 // persistent root record: [root node, height]
+	root      uint64
+	lock      uint64
+	order     int // max keys per node
+	valueSize int
+
+	height int
+}
+
+// Node layout (little-endian words):
+//
+//	+0   header: leaf flag (bit 0) | count<<8
+//	+8   sibling pointer (right neighbour at the same level)
+//	+16  keys[order]
+//	+16+8*order values/children[order+1] (children use one extra slot)
+const (
+	ffHdrOff  = 0
+	ffSibOff  = 8
+	ffKeysOff = 16
+)
+
+// NewFastFair builds an empty tree with the given node order (keys/node).
+func NewFastFair(h *Heap, order int, valueSize int) *FastFair {
+	if order < 3 {
+		panic("pmds: FastFair order must be >= 3")
+	}
+	t := &FastFair{h: h, order: order, lock: h.NewLock(), valueSize: valueSize, height: 1}
+	t.rootAddr = h.Alloc(16, 64)
+	t.root = t.newNode(true)
+	h.Ofence()
+	t.publishRoot()
+	h.Dfence()
+	return t
+}
+
+// publishRoot persists the root record (root pointer, then height).
+func (t *FastFair) publishRoot() {
+	t.h.Write64(t.rootAddr, t.root)
+	t.h.Ofence()
+	t.h.Write64(t.rootAddr+8, uint64(t.height))
+}
+
+// RootAddr returns the persistent root record's address for ReopenFastFair.
+func (t *FastFair) RootAddr() uint64 { return t.rootAddr }
+
+// ReopenFastFair reattaches to a FAST&FAIR tree in an existing heap image
+// (e.g. reconstructed after a crash) — only the volatile writer lock is
+// rebuilt; no recovery pass runs (§V-E).
+func ReopenFastFair(h *Heap, rootAddr uint64, order, valueSize int) *FastFair {
+	t := &FastFair{
+		h: h, rootAddr: rootAddr, order: order,
+		lock: h.NewLock(), valueSize: valueSize,
+	}
+	t.root = h.Read64(rootAddr)
+	t.height = int(h.Read64(rootAddr + 8))
+	return t
+}
+
+func (t *FastFair) nodeBytes() int { return ffKeysOff + 8*t.order + 8*(t.order+1) }
+
+func (t *FastFair) newNode(leaf bool) uint64 {
+	n := t.h.Alloc(t.nodeBytes(), 64)
+	hdr := uint64(0)
+	if leaf {
+		hdr = 1
+	}
+	t.h.Write64(n+ffHdrOff, hdr)
+	t.h.Write64(n+ffSibOff, 0)
+	return n
+}
+
+func (t *FastFair) isLeaf(n uint64) bool { return t.h.Read64(n+ffHdrOff)&1 == 1 }
+func (t *FastFair) count(n uint64) int   { return int(t.h.Read64(n+ffHdrOff) >> 8) }
+func (t *FastFair) setCount(n uint64, c int) {
+	hdr := (t.h.Read64(n+ffHdrOff) & 0xff) | uint64(c)<<8
+	t.h.Write64(n+ffHdrOff, hdr)
+}
+func (t *FastFair) keyAddr(n uint64, i int) uint64 { return n + ffKeysOff + uint64(8*i) }
+func (t *FastFair) valAddr(n uint64, i int) uint64 {
+	return n + ffKeysOff + uint64(8*t.order) + uint64(8*i)
+}
+
+// Insert puts key -> val (non-zero key). Duplicates update in place.
+func (t *FastFair) Insert(key, val uint64) {
+	if key == 0 {
+		panic("pmds: FastFair key must be non-zero")
+	}
+	h := t.h
+	valWord := val
+	if t.valueSize > 8 {
+		va := h.Alloc(t.valueSize, 64)
+		h.WriteValue(va, val, t.valueSize)
+		h.Ofence()
+		valWord = va
+	}
+	h.Acquire(t.lock)
+	t.insertLocked(key, valWord)
+	h.Release(t.lock)
+	h.Dfence() // durability point after the release (RP idiom)
+}
+
+func (t *FastFair) insertLocked(key, val uint64) {
+	// Descend, remembering the path for splits.
+	path := make([]uint64, 0, t.height)
+	n := t.root
+	for !t.isLeaf(n) {
+		path = append(path, n)
+		n = t.child(n, key)
+	}
+	if t.count(n) == t.order {
+		n = t.splitPath(path, n, key)
+	}
+	t.insertIntoNode(n, key, val, 0)
+}
+
+// child finds the subtree for key in inner node n.
+func (t *FastFair) child(n uint64, key uint64) uint64 {
+	h := t.h
+	cnt := t.count(n)
+	i := 0
+	for ; i < cnt; i++ {
+		if key < h.Read64(t.keyAddr(n, i)) {
+			break
+		}
+	}
+	h.Compute(uint32(4 * (i + 1)))
+	return h.Read64(t.valAddr(n, i))
+}
+
+// insertIntoNode performs the FAST shift-insert: entries greater than key
+// shift right one at a time, each shift fenced, then the new entry lands.
+// child, when non-zero, is the right child for inner nodes.
+func (t *FastFair) insertIntoNode(n uint64, key, val uint64, child uint64) {
+	h := t.h
+	cnt := t.count(n)
+	pos := cnt
+	for i := 0; i < cnt; i++ {
+		k := h.Read64(t.keyAddr(n, i))
+		if k == key && t.isLeaf(n) {
+			h.Write64(t.valAddr(n, i), val)
+			return
+		}
+		if key < k {
+			pos = i
+			break
+		}
+	}
+	// Shift right, last to pos. FAST's optimization: 8-byte stores within
+	// one cache line persist atomically together, so an ordering fence is
+	// needed only when the shift crosses a cache-line boundary.
+	for i := cnt; i > pos; i-- {
+		h.Write64(t.keyAddr(n, i), h.Read64(t.keyAddr(n, i-1)))
+		if t.isLeaf(n) {
+			h.Write64(t.valAddr(n, i), h.Read64(t.valAddr(n, i-1)))
+		} else {
+			h.Write64(t.valAddr(n, i+1), h.Read64(t.valAddr(n, i)))
+		}
+		if t.keyAddr(n, i)%64 == 0 {
+			h.Ofence()
+		}
+	}
+	h.Write64(t.keyAddr(n, pos), key)
+	if t.isLeaf(n) {
+		h.Write64(t.valAddr(n, pos), val)
+	} else {
+		h.Write64(t.valAddr(n, pos+1), child)
+	}
+	h.Ofence()
+	t.setCount(n, cnt+1)
+	h.Ofence()
+}
+
+// splitPath splits the full leaf (and any full ancestors) and returns the
+// leaf that should receive key.
+func (t *FastFair) splitPath(path []uint64, leaf uint64, key uint64) uint64 {
+	h := t.h
+	mid := t.order / 2
+	midKey := h.Read64(t.keyAddr(leaf, mid))
+
+	right := t.newNode(true)
+	// Copy the upper half to the new node, then fence, then shrink the
+	// old node's count (FAIR: the sibling pointer makes the split
+	// tolerable to readers mid-way).
+	j := 0
+	for i := mid; i < t.order; i++ {
+		h.Write64(t.keyAddr(right, j), h.Read64(t.keyAddr(leaf, i)))
+		h.Write64(t.valAddr(right, j), h.Read64(t.valAddr(leaf, i)))
+		j++
+	}
+	t.setCount(right, j)
+	h.Write64(right+ffSibOff, h.Read64(leaf+ffSibOff))
+	h.Ofence()
+	h.Write64(leaf+ffSibOff, right)
+	h.Ofence()
+	t.setCount(leaf, mid)
+	h.Ofence()
+
+	t.insertUp(path, midKey, leaf, right)
+
+	if key < midKey {
+		return leaf
+	}
+	return right
+}
+
+// insertUp inserts the separator into the parent, splitting recursively.
+func (t *FastFair) insertUp(path []uint64, key uint64, left, right uint64) {
+	h := t.h
+	if len(path) == 0 {
+		newRoot := t.newNode(false)
+		h.Write64(t.keyAddr(newRoot, 0), key)
+		h.Write64(t.valAddr(newRoot, 0), left)
+		h.Write64(t.valAddr(newRoot, 1), right)
+		t.setCount(newRoot, 1)
+		h.Ofence()
+		t.root = newRoot
+		t.height++
+		t.publishRoot()
+		h.Ofence()
+		return
+	}
+	parent := path[len(path)-1]
+	if t.count(parent) == t.order {
+		parent = t.splitInner(path, parent, key)
+	}
+	t.insertIntoNode(parent, key, 0, right)
+}
+
+// splitInner splits a full inner node and returns the side receiving key.
+func (t *FastFair) splitInner(path []uint64, n uint64, key uint64) uint64 {
+	h := t.h
+	mid := t.order / 2
+	midKey := h.Read64(t.keyAddr(n, mid))
+
+	right := t.newNode(false)
+	j := 0
+	for i := mid + 1; i < t.order; i++ {
+		h.Write64(t.keyAddr(right, j), h.Read64(t.keyAddr(n, i)))
+		h.Write64(t.valAddr(right, j), h.Read64(t.valAddr(n, i)))
+		j++
+	}
+	h.Write64(t.valAddr(right, j), h.Read64(t.valAddr(n, t.order)))
+	t.setCount(right, j)
+	h.Ofence()
+	t.setCount(n, mid)
+	h.Ofence()
+
+	t.insertUp(path[:len(path)-1], midKey, n, right)
+	if key < midKey {
+		return n
+	}
+	return right
+}
+
+// Get searches for key (lock-free, as in the paper).
+func (t *FastFair) Get(key uint64) (uint64, bool) {
+	h := t.h
+	n := t.root
+	for !t.isLeaf(n) {
+		n = t.child(n, key)
+	}
+	cnt := t.count(n)
+	for i := 0; i < cnt; i++ {
+		if h.Read64(t.keyAddr(n, i)) == key {
+			v := h.Read64(t.valAddr(n, i))
+			if t.valueSize > 8 {
+				return h.ReadValue(v, t.valueSize), true
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Delete removes key with fenced left-shifts, reporting whether it existed.
+func (t *FastFair) Delete(key uint64) bool {
+	h := t.h
+	h.Acquire(t.lock)
+	defer func() {
+		h.Release(t.lock)
+		h.Dfence() // durability point after the release (RP idiom)
+	}()
+	n := t.root
+	for !t.isLeaf(n) {
+		n = t.child(n, key)
+	}
+	cnt := t.count(n)
+	for i := 0; i < cnt; i++ {
+		if h.Read64(t.keyAddr(n, i)) == key {
+			for j := i; j < cnt-1; j++ {
+				h.Write64(t.keyAddr(n, j), h.Read64(t.keyAddr(n, j+1)))
+				h.Write64(t.valAddr(n, j), h.Read64(t.valAddr(n, j+1)))
+				if t.keyAddr(n, j)%64 == 56 {
+					h.Ofence() // line-crossing shift (FAST)
+				}
+			}
+			t.setCount(n, cnt-1)
+			h.Ofence()
+			return true
+		}
+	}
+	return false
+}
+
+// Height returns the tree height (tests).
+func (t *FastFair) Height() int { return t.height }
+
+// Scan returns up to max key/value pairs with key >= start, in ascending
+// order, walking leaves through their sibling pointers (the FAIR linked
+// leaf level). Like Get it is lock-free.
+func (t *FastFair) Scan(start uint64, max int) (keys, vals []uint64) {
+	h := t.h
+	n := t.root
+	for !t.isLeaf(n) {
+		n = t.child(n, start)
+	}
+	for n != 0 && len(keys) < max {
+		cnt := t.count(n)
+		for i := 0; i < cnt && len(keys) < max; i++ {
+			k := h.Read64(t.keyAddr(n, i))
+			if k < start {
+				continue
+			}
+			v := h.Read64(t.valAddr(n, i))
+			if t.valueSize > 8 {
+				v = h.ReadValue(v, t.valueSize)
+			}
+			keys = append(keys, k)
+			vals = append(vals, v)
+		}
+		n = h.Read64(n + ffSibOff)
+	}
+	return keys, vals
+}

@@ -1,0 +1,151 @@
+package pmds
+
+import (
+	"testing"
+
+	"asap/internal/trace"
+)
+
+func TestHeapAllocAlignment(t *testing.T) {
+	h := NewHeap(1<<20, 1)
+	a := h.Alloc(10, 64)
+	if a%64 != 0 {
+		t.Fatalf("alloc not 64-aligned: %#x", a)
+	}
+	b := h.Alloc(8, 0) // default alignment
+	if b%8 != 0 {
+		t.Fatalf("alloc not 8-aligned: %#x", b)
+	}
+	if b <= a {
+		t.Fatal("allocations overlap")
+	}
+}
+
+func TestHeapExhaustionPanics(t *testing.T) {
+	h := NewHeap(8192, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("exhausted heap did not panic")
+		}
+	}()
+	h.Alloc(1<<20, 8)
+}
+
+func TestHeapReadWriteRoundTrip(t *testing.T) {
+	h := NewHeap(1<<20, 2)
+	a := h.Alloc(64, 64)
+	h.SetThread(1)
+	h.Write64(a, 0xDEADBEEF)
+	if h.Read64(a) != 0xDEADBEEF || h.Peek64(a) != 0xDEADBEEF {
+		t.Fatal("round trip failed")
+	}
+	if h.Thread() != 1 {
+		t.Fatal("thread attribution lost")
+	}
+	// The write and read were recorded on thread 1's stream.
+	tr := h.Trace("t")
+	c1 := 0
+	for _, op := range tr.Threads[1] {
+		if op.Addr == a {
+			c1++
+		}
+	}
+	if c1 < 2 {
+		t.Fatalf("thread 1 stream has %d ops on the address", c1)
+	}
+}
+
+func TestHeapOutOfRangePanics(t *testing.T) {
+	h := NewHeap(4096+64, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-heap access did not panic")
+		}
+	}()
+	h.Read64(PMBase + 1<<30)
+}
+
+func TestWriteValueMultiLine(t *testing.T) {
+	h := NewHeap(1<<20, 1)
+	a := h.Alloc(256, 64)
+	before := h.PStoreCount(0)
+	h.WriteValue(a, 42, 256)
+	stores := h.PStoreCount(0) - before
+	if stores != 4 { // 256 B = 4 lines
+		t.Fatalf("WriteValue(256B) emitted %d stores, want 4", stores)
+	}
+	if h.ReadValue(a, 256) != 42 {
+		t.Fatal("ReadValue mismatch")
+	}
+}
+
+func TestCaptureImages(t *testing.T) {
+	h := NewHeap(1<<20, 2)
+	h.CaptureImages()
+	a := h.Alloc(64, 64)
+	h.SetThread(1)
+	h.Write64(a, 7)
+	h.Write64(a+8, 9)
+	imgs := h.Images(1)
+	if len(imgs) != 2 {
+		t.Fatalf("images = %d, want 2", len(imgs))
+	}
+	lineAddr := a &^ 63
+	if imgs[0].LineAddr != lineAddr || imgs[1].LineAddr != lineAddr {
+		t.Fatal("image line addresses wrong")
+	}
+	// The second image includes both words.
+	var w0, w1 uint64
+	for i := 0; i < 8; i++ {
+		w0 |= uint64(imgs[1].Data[(a%64)+uint64(i)]) << (8 * i)
+		w1 |= uint64(imgs[1].Data[(a%64)+8+uint64(i)]) << (8 * i)
+	}
+	if w0 != 7 || w1 != 9 {
+		t.Fatalf("image content = %d,%d, want 7,9", w0, w1)
+	}
+	// Image indexing matches the persistent-store sequence.
+	if h.PStoreCount(1) != 2 {
+		t.Fatalf("pstore count = %d", h.PStoreCount(1))
+	}
+}
+
+func TestReopenHeap(t *testing.T) {
+	h := NewHeap(1<<20, 1)
+	a := h.Alloc(64, 64)
+	h.Write64(a, 123)
+	img := make([]byte, 1<<20)
+	// Simulate RebuildImage: copy the raw line.
+	copy(img[a-PMBase:], []byte{123})
+	h2 := ReopenHeap(img, 1)
+	if h2.Peek64(a) != 123 {
+		t.Fatal("reopened heap lost data")
+	}
+	// Reopened heaps cannot allocate.
+	defer func() {
+		if recover() == nil {
+			t.Error("alloc on a reopened heap did not panic")
+		}
+	}()
+	h2.Alloc(64, 64)
+}
+
+func TestLockAddressesDistinct(t *testing.T) {
+	h := NewHeap(1<<20, 1)
+	a, b := h.NewLock(), h.NewLock()
+	if a == b || a/64 == b/64 {
+		t.Fatal("locks share a cache line")
+	}
+	if a >= PMBase {
+		t.Fatal("lock address inside persistent memory")
+	}
+}
+
+func TestStrandRecording(t *testing.T) {
+	h := NewHeap(1<<20, 1)
+	h.NewStrand()
+	h.NewStrand()
+	tr := h.Trace("s")
+	if tr.Counts()[trace.OpStrand] != 2 {
+		t.Fatal("strand ops not recorded")
+	}
+}

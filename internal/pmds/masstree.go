@@ -1,0 +1,292 @@
+package pmds
+
+// Masstree is P-Masstree from RECIPE, distilled to the property RECIPE
+// relies on for crash consistency: B+-tree nodes store entries *unsorted*
+// and publish them through an 8-byte permutation word — an insert writes
+// the key and value into a free slot, fences, then updates the permutation
+// word (slot count and order) with a single atomic store, then fences
+// again. Readers see either the old or the new permutation, never a torn
+// node. Inner nodes route by the key's most significant bytes; writers
+// serialize on a tree lock, lookups are lock-free.
+type Masstree struct {
+	h         *Heap
+	root      uint64
+	lock      uint64
+	fanout    int
+	valueSize int
+}
+
+// Node layout:
+//
+//	+0   header: leaf flag
+//	+8   permutation word: count (low byte) | slot order (4 bits/slot, up to 15 slots)
+//	+16  keys[fanout]
+//	+16+8*fanout  values/children[fanout+1]
+const (
+	mtHdrOff  = 0
+	mtPermOff = 8
+	mtKeysOff = 16
+)
+
+// NewMasstree builds an empty tree; fanout is capped at 15 slots by the
+// permutation encoding.
+func NewMasstree(h *Heap, fanout int, valueSize int) *Masstree {
+	if fanout < 3 || fanout > 15 {
+		panic("pmds: Masstree fanout must be in [3,15]")
+	}
+	t := &Masstree{h: h, fanout: fanout, lock: h.NewLock(), valueSize: valueSize}
+	t.root = t.newNode(true)
+	h.Dfence()
+	return t
+}
+
+func (t *Masstree) nodeBytes() int { return mtKeysOff + 8*t.fanout + 8*(t.fanout+1) }
+
+func (t *Masstree) newNode(leaf bool) uint64 {
+	n := t.h.Alloc(t.nodeBytes(), 64)
+	hdr := uint64(0)
+	if leaf {
+		hdr = 1
+	}
+	t.h.Write64(n+mtHdrOff, hdr)
+	t.h.Write64(n+mtPermOff, 0)
+	return n
+}
+
+func (t *Masstree) isLeaf(n uint64) bool { return t.h.Read64(n+mtHdrOff)&1 == 1 }
+
+// perm decodes the permutation word into the ordered slot indices. The
+// encoding matches Masstree's: a 4-bit count plus fifteen 4-bit slot
+// indices, exactly filling the 64-bit word.
+func (t *Masstree) perm(n uint64) []int {
+	w := t.h.Read64(n + mtPermOff)
+	cnt := int(w & 0xf)
+	out := make([]int, cnt)
+	for i := 0; i < cnt; i++ {
+		out[i] = int((w >> uint(4+4*i)) & 0xf)
+	}
+	return out
+}
+
+// writePerm encodes and atomically publishes the permutation.
+func (t *Masstree) writePerm(n uint64, order []int) {
+	w := uint64(len(order) & 0xf)
+	for i, s := range order {
+		w |= uint64(s&0xf) << uint(4+4*i)
+	}
+	t.h.Write64(n+mtPermOff, w)
+}
+
+func (t *Masstree) keyAddr(n uint64, slot int) uint64 { return n + mtKeysOff + uint64(8*slot) }
+func (t *Masstree) valAddr(n uint64, slot int) uint64 {
+	return n + mtKeysOff + uint64(8*t.fanout) + uint64(8*slot)
+}
+
+// Insert puts key -> val.
+func (t *Masstree) Insert(key, val uint64) {
+	h := t.h
+	h.Compute(12)
+	valWord := val
+	if t.valueSize > 8 {
+		va := h.Alloc(t.valueSize, 64)
+		h.WriteValue(va, val, t.valueSize)
+		h.Ofence()
+		valWord = va
+	}
+	h.Acquire(t.lock)
+	t.insertLocked(key, valWord)
+	h.Release(t.lock)
+	h.Dfence() // durability point after the release (RP idiom)
+}
+
+func (t *Masstree) insertLocked(key, val uint64) {
+	var path []uint64
+	n := t.root
+	for !t.isLeaf(n) {
+		path = append(path, n)
+		n = t.route(n, key)
+	}
+	order := t.perm(n)
+	// Update in place?
+	for _, s := range order {
+		if t.h.Read64(t.keyAddr(n, s)) == key {
+			t.h.Write64(t.valAddr(n, s), val)
+			t.h.Ofence()
+			return
+		}
+	}
+	if len(order) == t.fanout {
+		n = t.split(path, n, key)
+		order = t.perm(n)
+	}
+	t.insertIntoNode(n, order, key, val, 0)
+}
+
+// insertIntoNode writes entry into a free slot, fences, then publishes the
+// new permutation word atomically — the Masstree recipe.
+func (t *Masstree) insertIntoNode(n uint64, order []int, key, val uint64, child uint64) {
+	h := t.h
+	slot := t.freeSlot(order)
+	h.Write64(t.keyAddr(n, slot), key)
+	if t.isLeaf(n) {
+		h.Write64(t.valAddr(n, slot), val)
+	} else {
+		h.Write64(t.valAddr(n, slot+1), child)
+	}
+	h.Ofence()
+	pos := len(order)
+	for i, s := range order {
+		if key < h.Read64(t.keyAddr(n, s)) {
+			pos = i
+			break
+		}
+	}
+	newOrder := make([]int, 0, len(order)+1)
+	newOrder = append(newOrder, order[:pos]...)
+	newOrder = append(newOrder, slot)
+	newOrder = append(newOrder, order[pos:]...)
+	t.writePerm(n, newOrder)
+	h.Ofence()
+}
+
+func (t *Masstree) freeSlot(order []int) int {
+	used := make([]bool, t.fanout)
+	for _, s := range order {
+		used[s] = true
+	}
+	for i, u := range used {
+		if !u {
+			return i
+		}
+	}
+	panic("pmds: Masstree node has no free slot")
+}
+
+// route picks the child for key in inner node n. Child slot convention:
+// child i sits at valAddr(slot_i+1) for the slot at order position i, and
+// the leftmost child at valAddr(0)... To keep the permutation scheme simple
+// for inner nodes, children are stored at slot+1 and the leftmost child at
+// index 0.
+func (t *Masstree) route(n uint64, key uint64) uint64 {
+	h := t.h
+	order := t.perm(n)
+	childIdx := 0 // leftmost
+	for _, s := range order {
+		if key >= h.Read64(t.keyAddr(n, s)) {
+			childIdx = s + 1
+		} else {
+			break
+		}
+	}
+	h.Compute(uint32(4 * (len(order) + 1)))
+	return h.Read64(t.valAddr(n, childIdx))
+}
+
+// split divides a full leaf (or recursively its ancestors); returns the
+// node that should receive key.
+func (t *Masstree) split(path []uint64, n uint64, key uint64) uint64 {
+	h := t.h
+	order := t.perm(n)
+	mid := len(order) / 2
+	midKey := h.Read64(t.keyAddr(n, order[mid]))
+
+	right := t.newNode(t.isLeaf(n))
+	var rightOrder []int
+	j := 0
+	start := mid
+	if !t.isLeaf(n) {
+		start = mid + 1
+		// Move the cross child to the leftmost slot of right.
+		h.Write64(t.valAddr(right, 0), h.Read64(t.valAddr(n, order[mid]+1)))
+	}
+	for i := start; i < len(order); i++ {
+		s := order[i]
+		h.Write64(t.keyAddr(right, j), h.Read64(t.keyAddr(n, s)))
+		if t.isLeaf(n) {
+			h.Write64(t.valAddr(right, j), h.Read64(t.valAddr(n, s)))
+		} else {
+			h.Write64(t.valAddr(right, j+1), h.Read64(t.valAddr(n, s+1)))
+		}
+		rightOrder = append(rightOrder, j)
+		j++
+	}
+	t.writePerm(right, rightOrder)
+	h.Ofence()
+	t.writePerm(n, order[:mid])
+	h.Ofence()
+
+	t.insertUp(path, midKey, n, right)
+	if key < midKey {
+		return n
+	}
+	return right
+}
+
+func (t *Masstree) insertUp(path []uint64, key uint64, left, right uint64) {
+	h := t.h
+	if len(path) == 0 {
+		root := t.newNode(false)
+		h.Write64(t.keyAddr(root, 0), key)
+		h.Write64(t.valAddr(root, 0), left)
+		h.Write64(t.valAddr(root, 1), right)
+		h.Ofence()
+		t.writePerm(root, []int{0})
+		h.Ofence()
+		t.root = root
+		return
+	}
+	parent := path[len(path)-1]
+	order := t.perm(parent)
+	if len(order) == t.fanout {
+		parent = t.split(path[:len(path)-1], parent, key)
+		order = t.perm(parent)
+	}
+	t.insertIntoNode(parent, order, key, 0, right)
+}
+
+// Get looks up key lock-free.
+func (t *Masstree) Get(key uint64) (uint64, bool) {
+	h := t.h
+	h.Compute(12)
+	n := t.root
+	for !t.isLeaf(n) {
+		n = t.route(n, key)
+	}
+	for _, s := range t.perm(n) {
+		if h.Read64(t.keyAddr(n, s)) == key {
+			v := h.Read64(t.valAddr(n, s))
+			if t.valueSize > 8 {
+				return h.ReadValue(v, t.valueSize), true
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Delete removes key, reporting whether it was present: the new permutation
+// word (without the slot) publishes atomically, exactly like an insert.
+func (t *Masstree) Delete(key uint64) bool {
+	h := t.h
+	h.Compute(12)
+	h.Acquire(t.lock)
+	n := t.root
+	for !t.isLeaf(n) {
+		n = t.route(n, key)
+	}
+	order := t.perm(n)
+	for i, s := range order {
+		if h.Read64(t.keyAddr(n, s)) == key {
+			newOrder := make([]int, 0, len(order)-1)
+			newOrder = append(newOrder, order[:i]...)
+			newOrder = append(newOrder, order[i+1:]...)
+			t.writePerm(n, newOrder)
+			h.Ofence()
+			h.Release(t.lock)
+			h.Dfence()
+			return true
+		}
+	}
+	h.Release(t.lock)
+	return false
+}

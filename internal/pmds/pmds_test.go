@@ -1,0 +1,294 @@
+package pmds
+
+import (
+	"testing"
+
+	"asap/internal/rng"
+	"asap/internal/trace"
+)
+
+// kv is the common oracle-driven test: random inserts, updates and lookups
+// against a map, across interleaved logical threads.
+type kvStore interface {
+	insert(key, val uint64) bool
+	get(key uint64) (uint64, bool)
+}
+
+func runKVOracle(t *testing.T, h *Heap, s kvStore, n int, keyRange uint64, threads int, seed uint64) {
+	t.Helper()
+	r := rng.New(seed)
+	oracle := make(map[uint64]uint64)
+	for i := 0; i < n; i++ {
+		h.SetThread(i % threads)
+		key := 1 + r.Uint64n(keyRange)
+		if r.Bool(0.7) {
+			val := r.Uint64()
+			if s.insert(key, val) {
+				oracle[key] = val
+			}
+		} else {
+			got, ok := s.get(key)
+			want, exists := oracle[key]
+			if ok != exists {
+				t.Fatalf("op %d: get(%d) found=%v, oracle=%v", i, key, ok, exists)
+			}
+			if ok && got != want {
+				t.Fatalf("op %d: get(%d)=%d, oracle=%d", i, key, got, want)
+			}
+		}
+	}
+	// Full verification pass.
+	h.SetThread(0)
+	for k, want := range oracle {
+		got, ok := s.get(k)
+		if !ok || got != want {
+			t.Fatalf("final: get(%d)=(%d,%v), want (%d,true)", k, got, ok, want)
+		}
+	}
+}
+
+type ccehAdapter struct{ c *CCEH }
+
+func (a ccehAdapter) insert(k, v uint64) bool     { return a.c.Insert(k, v) }
+func (a ccehAdapter) get(k uint64) (uint64, bool) { return a.c.Get(k) }
+
+func TestCCEHOracle(t *testing.T) {
+	h := NewHeap(64<<20, 4)
+	c := NewCCEH(h, 2, 8)
+	runKVOracle(t, h, ccehAdapter{c}, 6000, 3000, 4, 42)
+	if c.Depth() < 2 {
+		t.Error("expected directory growth to have occurred or kept depth")
+	}
+}
+
+func TestCCEHLargeValues(t *testing.T) {
+	h := NewHeap(64<<20, 2)
+	c := NewCCEH(h, 2, 128)
+	runKVOracle(t, h, ccehAdapter{c}, 1500, 800, 2, 7)
+}
+
+type ffAdapter struct{ f *FastFair }
+
+func (a ffAdapter) insert(k, v uint64) bool     { a.f.Insert(k, v); return true }
+func (a ffAdapter) get(k uint64) (uint64, bool) { return a.f.Get(k) }
+
+func TestFastFairOracle(t *testing.T) {
+	h := NewHeap(64<<20, 4)
+	f := NewFastFair(h, 8, 8)
+	runKVOracle(t, h, ffAdapter{f}, 6000, 3000, 4, 43)
+	if f.Height() < 2 {
+		t.Error("expected the tree to have split at least once")
+	}
+}
+
+func TestFastFairDelete(t *testing.T) {
+	h := NewHeap(16<<20, 1)
+	f := NewFastFair(h, 8, 8)
+	for k := uint64(1); k <= 200; k++ {
+		f.Insert(k, k*10)
+	}
+	for k := uint64(1); k <= 200; k += 2 {
+		if !f.Delete(k) {
+			t.Fatalf("delete(%d) failed", k)
+		}
+	}
+	for k := uint64(1); k <= 200; k++ {
+		v, ok := f.Get(k)
+		if k%2 == 1 && ok {
+			t.Fatalf("get(%d) should be deleted", k)
+		}
+		if k%2 == 0 && (!ok || v != k*10) {
+			t.Fatalf("get(%d)=(%d,%v), want (%d,true)", k, v, ok, k*10)
+		}
+	}
+	if f.Delete(9999) {
+		t.Error("delete of a missing key reported true")
+	}
+}
+
+type artAdapter struct{ a *ART }
+
+func (x artAdapter) insert(k, v uint64) bool     { x.a.Insert(k, v); return true }
+func (x artAdapter) get(k uint64) (uint64, bool) { return x.a.Get(k) }
+
+func TestARTOracle(t *testing.T) {
+	h := NewHeap(256<<20, 4)
+	a := NewART(h, 8)
+	runKVOracle(t, h, artAdapter{a}, 4000, 2000, 4, 44)
+}
+
+func TestARTAdjacentKeys(t *testing.T) {
+	// Adjacent keys share 7 prefix bytes: exercises the path-split code.
+	h := NewHeap(256<<20, 1)
+	a := NewART(h, 8)
+	for k := uint64(1); k <= 512; k++ {
+		a.Insert(k, k^0xdead)
+	}
+	for k := uint64(1); k <= 512; k++ {
+		v, ok := a.Get(k)
+		if !ok || v != k^0xdead {
+			t.Fatalf("get(%d)=(%d,%v)", k, v, ok)
+		}
+	}
+	if _, ok := a.Get(513); ok {
+		t.Error("missing key found")
+	}
+}
+
+type clhtAdapter struct{ c *CLHT }
+
+func (x clhtAdapter) insert(k, v uint64) bool     { x.c.Insert(k, v); return true }
+func (x clhtAdapter) get(k uint64) (uint64, bool) { return x.c.Get(k) }
+
+func TestCLHTOracle(t *testing.T) {
+	h := NewHeap(64<<20, 4)
+	c := NewCLHT(h, 512, 8)
+	runKVOracle(t, h, clhtAdapter{c}, 6000, 3000, 4, 45)
+}
+
+type mtAdapter struct{ m *Masstree }
+
+func (x mtAdapter) insert(k, v uint64) bool     { x.m.Insert(k, v); return true }
+func (x mtAdapter) get(k uint64) (uint64, bool) { return x.m.Get(k) }
+
+func TestMasstreeOracle(t *testing.T) {
+	h := NewHeap(128<<20, 4)
+	m := NewMasstree(h, 15, 8)
+	runKVOracle(t, h, mtAdapter{m}, 6000, 3000, 4, 46)
+}
+
+func TestMasstreeSequential(t *testing.T) {
+	h := NewHeap(64<<20, 1)
+	m := NewMasstree(h, 7, 8)
+	for k := uint64(1); k <= 1000; k++ {
+		m.Insert(k, k*3)
+	}
+	for k := uint64(1); k <= 1000; k++ {
+		if v, ok := m.Get(k); !ok || v != k*3 {
+			t.Fatalf("get(%d)=(%d,%v)", k, v, ok)
+		}
+	}
+}
+
+type dashLHAdapter struct{ d *DashLH }
+
+func (x dashLHAdapter) insert(k, v uint64) bool     { return x.d.Insert(k, v) }
+func (x dashLHAdapter) get(k uint64) (uint64, bool) { return x.d.Get(k) }
+
+func TestDashLHOracle(t *testing.T) {
+	h := NewHeap(64<<20, 4)
+	d := NewDashLH(h, 2048, 8)
+	runKVOracle(t, h, dashLHAdapter{d}, 4000, 2000, 4, 47)
+}
+
+type dashEHAdapter struct{ d *DashEH }
+
+func (x dashEHAdapter) insert(k, v uint64) bool     { return x.d.Insert(k, v) }
+func (x dashEHAdapter) get(k uint64) (uint64, bool) { return x.d.Get(k) }
+
+func TestDashEHOracle(t *testing.T) {
+	h := NewHeap(64<<20, 4)
+	d := NewDashEH(h, 2, 64, 8)
+	runKVOracle(t, h, dashEHAdapter{d}, 4000, 2000, 4, 48)
+}
+
+func TestAtlasQueueFIFO(t *testing.T) {
+	h := NewHeap(32<<20, 2)
+	q := NewAtlasQueue(h, 8)
+	for i := uint64(1); i <= 500; i++ {
+		h.SetThread(int(i % 2))
+		q.Enqueue(i * 7)
+	}
+	for i := uint64(1); i <= 500; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i*7 {
+			t.Fatalf("dequeue %d = (%d,%v), want %d", i, v, ok, i*7)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Error("dequeue from empty queue succeeded")
+	}
+}
+
+func TestAtlasHeapOrdering(t *testing.T) {
+	h := NewHeap(32<<20, 2)
+	a := NewAtlasHeap(h, 4096)
+	r := rng.New(99)
+	var n int
+	for i := 0; i < 1000; i++ {
+		if a.Insert(r.Uint64() % 100000) {
+			n++
+		}
+	}
+	if a.Size() != n {
+		t.Fatalf("size=%d, want %d", a.Size(), n)
+	}
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		v, ok := a.PopMin()
+		if !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+		if v < prev {
+			t.Fatalf("heap order violated: %d after %d", v, prev)
+		}
+		prev = v
+	}
+	if _, ok := a.PopMin(); ok {
+		t.Error("pop from empty heap succeeded")
+	}
+}
+
+func TestAtlasSkipListOracle(t *testing.T) {
+	h := NewHeap(64<<20, 4)
+	s := NewAtlasSkipList(h, 8)
+	r := rng.New(77)
+	oracle := make(map[uint64]uint64)
+	for i := 0; i < 4000; i++ {
+		h.SetThread(i % 4)
+		key := 1 + r.Uint64n(1500)
+		switch r.Intn(3) {
+		case 0:
+			val := r.Uint64()
+			s.Insert(key, val)
+			oracle[key] = val
+		case 1:
+			got := s.Delete(key)
+			_, want := oracle[key]
+			if got != want {
+				t.Fatalf("delete(%d)=%v, oracle=%v", key, got, want)
+			}
+			delete(oracle, key)
+		default:
+			got, ok := s.Get(key)
+			want, exists := oracle[key]
+			if ok != exists || (ok && got != want) {
+				t.Fatalf("get(%d)=(%d,%v), oracle=(%d,%v)", key, got, ok, want, exists)
+			}
+		}
+	}
+	if s.Len() != len(oracle) {
+		t.Fatalf("len=%d, oracle=%d", s.Len(), len(oracle))
+	}
+}
+
+// TestTraceRecorded verifies that structure operations actually record
+// multi-threaded traces with locks and fences.
+func TestTraceRecorded(t *testing.T) {
+	h := NewHeap(32<<20, 4)
+	c := NewCCEH(h, 2, 8)
+	for i := 0; i < 400; i++ {
+		h.SetThread(i % 4)
+		c.Insert(uint64(i+1), uint64(i))
+	}
+	tr := h.Trace("cceh")
+	if tr.NumThreads() != 4 {
+		t.Fatalf("threads=%d", tr.NumThreads())
+	}
+	counts := tr.Counts()
+	for _, k := range []trace.Kind{trace.OpStore, trace.OpLoad, trace.OpOfence, trace.OpDfence, trace.OpAcquire, trace.OpRelease} {
+		if counts[k] == 0 {
+			t.Errorf("trace has no %v ops", k)
+		}
+	}
+}

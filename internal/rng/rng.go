@@ -1,0 +1,97 @@
+// Package rng provides a small deterministic pseudo-random number generator
+// used by workload generators. Determinism matters: every figure in
+// EXPERIMENTS.md must be exactly reproducible from a seed.
+package rng
+
+import "math"
+
+// RNG is an xorshift64* generator. The zero value is not valid; use New.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed (zero is remapped to a fixed
+// non-zero constant, since xorshift has an all-zero fixed point).
+func New(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Zipf returns a Zipf-distributed integer in [0, n) with exponent s,
+// computed by inverse-CDF over a precomputed table. Use NewZipf for repeated
+// draws.
+type Zipf struct {
+	rng *RNG
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with exponent s (> 0). Larger s
+// skews more heavily toward small values.
+func NewZipf(r *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{rng: r, cdf: cdf}
+}
+
+// Next draws the next Zipf-distributed value.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,38 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw simulator event dispatch rate — the
+// figure that bounds how much simulated time per wall-second every
+// experiment gets.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(3, tick)
+		}
+	}
+	e.After(1, tick)
+	b.ResetTimer()
+	e.Run(0)
+}
+
+// BenchmarkEventFanout measures dispatch with a deep, wide queue (the
+// pattern MC drain + per-core flushers produce).
+func BenchmarkEventFanout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			j := j
+			e.At(Cycles(j%97+1), func() {
+				if j%10 == 0 {
+					e.After(5, func() {})
+				}
+			})
+		}
+		e.Run(0)
+	}
+}

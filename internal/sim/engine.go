@@ -1,0 +1,115 @@
+// Package sim provides the discrete-event simulation engine that drives every
+// timing model in this repository. Time is measured in CPU cycles of a 2 GHz
+// clock (1 ns = 2 cycles), matching the configuration in Table II of the
+// ASAP paper.
+package sim
+
+import "container/heap"
+
+// Cycles is the simulation time unit: one cycle of the 2 GHz core clock.
+type Cycles = uint64
+
+// Frequency of the simulated cores, cycles per nanosecond.
+const CyclesPerNS = 2
+
+// NS converts nanoseconds to cycles.
+func NS(ns uint64) Cycles { return ns * CyclesPerNS }
+
+// event is a scheduled callback. seq breaks ties deterministically so that
+// two events scheduled for the same cycle fire in schedule order.
+type event struct {
+	when Cycles
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. Components schedule
+// callbacks at future cycles; Run dispatches them in time order. Engine is
+// not safe for concurrent use: the whole simulated machine runs on one
+// goroutine, which keeps the model deterministic.
+type Engine struct {
+	now    Cycles
+	seq    uint64
+	events eventHeap
+	halted bool
+}
+
+// NewEngine returns an engine with the clock at cycle zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulation time in cycles.
+func (e *Engine) Now() Cycles { return e.now }
+
+// At schedules fn to run at absolute cycle when. Scheduling in the past is a
+// programming error and panics: it would silently corrupt causality.
+func (e *Engine) At(when Cycles, fn func()) {
+	if when < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	heap.Push(&e.events, event{when: when, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Cycles, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// Pending reports the number of scheduled events not yet dispatched.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Halt stops Run before the next event is dispatched. It is typically called
+// from within an event handler (e.g. by a crash injector).
+func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether Halt has been called.
+func (e *Engine) Halted() bool { return e.halted }
+
+// Run dispatches events in time order until the queue drains, Halt is
+// called, or the clock would pass limit (limit 0 means no limit). It returns
+// the cycle at which it stopped.
+func (e *Engine) Run(limit Cycles) Cycles {
+	for len(e.events) > 0 && !e.halted {
+		next := e.events[0]
+		if limit != 0 && next.when > limit {
+			e.now = limit
+			return e.now
+		}
+		heap.Pop(&e.events)
+		e.now = next.when
+		next.fn()
+	}
+	return e.now
+}
+
+// Step dispatches exactly one event if available and reports whether it did.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 || e.halted {
+		return false
+	}
+	next := heap.Pop(&e.events).(event)
+	e.now = next.when
+	next.fn()
+	return true
+}

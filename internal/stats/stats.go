@@ -1,0 +1,191 @@
+// Package stats collects simulation statistics. The counter names mirror the
+// gem5 stats listed in Table VI of the ASAP paper so that EXPERIMENTS.md can
+// speak the paper's vocabulary:
+//
+//	cyclesBlocked        cycles for which a persist buffer is unable to flush
+//	cyclesStalled        CPU stall cycles because of a full persist buffer
+//	dfenceStalled        CPU stall cycles because of dfence
+//	entriesInserted      writes enqueued in the persist buffers
+//	interTEpochConflict  cross-thread dependencies detected
+//	totSpecWrites        early (speculative) flushes issued
+//	totalUndo            undo records created
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is a named collection of counters and distributions. The zero value is
+// not usable; call New.
+type Set struct {
+	counters map[string]uint64
+	dists    map[string]*Dist
+}
+
+// New returns an empty stat set.
+func New() *Set {
+	return &Set{
+		counters: make(map[string]uint64),
+		dists:    make(map[string]*Dist),
+	}
+}
+
+// Add increments counter name by delta.
+func (s *Set) Add(name string, delta uint64) {
+	s.counters[name] += delta
+}
+
+// Inc increments counter name by one.
+func (s *Set) Inc(name string) { s.Add(name, 1) }
+
+// Get returns the value of counter name (zero if never touched).
+func (s *Set) Get(name string) uint64 { return s.counters[name] }
+
+// SetMax raises counter name to v if v is larger. Used for high-water marks
+// such as recovery-table max occupancy.
+func (s *Set) SetMax(name string, v uint64) {
+	if v > s.counters[name] {
+		s.counters[name] = v
+	}
+}
+
+// Observe records sample v in the distribution named name.
+func (s *Set) Observe(name string, v uint64) {
+	d, ok := s.dists[name]
+	if !ok {
+		d = &Dist{}
+		s.dists[name] = d
+	}
+	d.Observe(v)
+}
+
+// Dist returns the distribution named name, or nil if never observed.
+func (s *Set) Dist(name string) *Dist { return s.dists[name] }
+
+// Names returns all counter names in sorted order.
+func (s *Set) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds every counter and distribution from other into s.
+func (s *Set) Merge(other *Set) {
+	for n, v := range other.counters {
+		s.counters[n] += v
+	}
+	for n, d := range other.dists {
+		mine, ok := s.dists[n]
+		if !ok {
+			mine = &Dist{}
+			s.dists[n] = mine
+		}
+		mine.Merge(d)
+	}
+}
+
+// String renders the set as "name value" lines, sorted by name, in the style
+// of a gem5 stats.txt file.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, n := range s.Names() {
+		fmt.Fprintf(&b, "%-28s %d\n", n, s.counters[n])
+	}
+	for _, n := range s.distNames() {
+		d := s.dists[n]
+		fmt.Fprintf(&b, "%-28s avg=%.2f p99=%d max=%d n=%d\n", n, d.Mean(), d.Percentile(0.99), d.Max(), d.Count())
+	}
+	return b.String()
+}
+
+func (s *Set) distNames() []string {
+	names := make([]string, 0, len(s.dists))
+	for n := range s.dists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Dist is a bounded-resolution distribution of non-negative integer samples.
+// Samples up to distBuckets-1 are counted exactly; larger samples share the
+// overflow bucket but still contribute exactly to mean and max.
+type Dist struct {
+	buckets [distBuckets]uint64
+	over    uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+const distBuckets = 4096
+
+// Observe records one sample.
+func (d *Dist) Observe(v uint64) {
+	d.count++
+	d.sum += v
+	if v > d.max {
+		d.max = v
+	}
+	if v < distBuckets {
+		d.buckets[v]++
+	} else {
+		d.over++
+	}
+}
+
+// Merge folds other into d.
+func (d *Dist) Merge(other *Dist) {
+	for i, c := range other.buckets {
+		d.buckets[i] += c
+	}
+	d.over += other.over
+	d.count += other.count
+	d.sum += other.sum
+	if other.max > d.max {
+		d.max = other.max
+	}
+}
+
+// Count returns the number of samples observed.
+func (d *Dist) Count() uint64 { return d.count }
+
+// Mean returns the sample mean, or 0 for an empty distribution.
+func (d *Dist) Mean() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	return float64(d.sum) / float64(d.count)
+}
+
+// Max returns the largest sample observed.
+func (d *Dist) Max() uint64 { return d.max }
+
+// Percentile returns the smallest value v such that at least p (0..1) of the
+// samples are <= v. Samples in the overflow bucket report Max.
+func (d *Dist) Percentile(p float64) uint64 {
+	if d.count == 0 {
+		return 0
+	}
+	// Smallest v with at least ceil(p * count) samples <= v.
+	target := uint64(p * float64(d.count))
+	if float64(target) < p*float64(d.count) {
+		target++
+	}
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for v, c := range d.buckets {
+		cum += c
+		if cum >= target {
+			return uint64(v)
+		}
+	}
+	return d.max
+}

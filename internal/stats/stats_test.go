@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounters(t *testing.T) {
+	s := New()
+	s.Inc("a")
+	s.Add("a", 4)
+	if s.Get("a") != 5 {
+		t.Fatalf("a = %d", s.Get("a"))
+	}
+	if s.Get("missing") != 0 {
+		t.Fatal("missing counter not zero")
+	}
+}
+
+func TestSetMax(t *testing.T) {
+	s := New()
+	s.SetMax("m", 5)
+	s.SetMax("m", 3)
+	s.SetMax("m", 9)
+	if s.Get("m") != 9 {
+		t.Fatalf("m = %d, want 9", s.Get("m"))
+	}
+}
+
+func TestDistBasics(t *testing.T) {
+	var d Dist
+	for v := uint64(1); v <= 100; v++ {
+		d.Observe(v)
+	}
+	if d.Count() != 100 {
+		t.Fatalf("count = %d", d.Count())
+	}
+	if m := d.Mean(); m != 50.5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if d.Max() != 100 {
+		t.Fatalf("max = %d", d.Max())
+	}
+	if p := d.Percentile(0.5); p != 50 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := d.Percentile(0.99); p != 99 {
+		t.Fatalf("p99 = %d", p)
+	}
+}
+
+func TestDistOverflowBucket(t *testing.T) {
+	var d Dist
+	d.Observe(10)
+	d.Observe(1 << 20) // beyond bucket range
+	if d.Max() != 1<<20 {
+		t.Fatal("overflow sample lost from max")
+	}
+	if d.Mean() != float64(10+1<<20)/2 {
+		t.Fatal("overflow sample lost from mean")
+	}
+	if p := d.Percentile(0.99); p != 1<<20 {
+		t.Fatalf("p99 = %d, want the overflow max", p)
+	}
+}
+
+func TestEmptyDist(t *testing.T) {
+	var d Dist
+	if d.Mean() != 0 || d.Percentile(0.99) != 0 || d.Max() != 0 {
+		t.Fatal("empty dist should report zeros")
+	}
+}
+
+func TestObserveAndDistLookup(t *testing.T) {
+	s := New()
+	s.Observe("lat", 7)
+	s.Observe("lat", 9)
+	d := s.Dist("lat")
+	if d == nil || d.Count() != 2 {
+		t.Fatal("dist not recorded")
+	}
+	if s.Dist("other") != nil {
+		t.Fatal("unknown dist should be nil")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Add("x", 3)
+	b.Add("x", 4)
+	b.Add("y", 1)
+	a.Observe("d", 10)
+	b.Observe("d", 20)
+	a.Merge(b)
+	if a.Get("x") != 7 || a.Get("y") != 1 {
+		t.Fatal("counter merge wrong")
+	}
+	if d := a.Dist("d"); d.Count() != 2 || d.Max() != 20 {
+		t.Fatal("dist merge wrong")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := New()
+	s.Add("zeta", 1)
+	s.Add("alpha", 2)
+	s.Observe("occ", 5)
+	out := s.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "zeta") {
+		t.Fatalf("missing counters in %q", out)
+	}
+	if strings.Index(out, "alpha") > strings.Index(out, "zeta") {
+		t.Fatal("counters not sorted")
+	}
+	if !strings.Contains(out, "occ") {
+		t.Fatal("dist missing from String")
+	}
+}
+
+func TestNames(t *testing.T) {
+	s := New()
+	s.Inc("b")
+	s.Inc("a")
+	n := s.Names()
+	if len(n) != 2 || n[0] != "a" || n[1] != "b" {
+		t.Fatalf("names = %v", n)
+	}
+}

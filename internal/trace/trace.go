@@ -1,0 +1,132 @@
+// Package trace defines the per-thread operation streams the machine
+// replays. Workload generators (package workload) and the instrumented
+// persistent data structures (package pmds) both produce traces.
+package trace
+
+import "fmt"
+
+// Kind enumerates trace operations.
+type Kind uint8
+
+const (
+	// OpCompute spends N cycles of non-memory work.
+	OpCompute Kind = iota
+	// OpLoad reads Addr.
+	OpLoad
+	// OpStore writes Addr; Persistent selects the PM persist path.
+	OpStore
+	// OpOfence orders earlier persistent writes before later ones.
+	OpOfence
+	// OpDfence additionally guarantees earlier writes are durable.
+	OpDfence
+	// OpAcquire takes the lock at Addr (spins if held).
+	OpAcquire
+	// OpRelease releases the lock at Addr.
+	OpRelease
+	// OpStrand begins a new strand (strand persistency): subsequent
+	// writes are unordered against other strands of the same thread.
+	// Models without strand support ignore it (their epoch ordering is a
+	// conservative superset).
+	OpStrand
+)
+
+func (k Kind) String() string {
+	switch k {
+	case OpCompute:
+		return "compute"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpOfence:
+		return "ofence"
+	case OpDfence:
+		return "dfence"
+	case OpAcquire:
+		return "acquire"
+	case OpRelease:
+		return "release"
+	case OpStrand:
+		return "strand"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Op is one operation of one thread.
+type Op struct {
+	Kind       Kind
+	Addr       uint64 // byte address for memory ops and locks
+	N          uint32 // compute cycles for OpCompute
+	Persistent bool   // store targets persistent memory
+}
+
+// Trace holds one op stream per thread.
+type Trace struct {
+	Name    string
+	Threads [][]Op
+}
+
+// NumThreads returns the thread count.
+func (t *Trace) NumThreads() int { return len(t.Threads) }
+
+// TotalOps returns the op count across all threads.
+func (t *Trace) TotalOps() int {
+	n := 0
+	for _, th := range t.Threads {
+		n += len(th)
+	}
+	return n
+}
+
+// Counts tallies ops by kind across all threads.
+func (t *Trace) Counts() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, th := range t.Threads {
+		for _, op := range th {
+			out[op.Kind]++
+		}
+	}
+	return out
+}
+
+// Builder accumulates a per-thread stream with convenience emitters.
+type Builder struct {
+	ops     []Op
+	pstores int
+}
+
+// Compute appends n cycles of computation.
+func (b *Builder) Compute(n uint32) { b.ops = append(b.ops, Op{Kind: OpCompute, N: n}) }
+
+// Load appends a load of addr.
+func (b *Builder) Load(addr uint64) { b.ops = append(b.ops, Op{Kind: OpLoad, Addr: addr}) }
+
+// StoreP appends a persistent store to addr.
+func (b *Builder) StoreP(addr uint64) {
+	b.ops = append(b.ops, Op{Kind: OpStore, Addr: addr, Persistent: true})
+	b.pstores++
+}
+
+// StoreV appends a volatile store to addr.
+func (b *Builder) StoreV(addr uint64) { b.ops = append(b.ops, Op{Kind: OpStore, Addr: addr}) }
+
+// Ofence / Dfence append persist barriers.
+func (b *Builder) Ofence() { b.ops = append(b.ops, Op{Kind: OpOfence}) }
+func (b *Builder) Dfence() { b.ops = append(b.ops, Op{Kind: OpDfence}) }
+
+// Acquire / Release append lock operations on lock address addr.
+func (b *Builder) Acquire(addr uint64) { b.ops = append(b.ops, Op{Kind: OpAcquire, Addr: addr}) }
+func (b *Builder) Release(addr uint64) { b.ops = append(b.ops, Op{Kind: OpRelease, Addr: addr}) }
+
+// NewStrand appends a strand boundary (strand persistency).
+func (b *Builder) NewStrand() { b.ops = append(b.ops, Op{Kind: OpStrand}) }
+
+// Ops returns the accumulated stream.
+func (b *Builder) Ops() []Op { return b.ops }
+
+// Len returns the number of accumulated ops.
+func (b *Builder) Len() int { return len(b.ops) }
+
+// PersistentStores returns the number of persistent stores accumulated —
+// the same sequence numbering the machine's token origins use.
+func (b *Builder) PersistentStores() int { return b.pstores }

@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilder(t *testing.T) {
+	var b Builder
+	b.Compute(10)
+	b.Load(0x40)
+	b.StoreP(0x80)
+	b.StoreV(0xc0)
+	b.Ofence()
+	b.Dfence()
+	b.Acquire(0x1000)
+	b.Release(0x1000)
+	ops := b.Ops()
+	if len(ops) != 8 || b.Len() != 8 {
+		t.Fatalf("len = %d", len(ops))
+	}
+	if ops[0].Kind != OpCompute || ops[0].N != 10 {
+		t.Fatal("compute op wrong")
+	}
+	if ops[2].Kind != OpStore || !ops[2].Persistent {
+		t.Fatal("persistent store wrong")
+	}
+	if ops[3].Kind != OpStore || ops[3].Persistent {
+		t.Fatal("volatile store wrong")
+	}
+	if ops[6].Kind != OpAcquire || ops[6].Addr != 0x1000 {
+		t.Fatal("acquire wrong")
+	}
+}
+
+func TestTraceCounts(t *testing.T) {
+	var a, b Builder
+	a.StoreP(0x40)
+	a.Ofence()
+	b.Load(0x40)
+	tr := &Trace{Name: "x", Threads: [][]Op{a.Ops(), b.Ops()}}
+	if tr.NumThreads() != 2 || tr.TotalOps() != 3 {
+		t.Fatal("counts wrong")
+	}
+	c := tr.Counts()
+	if c[OpStore] != 1 || c[OpOfence] != 1 || c[OpLoad] != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := OpCompute; k <= OpRelease; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if !strings.HasPrefix(Kind(99).String(), "kind(") {
+		t.Fatal("unknown kind should fall back")
+	}
+}

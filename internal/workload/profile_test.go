@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"testing"
+
+	"asap/internal/trace"
+)
+
+// These tests pin the persistence *profiles* the WHISPER generators claim to
+// reproduce (DESIGN.md substitution table): fence rates, locking discipline
+// and the volatile/persistent split. If a generator drifts, Figure 2/3
+// fidelity silently degrades — so the profiles are tested.
+
+func profile(t *testing.T, name string) (*trace.Trace, map[trace.Kind]int) {
+	t.Helper()
+	p := Default()
+	p.OpsPerThread = 200
+	tr, err := Generate(name, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, tr.Counts()
+}
+
+func TestNstoreProfile(t *testing.T) {
+	_, c := profile(t, "nstore")
+	txs := 4 * 200
+	// Every transaction: >=1 ofence (log/data split) and exactly one
+	// dfence (commit), plus the final drain fences.
+	if c[trace.OpDfence] < txs {
+		t.Errorf("dfence = %d, want >= %d (one per transaction)", c[trace.OpDfence], txs)
+	}
+	if c[trace.OpOfence] < txs {
+		t.Errorf("ofence = %d, want >= %d", c[trace.OpOfence], txs)
+	}
+	// Nstore uses no locks (partitioned DB).
+	if c[trace.OpAcquire] != 0 {
+		t.Errorf("nstore should not use locks, got %d acquires", c[trace.OpAcquire])
+	}
+	// Log + tuple writes: at least 4 persistent stores per transaction.
+	if c[trace.OpStore] < txs*4 {
+		t.Errorf("stores = %d, want >= %d", c[trace.OpStore], txs*4)
+	}
+}
+
+func TestVacationProfile(t *testing.T) {
+	tr, c := profile(t, "vacation")
+	txs := 4 * 200
+	// Coarse-grained lock: exactly one acquire/release pair per query.
+	if c[trace.OpAcquire] != txs || c[trace.OpRelease] != txs {
+		t.Errorf("acquire/release = %d/%d, want %d", c[trace.OpAcquire], c[trace.OpRelease], txs)
+	}
+	// Volatile bookkeeping inside the critical section (the property that
+	// makes eager flushing unhelpful here, §VII-A).
+	volatileStores := 0
+	for _, th := range tr.Threads {
+		for _, op := range th {
+			if op.Kind == trace.OpStore && !op.Persistent {
+				volatileStores++
+			}
+		}
+	}
+	if volatileStores < txs*4 {
+		t.Errorf("volatile stores = %d, want >= %d (bookkeeping before unlock)", volatileStores, txs*4)
+	}
+}
+
+func TestMemcachedProfile(t *testing.T) {
+	_, c := profile(t, "memcached")
+	txs := 4 * 200
+	// Per-bucket locks: one pair per request.
+	if c[trace.OpAcquire] != txs {
+		t.Errorf("acquires = %d, want %d", c[trace.OpAcquire], txs)
+	}
+	// PMDK undo logging: at least two fences per update.
+	if c[trace.OpOfence] < txs*2 {
+		t.Errorf("ofences = %d, want >= %d", c[trace.OpOfence], txs*2)
+	}
+}
+
+func TestEchoProfile(t *testing.T) {
+	_, c := profile(t, "echo")
+	// Batched master-store merges: locks far rarer than operations.
+	txs := 4 * 200
+	if c[trace.OpAcquire] == 0 {
+		t.Error("echo should take the master lock sometimes")
+	}
+	if c[trace.OpAcquire] > txs/4 {
+		t.Errorf("echo locks too often: %d acquires for %d ops", c[trace.OpAcquire], txs)
+	}
+}
+
+func TestBandwidthProfile(t *testing.T) {
+	p := Default()
+	p.Threads = 1
+	p.OpsPerThread = 100
+	tr, err := Generate("bandwidth", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Counts()
+	// 4 line stores + 1 ofence per 256 B block.
+	if c[trace.OpStore] != 400 {
+		t.Errorf("stores = %d, want 400", c[trace.OpStore])
+	}
+	if c[trace.OpOfence] != 100 {
+		t.Errorf("ofences = %d, want 100", c[trace.OpOfence])
+	}
+	if BandwidthBytes(p) != 100*256 {
+		t.Errorf("BandwidthBytes = %d", BandwidthBytes(p))
+	}
+	// Blocks alternate controllers under 256 B interleaving: consecutive
+	// block base lines differ by 4.
+	var stores []uint64
+	for _, op := range tr.Threads[0] {
+		if op.Kind == trace.OpStore {
+			stores = append(stores, op.Addr)
+		}
+	}
+	if (stores[0]/64)/4%2 == (stores[4]/64)/4%2 {
+		t.Error("consecutive blocks do not alternate 256 B granules")
+	}
+}
+
+// TestValueSizeScalesStores: larger values touch more lines per insert.
+func TestValueSizeScalesStores(t *testing.T) {
+	p := Default()
+	p.OpsPerThread = 100
+	p.ValueSize = 8
+	small, err := Generate("cceh", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ValueSize = 128
+	large, err := Generate("cceh", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Counts()[trace.OpStore] <= small.Counts()[trace.OpStore] {
+		t.Errorf("128 B values (%d stores) should write more lines than 8 B (%d)",
+			large.Counts()[trace.OpStore], small.Counts()[trace.OpStore])
+	}
+}

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"testing"
+
+	"asap/internal/config"
+	"asap/internal/machine"
+	"asap/internal/model"
+	"asap/internal/trace"
+)
+
+func smallParams() Params {
+	p := Default()
+	p.OpsPerThread = 60
+	p.KeyRange = 512
+	return p
+}
+
+// TestGenerateAll: every registered workload produces a non-trivial
+// multi-threaded trace with persistent stores and fences.
+func TestGenerateAll(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tr, err := Generate(name, smallParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.NumThreads() != 4 {
+				t.Fatalf("threads=%d", tr.NumThreads())
+			}
+			counts := tr.Counts()
+			if counts[trace.OpStore] == 0 {
+				t.Error("no stores recorded")
+			}
+			if counts[trace.OpOfence]+counts[trace.OpDfence] == 0 {
+				t.Error("no fences recorded")
+			}
+			if tr.TotalOps() < 4*60 {
+				t.Errorf("suspiciously small trace: %d ops", tr.TotalOps())
+			}
+		})
+	}
+}
+
+// TestGenerateDeterministic: same seed, same trace.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, name := range []string{"cceh", "nstore", "p_art"} {
+		a, err := Generate(name, smallParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(name, smallParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.TotalOps() != b.TotalOps() {
+			t.Fatalf("%s: non-deterministic op counts %d vs %d", name, a.TotalOps(), b.TotalOps())
+		}
+		for i := range a.Threads {
+			for j := range a.Threads[i] {
+				if a.Threads[i][j] != b.Threads[i][j] {
+					t.Fatalf("%s: trace diverges at thread %d op %d", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestUnknownWorkload: helpful error.
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := Generate("nope", Default()); err == nil {
+		t.Fatal("expected an error for an unknown workload")
+	}
+}
+
+// TestAllWorkloadsRunAllModels is the broad integration matrix: every
+// workload × every model runs to completion under the Table II machine.
+func TestAllWorkloadsRunAllModels(t *testing.T) {
+	p := smallParams()
+	p.OpsPerThread = 40
+	for _, wl := range Names() {
+		tr, err := Generate(wl, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mn := range model.ExtendedNames() {
+			m, err := machine.New(config.Default(), mn, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := m.Run(2_000_000_000)
+			if res.Cycles == 0 {
+				t.Errorf("%s/%s: zero cycles", wl, mn)
+			}
+			if res.Stats.Get("entriesInserted") == 0 && mn != model.NameBaseline && mn != model.NameEADR {
+				t.Errorf("%s/%s: no persist buffer activity", wl, mn)
+			}
+		}
+	}
+}
+
+// TestConcurrentStructuresHaveDeps: the concurrent data structures must
+// exhibit cross-thread dependencies under ASAP_RP (Figure 2's claim), while
+// nstore should have almost none.
+func TestConcurrentStructuresHaveDeps(t *testing.T) {
+	p := smallParams()
+	p.OpsPerThread = 120
+	deps := map[string]uint64{}
+	for _, wl := range []string{"cceh", "p_art", "dash_lh", "nstore"} {
+		tr, err := Generate(wl, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := machine.New(config.Default(), model.NameASAPRP, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Run(0)
+		deps[wl] = m.St.Get("interTEpochConflict")
+	}
+	t.Logf("cross-thread deps: %v", deps)
+	for _, wl := range []string{"cceh", "p_art"} {
+		if deps[wl] == 0 {
+			t.Errorf("%s: expected cross-thread dependencies, got none", wl)
+		}
+	}
+	if deps["nstore"] > deps["cceh"] && deps["cceh"] > 0 {
+		t.Errorf("nstore (%d) should have fewer deps than cceh (%d)", deps["nstore"], deps["cceh"])
+	}
+}
+
+// TestStrandAnnotation: Params.Strands adds strand boundaries; off by
+// default.
+func TestStrandAnnotation(t *testing.T) {
+	p := smallParams()
+	tr, err := Generate("cceh", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Counts()[trace.OpStrand] != 0 {
+		t.Fatal("strand ops present without the option")
+	}
+	p.Strands = true
+	tr, err = Generate("cceh", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Threads * p.OpsPerThread
+	if got := tr.Counts()[trace.OpStrand]; got != want {
+		t.Fatalf("strand ops = %d, want %d (one per structure op)", got, want)
+	}
+	// The annotated trace still runs everywhere (strand-blind models
+	// ignore the boundaries).
+	for _, mn := range []string{model.NameBaseline, model.NameHOPSRP, model.NameStrandWeaver, model.NameASAPRP} {
+		m, err := machine.New(config.Default(), mn, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := m.Run(1_000_000_000); res.Cycles == 0 {
+			t.Errorf("%s: zero cycles on a strand trace", mn)
+		}
+	}
+}
