@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet lint bench ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs the repo's own static-analysis suite (cmd/asaplint): donecheck,
+# detcheck, unitcheck and ledgercheck over every package in the module.
+lint:
+	$(GO) run ./cmd/asaplint ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# ci mirrors .github/workflows/ci.yml.
+ci: build vet test race lint

@@ -1,0 +1,163 @@
+// Package analysistest runs an analyzer over fixture files and matches
+// its findings against in-source expectation comments, in the spirit of
+// golang.org/x/tools/go/analysis/analysistest but with zero dependencies
+// outside the standard library.
+//
+// A fixture line that should be flagged carries a trailing comment
+//
+//	code() // want "regexp" "another regexp"
+//
+// with one quoted regular expression per expected finding on that line.
+// The harness fails the test if a finding has no matching expectation on
+// its line, or an expectation goes unmatched. //asaplint:ignore
+// directives are honored, so suppression behavior is testable too.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"asap/internal/analysis"
+)
+
+// wantRx extracts the quoted regexps of a want comment; both "..." and
+// `...` forms are accepted.
+var wantRx = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run parses and type-checks every .go file in dir as one package,
+// runs the analyzer over it under the given import path (so path-scoped
+// analyzers fire), and compares findings with // want comments.
+func Run(t *testing.T, a analysis.Analyzer, pkgpath, dir string) {
+	t.Helper()
+	pkg, err := loadDir(pkgpath, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags := analysis.Run(a, pkg)
+	diags = analysis.FilterIgnored(pkg.Fset, pkg.Files, diags)
+
+	wants, err := collectWants(pkg.Fset, pkg.Files)
+	if err != nil {
+		t.Fatalf("parsing want comments in %s: %v", dir, err)
+	}
+
+	for _, d := range diags {
+		if !consume(wants, d) {
+			t.Errorf("unexpected finding %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %s, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// consume marks the first unmatched expectation on the diagnostic's line
+// whose regexp matches the message.
+func consume(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.rx.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				quoted := wantRx.FindAllString(rest, -1)
+				if len(quoted) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment without quoted regexp", pos.Filename, pos.Line)
+				}
+				for _, q := range quoted {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx, raw: q})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// loadDir parses and type-checks the fixture files of one directory.
+// Fixtures may import only the standard library.
+func loadDir(pkgpath, dir string) (*analysis.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture: %w", err)
+	}
+	return &analysis.Package{Path: pkgpath, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,187 @@
+// Package detcheck enforces the determinism contract of the simulator
+// (internal/sim/engine.go: the single-threaded event loop "keeps the
+// model deterministic"). Inside the deterministic packages it forbids:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until) — simulated
+//     time comes from sim.Engine only;
+//   - unseeded randomness: package-level math/rand functions draw from
+//     the globally seeded source, so two runs diverge. Randomness must
+//     flow through an explicitly seeded *rand.Rand (see internal/rng);
+//     the rand.New*/rand.NewSource constructors remain allowed;
+//   - ranging over a map: iteration order is randomized per run, so any
+//     map range that feeds event scheduling or output ordering breaks
+//     run-to-run reproducibility. Collect-then-sort loops (a body that
+//     only appends keys, followed by a sort call in the same function)
+//     are recognized and allowed; genuinely order-independent loops can
+//     carry an //asaplint:ignore detcheck <reason> directive.
+package detcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"asap/internal/analysis"
+)
+
+// scopes are the package-path suffixes the determinism contract covers.
+var scopes = []string{
+	"internal/sim",
+	"internal/model",
+	"internal/machine",
+	"internal/mem",
+	"internal/persist",
+	"internal/cache",
+	"internal/harness",
+}
+
+// New returns the detcheck analyzer.
+func New() analysis.Analyzer { return checker{} }
+
+type checker struct{}
+
+func (checker) Name() string { return "detcheck" }
+
+func (checker) Doc() string {
+	return "forbid wall-clock time, unseeded randomness and unsorted map iteration in deterministic simulator packages"
+}
+
+func inScope(path string) bool {
+	for _, s := range scopes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (checker) Run(pass *analysis.Pass) {
+	if !inScope(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		bodies := funcBodies(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.SelectorExpr:
+				checkSelector(pass, v)
+			case *ast.RangeStmt:
+				checkRange(pass, v, bodies)
+			}
+			return true
+		})
+	}
+}
+
+// checkSelector flags wall-clock and unseeded-randomness calls.
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until":
+			pass.Reportf(sel.Pos(), "wall-clock call time.%s breaks determinism; simulated time comes from sim.Engine", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !strings.HasPrefix(name, "New") {
+			pass.Reportf(sel.Pos(), "unseeded rand.%s draws from the global source; use an explicitly seeded *rand.Rand", name)
+		}
+	}
+}
+
+// checkRange flags iteration over maps unless it is the
+// collect-keys-then-sort idiom.
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, bodies []*ast.BlockStmt) {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := types.Unalias(t).Underlying().(*types.Map); !ok {
+		return
+	}
+	if isCollectThenSort(pass, rs, bodies) {
+		return
+	}
+	pass.Reportf(rs.Pos(), "map iteration order is nondeterministic; sort the keys before ranging")
+}
+
+// isCollectThenSort recognizes the blessed idiom: the loop body only
+// appends to slices, and a sort/slices call follows the loop inside the
+// same enclosing function.
+func isCollectThenSort(pass *analysis.Pass, rs *ast.RangeStmt, bodies []*ast.BlockStmt) bool {
+	for _, s := range rs.Body.List {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+	}
+	body := enclosing(bodies, rs.Pos())
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Pos() <= rs.End() {
+			return true
+		}
+		if fn, ok := pass.ObjectOf(sel.Sel).(*types.Func); ok && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// funcBodies lists every function body in the file.
+func funcBodies(f *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncDecl:
+			if v.Body != nil {
+				bodies = append(bodies, v.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, v.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// enclosing returns the smallest body containing pos.
+func enclosing(bodies []*ast.BlockStmt, pos token.Pos) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= pos && pos <= b.End() {
+			if best == nil || b.End()-b.Pos() < best.End()-best.Pos() {
+				best = b
+			}
+		}
+	}
+	return best
+}

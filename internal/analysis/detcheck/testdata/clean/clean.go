@@ -1,0 +1,19 @@
+// Package cleanfixture uses wall clocks and global randomness, which is
+// acceptable outside the deterministic simulator packages: detcheck must
+// stay silent here.
+package cleanfixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Wall() time.Time { return time.Now() }
+
+func Roll(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n + rand.Intn(6)
+}

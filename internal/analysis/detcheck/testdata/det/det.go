@@ -1,0 +1,80 @@
+// Package detfixture exercises the detcheck analyzer: no wall clocks,
+// no unseeded randomness, no unsorted map iteration.
+package detfixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Wall-clock reads are forbidden.
+func WallClock() int64 {
+	t := time.Now() // want `wall-clock call time\.Now breaks determinism`
+	return t.Unix()
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock call time\.Since breaks determinism`
+}
+
+// Unseeded package-level randomness is forbidden...
+func GlobalRand() int {
+	return rand.Intn(10) // want `unseeded rand\.Intn draws from the global source`
+}
+
+func GlobalFloat() float64 {
+	return rand.Float64() // want `unseeded rand\.Float64 draws from the global source`
+}
+
+// ...but an explicitly seeded *rand.Rand is the approved path.
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Ranging over a map without sorting is forbidden.
+func SumFirst(m map[string]int) int {
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		return v
+	}
+	return 0
+}
+
+// Collect-then-sort is the blessed idiom.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Collecting without sorting afterwards is still flagged.
+func UnsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Order-independent loops can be suppressed with a justified directive.
+func CountAll(m map[string]int) int {
+	n := 0
+	//asaplint:ignore detcheck pure count, order-independent
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Slices are not maps: no finding.
+func SumSlice(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

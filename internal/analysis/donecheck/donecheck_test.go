@@ -1,0 +1,12 @@
+package donecheck_test
+
+import (
+	"testing"
+
+	"asap/internal/analysis/analysistest"
+	"asap/internal/analysis/donecheck"
+)
+
+func TestDonecheck(t *testing.T) {
+	analysistest.Run(t, donecheck.New(), "donefixture", "testdata/done")
+}

@@ -1,0 +1,112 @@
+// Package donefixture exercises the donecheck analyzer: done must be
+// invoked or handed off exactly once on every path.
+package donefixture
+
+var waiters []func()
+
+// OK: direct invocation on the single path.
+func DirectCall(done func()) {
+	done()
+}
+
+// OK: handoff to another call transfers the obligation.
+func Handoff(done func()) {
+	helper(done)
+}
+
+func helper(cb func()) { cb() }
+
+// OK: the sim.Engine retry pattern — a stored closure capturing done
+// counts as the one consumption.
+func Park(full func() bool, done func()) {
+	if full() {
+		waiters = append(waiters, func() { Park(full, done) })
+		return
+	}
+	done()
+}
+
+type core struct{ waiter func() }
+
+// OK: storing done in a field for later invocation, with a panic path.
+func (c *core) Wait(done func()) {
+	if c.waiter != nil {
+		panic("busy")
+	}
+	c.waiter = done
+}
+
+// OK: defer fires exactly once.
+func Deferred(done func()) {
+	defer done()
+}
+
+// Missing: the false branch returns without invoking done.
+func MissingOnBranch(ok bool, done func()) {
+	if ok {
+		done()
+	}
+} // want `MissingOnBranch: done is never invoked on some path returning here`
+
+// Missing: early return skips the invocation.
+func EarlyReturn(n int, done func()) {
+	if n > 0 {
+		return // want `EarlyReturn: done is never invoked on some path returning here`
+	}
+	done()
+}
+
+// Double: unconditional second invocation.
+func Double(done func()) {
+	done()
+	done()
+} // want `Double: done may be invoked more than once on some path returning here`
+
+// Double: one branch adds a second invocation.
+func BranchDouble(ok bool, done func()) {
+	done()
+	if ok {
+		done()
+	}
+} // want `BranchDouble: done may be invoked more than once on some path returning here`
+
+// Double: a loop may hand done off on several iterations.
+func LoopHandoff(n int, done func()) {
+	for i := 0; i < n; i++ {
+		helper(done)
+	}
+} // want `LoopHandoff: done is never invoked on some path returning here` `LoopHandoff: done may be invoked more than once on some path returning here`
+
+// OK: the controller ack/nack pattern — local closures capturing done
+// are aliases; defining them is free, each use consumes done once.
+func AckNack(ok bool, done func()) {
+	ack := func() { done() }
+	nack := func() { done() }
+	if ok {
+		ack()
+		return
+	}
+	nack()
+}
+
+// Double through an alias: two alias uses on one path.
+func AliasDouble(done func()) {
+	ack := func() { done() }
+	ack()
+	ack()
+} // want `AliasDouble: done may be invoked more than once on some path returning here`
+
+// Missing through an alias: one branch never uses it.
+func AliasSkipped(ok bool, done func()) {
+	ack := func() { done() }
+	if ok {
+		ack()
+	}
+} // want `AliasSkipped: done is never invoked on some path returning here`
+
+// Suppressed: the ignore directive on the line above the closing brace
+// silences the zero-call finding.
+func Intentional(done func()) {
+	_ = len(waiters)
+	//asaplint:ignore donecheck completion is signalled out of band in this fixture
+}

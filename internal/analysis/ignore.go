@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive. The full form is
+//
+//	//asaplint:ignore <analyzer> <reason>
+//
+// where <analyzer> is an analyzer name or "all", and <reason> is a
+// non-empty justification. A directive suppresses findings of that
+// analyzer on its own line and on the line immediately below it (so it
+// can sit inline after the flagged code or on its own line above it).
+// A directive missing the analyzer or the reason is itself reported as a
+// finding, so suppressions can never silently rot.
+const ignorePrefix = "asaplint:ignore"
+
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+// collectIgnores extracts the ignore directives of a file set. Malformed
+// directives are returned as diagnostics.
+func collectIgnores(fset *token.FileSet, files []*ast.File) ([]ignoreDirective, []Diagnostic) {
+	var dirs []ignoreDirective
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "asaplint",
+						Message:  "malformed ignore directive: want //asaplint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				dirs = append(dirs, ignoreDirective{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// FilterIgnored drops findings suppressed by //asaplint:ignore directives
+// in files and appends a diagnostic for each malformed directive. The
+// returned slice is sorted.
+func FilterIgnored(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	dirs, bad := collectIgnores(fset, files)
+	suppressed := func(d Diagnostic) bool {
+		for _, dir := range dirs {
+			if dir.file != d.Pos.Filename {
+				continue
+			}
+			if dir.analyzer != d.Analyzer && dir.analyzer != "all" {
+				continue
+			}
+			if d.Pos.Line == dir.line || d.Pos.Line == dir.line+1 {
+				return true
+			}
+		}
+		return false
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		if !suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, bad...)
+	SortDiagnostics(kept)
+	return kept
+}

@@ -1,0 +1,14 @@
+package ledgercheck_test
+
+import (
+	"testing"
+
+	"asap/internal/analysis/analysistest"
+	"asap/internal/analysis/ledgercheck"
+)
+
+func TestLedgercheck(t *testing.T) {
+	// The fixture pretends to live in internal/model so the path-scoped
+	// analyzer fires.
+	analysistest.Run(t, ledgercheck.New(), "asap/internal/model", "testdata/ledger")
+}

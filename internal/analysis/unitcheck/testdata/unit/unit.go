@@ -1,0 +1,55 @@
+// Package unitfixture exercises the unitcheck analyzer: nanosecond and
+// cycle quantities must not mix without explicit conversion.
+package unitfixture
+
+// Cycles mirrors sim.Cycles: an alias, so it survives in type info.
+type Cycles = uint64
+
+// CyclesPerNS is a conversion factor: its name carries both units, so it
+// is neutral.
+const CyclesPerNS = 2
+
+// NS converts nanoseconds to cycles, the blessed conversion.
+func NS(ns uint64) Cycles { return ns * CyclesPerNS }
+
+// Config mirrors the Table II shape: latencies denominated in cycles.
+type Config struct {
+	FlushLat Cycles
+	DrainGap Cycles
+}
+
+// Additions and comparisons across units are flagged.
+func AddMix(lat Cycles, gapNS uint64) uint64 {
+	return lat + gapNS // want `mixing cycles and nanoseconds in "\+" without conversion`
+}
+
+func CompareMix(lat Cycles, gapNS uint64) bool {
+	return gapNS < lat // want `mixing nanoseconds and cycles in "<" without conversion`
+}
+
+// Assigning a nanosecond value to a cycle-typed destination is flagged,
+// including the hand-rolled 2*ns conversion.
+func AssignMix(cfg *Config, gapNS uint64) {
+	cfg.DrainGap = gapNS // want `assigning nanoseconds value to cycles destination without conversion`
+	cfg.DrainGap = 2 * gapNS // want `assigning nanoseconds value to cycles destination without conversion`
+}
+
+// The explicit conversions stay silent.
+func Converted(cfg *Config, gapNS uint64) {
+	cfg.DrainGap = NS(gapNS)
+	cfg.FlushLat = gapNS * CyclesPerNS
+	cfg.FlushLat = cfg.DrainGap + NS(3)
+}
+
+// Composite literals are checked per field.
+func Literal(gapNS uint64) Config {
+	return Config{
+		FlushLat: NS(60),
+		DrainGap: gapNS, // want `assigning nanoseconds value to cycles field DrainGap without conversion`
+	}
+}
+
+// Same-unit arithmetic is fine.
+func SameUnit(a, b Cycles, xNS, yNS uint64) (Cycles, uint64) {
+	return a + b, xNS + yNS
+}

@@ -1,0 +1,265 @@
+// Package unitcheck guards the Table II timing parameters against unit
+// confusion: values measured in nanoseconds (NVM latencies, drain gaps)
+// must never mix with values measured in 2 GHz core cycles without an
+// explicit conversion (sim.NS or a *PerNS factor). Unit membership is
+// inferred from two signals: identifier words ("gapNS", "nanos" → ns;
+// "cycles", "cyc" → cycles; names carrying both, like CyclesPerNS, are
+// conversion factors and neutral) and declared types (the sim.Cycles
+// alias → cycles, time.Duration → ns). Flagged shapes:
+//
+//   - a + b, a - b, and comparisons where one side is nanoseconds and
+//     the other cycles (multiplication and division are exempt — that is
+//     how conversions are written);
+//   - assignments and composite-literal fields giving a nanosecond value
+//     to a cycle-typed destination (or vice versa). Scaling by a bare
+//     numeric literal does not convert: 2*gapNS is still nanoseconds —
+//     write sim.NS(gapNS) instead.
+package unitcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+
+	"asap/internal/analysis"
+)
+
+// New returns the unitcheck analyzer.
+func New() analysis.Analyzer { return checker{} }
+
+type checker struct{}
+
+func (checker) Name() string { return "unitcheck" }
+
+func (checker) Doc() string {
+	return "flag arithmetic and assignments mixing nanosecond- and cycle-denominated values without an explicit conversion"
+}
+
+type unit int
+
+const (
+	unitUnknown unit = iota
+	unitNS
+	unitCycles
+	unitConversion // carries both (CyclesPerNS): a conversion factor
+)
+
+func (u unit) String() string {
+	switch u {
+	case unitNS:
+		return "nanoseconds"
+	case unitCycles:
+		return "cycles"
+	default:
+		return "unknown"
+	}
+}
+
+func conflict(a, b unit) bool {
+	return (a == unitNS && b == unitCycles) || (a == unitCycles && b == unitNS)
+}
+
+func (checker) Run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, v)
+			case *ast.AssignStmt:
+				checkAssign(pass, v)
+			case *ast.CompositeLit:
+				checkComposite(pass, v)
+			}
+			return true
+		})
+	}
+}
+
+func checkBinary(pass *analysis.Pass, be *ast.BinaryExpr) {
+	switch be.Op {
+	case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return // * and / are how conversions are written
+	}
+	lu, ru := exprUnit(pass, be.X), exprUnit(pass, be.Y)
+	if conflict(lu, ru) {
+		pass.Reportf(be.OpPos, "mixing %s and %s in %q without conversion (use sim.NS)", lu, ru, be.Op)
+	}
+}
+
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lu, ru := exprUnit(pass, lhs), exprUnit(pass, as.Rhs[i])
+		if conflict(lu, ru) {
+			pass.Reportf(as.Rhs[i].Pos(), "assigning %s value to %s destination without conversion (use sim.NS)", ru, lu)
+		}
+	}
+}
+
+func checkComposite(pass *analysis.Pass, cl *ast.CompositeLit) {
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		ku := nameUnit(key.Name)
+		if ku == unitUnknown {
+			if obj := pass.ObjectOf(key); obj != nil {
+				ku = typeUnit(obj.Type())
+			}
+		}
+		vu := exprUnit(pass, kv.Value)
+		if conflict(ku, vu) {
+			pass.Reportf(kv.Value.Pos(), "assigning %s value to %s field %s without conversion (use sim.NS)", vu, ku, key.Name)
+		}
+	}
+}
+
+// exprUnit infers the unit of an expression.
+func exprUnit(pass *analysis.Pass, e ast.Expr) unit {
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return exprUnit(pass, v.X)
+	case *ast.BasicLit:
+		return unitUnknown
+	case *ast.CallExpr:
+		// A call to a conversion function named NS yields cycles; any
+		// other call (including explicit type conversions) is judged by
+		// its result type.
+		if calleeName(v) == "NS" {
+			return unitCycles
+		}
+		return typeUnit(pass.TypeOf(e))
+	case *ast.Ident:
+		if u := nameUnit(v.Name); u != unitUnknown {
+			return u
+		}
+		return typeUnit(pass.TypeOf(e))
+	case *ast.SelectorExpr:
+		if u := nameUnit(v.Sel.Name); u != unitUnknown {
+			return u
+		}
+		return typeUnit(pass.TypeOf(e))
+	case *ast.BinaryExpr:
+		switch v.Op {
+		case token.MUL:
+			// Scaling by a bare literal preserves the unit; multiplying
+			// by a conversion factor (or anything unit-bearing) does not
+			// resolve to a single unit here.
+			if _, ok := v.X.(*ast.BasicLit); ok {
+				return exprUnit(pass, v.Y)
+			}
+			if _, ok := v.Y.(*ast.BasicLit); ok {
+				return exprUnit(pass, v.X)
+			}
+			return unitUnknown
+		case token.ADD, token.SUB:
+			lu, ru := exprUnit(pass, v.X), exprUnit(pass, v.Y)
+			if lu == ru {
+				return lu
+			}
+			return unitUnknown
+		default:
+			return unitUnknown
+		}
+	default:
+		return typeUnit(pass.TypeOf(e))
+	}
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// nameUnit classifies an identifier by its words.
+func nameUnit(name string) unit {
+	ns, cyc := false, false
+	for _, w := range splitWords(name) {
+		switch strings.ToLower(w) {
+		case "ns", "nanos", "nanosecond", "nanoseconds":
+			ns = true
+		case "cyc", "cycle", "cycles":
+			cyc = true
+		}
+	}
+	switch {
+	case ns && cyc:
+		return unitConversion
+	case ns:
+		return unitNS
+	case cyc:
+		return unitCycles
+	}
+	return unitUnknown
+}
+
+// typeUnit classifies by declared type: the sim.Cycles alias (or any
+// type named Cycles) is cycles; time.Duration is nanoseconds.
+func typeUnit(t types.Type) unit {
+	for i := 0; t != nil && i < 10; i++ {
+		var obj *types.TypeName
+		switch tt := t.(type) {
+		case *types.Alias:
+			obj = tt.Obj()
+			t = types.Unalias(tt)
+		case *types.Named:
+			obj = tt.Obj()
+			t = nil
+		default:
+			return unitUnknown
+		}
+		if obj != nil {
+			if obj.Name() == "Cycles" {
+				return unitCycles
+			}
+			if obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration" {
+				return unitNS
+			}
+		}
+	}
+	return unitUnknown
+}
+
+// splitWords breaks an identifier into camelCase/underscore words.
+func splitWords(name string) []string {
+	var words []string
+	runes := []rune(name)
+	start := 0
+	flush := func(end int) {
+		if end > start {
+			words = append(words, string(runes[start:end]))
+		}
+		start = end
+	}
+	for i := 1; i < len(runes); i++ {
+		prev, cur := runes[i-1], runes[i]
+		switch {
+		case cur == '_':
+			flush(i)
+			start = i + 1
+		case unicode.IsLower(prev) && unicode.IsUpper(cur):
+			flush(i)
+		case unicode.IsUpper(prev) && unicode.IsUpper(cur) && i+1 < len(runes) && unicode.IsLower(runes[i+1]):
+			flush(i)
+		case unicode.IsDigit(prev) != unicode.IsDigit(cur):
+			flush(i)
+		}
+	}
+	flush(len(runes))
+	return words
+}

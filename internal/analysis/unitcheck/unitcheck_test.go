@@ -1,0 +1,12 @@
+package unitcheck_test
+
+import (
+	"testing"
+
+	"asap/internal/analysis/analysistest"
+	"asap/internal/analysis/unitcheck"
+)
+
+func TestUnitcheck(t *testing.T) {
+	analysistest.Run(t, unitcheck.New(), "unitfixture", "testdata/unit")
+}

@@ -1,0 +1,35 @@
+package harness
+
+import "testing"
+
+// TestDeterministicOutput runs every experiment twice with the same seed
+// and demands byte-identical table output. The simulator's claim to be a
+// reproducible measurement instrument rests on this: any map-iteration
+// order leaking into event scheduling or report formatting shows up here
+// as a diff (and should also be caught statically by asaplint's detcheck).
+func TestDeterministicOutput(t *testing.T) {
+	render := func() map[string][2]string {
+		h := New(QuickOptions())
+		out := make(map[string][2]string)
+		for _, id := range Experiments() {
+			tb, err := h.Experiment(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[id] = [2]string{tb.Text(), tb.CSV()}
+		}
+		return out
+	}
+
+	first := render()
+	second := render()
+	for _, id := range Experiments() {
+		if first[id][0] != second[id][0] {
+			t.Errorf("%s: Text() differs between two same-seed runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+				id, first[id][0], second[id][0])
+		}
+		if first[id][1] != second[id][1] {
+			t.Errorf("%s: CSV() differs between two same-seed runs", id)
+		}
+	}
+}

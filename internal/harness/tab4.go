@@ -5,6 +5,7 @@ import (
 
 	"asap/internal/config"
 	"asap/internal/model"
+	"asap/internal/sim"
 	"asap/internal/workload"
 )
 
@@ -74,7 +75,7 @@ func (h *Harness) AblNVMBW() *Table {
 		row := []string{fmt.Sprintf("%d", th)}
 		for _, gapNS := range gaps {
 			cfg := h.cfgFor(th)
-			cfg.NVMDrainGap = 2 * gapNS // ns -> cycles
+			cfg.NVMDrainGap = sim.NS(gapNS)
 			hops := float64(h.runTrace(cfg, model.NameHOPSRP, tr).Cycles)
 			asap := float64(h.runTrace(cfg, model.NameASAPRP, tr).Cycles)
 			row = append(row, f2(hops/asap))

@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"sort"
+
 	"asap/internal/mem"
 	"asap/internal/persist"
 )
@@ -80,10 +82,16 @@ func (lg *Ledger) EpochCommitted(e persist.EpochID) {
 // Writes returns the write order of a line.
 func (lg *Ledger) Writes(line mem.Line) []WriteRec { return lg.writes[line] }
 
-// Lines calls fn for every line with at least one persistent write.
+// Lines calls fn for every line with at least one persistent write, in
+// ascending line order so crash-check reports are reproducible.
 func (lg *Ledger) Lines(fn func(mem.Line, []WriteRec)) {
-	for l, ws := range lg.writes {
-		fn(l, ws)
+	lines := make([]mem.Line, 0, len(lg.writes))
+	for l := range lg.writes {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, l := range lines {
+		fn(l, lg.writes[l])
 	}
 }
 
@@ -118,9 +126,20 @@ func (lg *Ledger) TokenLine(token mem.Token) (mem.Line, bool) {
 	return l, ok
 }
 
-// CommittedEpochs calls fn for every committed epoch.
+// CommittedEpochs calls fn for every committed epoch, ordered by thread
+// then timestamp so downstream reports are reproducible.
 func (lg *Ledger) CommittedEpochs(fn func(persist.EpochID)) {
+	epochs := make([]persist.EpochID, 0, len(lg.committed))
 	for e := range lg.committed {
+		epochs = append(epochs, e)
+	}
+	sort.Slice(epochs, func(i, j int) bool {
+		if epochs[i].Thread != epochs[j].Thread {
+			return epochs[i].Thread < epochs[j].Thread
+		}
+		return epochs[i].TS < epochs[j].TS
+	})
+	for _, e := range epochs {
 		fn(e)
 	}
 }
@@ -138,6 +157,7 @@ func (lg *Ledger) Origin(token mem.Token) (Origin, bool) {
 // TokenForOrigin finds the token issued for the given trace origin (0 if
 // that store never issued, e.g. the run crashed first).
 func (lg *Ledger) TokenForOrigin(o Origin) mem.Token {
+	//asaplint:ignore detcheck origins maps tokens to unique origins, so this scan finds at most one match regardless of order
 	for tok, org := range lg.origins {
 		if org == o {
 			return tok

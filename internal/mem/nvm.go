@@ -1,5 +1,7 @@
 package mem
 
+import "sort"
+
 // Token is the value stored in one NVM line. The timing model does not
 // simulate byte contents; instead every store in a workload carries a unique
 // monotonically increasing token (a global store sequence number). The crash
@@ -50,15 +52,22 @@ func (n *NVM) Reads() uint64 { return n.reads }
 // post-crash images.
 func (n *NVM) Snapshot() map[Line]Token {
 	out := make(map[Line]Token, len(n.lines))
+	//asaplint:ignore detcheck copying one map into another is order-independent
 	for l, t := range n.lines {
 		out[l] = t
 	}
 	return out
 }
 
-// Lines calls fn for every written line.
+// Lines calls fn for every written line, in ascending line order so
+// image comparisons and reports are reproducible.
 func (n *NVM) Lines(fn func(Line, Token)) {
-	for l, t := range n.lines {
-		fn(l, t)
+	lines := make([]Line, 0, len(n.lines))
+	for l := range n.lines {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, l := range lines {
+		fn(l, n.lines[l])
 	}
 }

@@ -1,6 +1,8 @@
 package model
 
 import (
+	"sort"
+
 	"asap/internal/cache"
 	"asap/internal/mem"
 	"asap/internal/persist"
@@ -390,7 +392,14 @@ func (m *ASAP) tryCommit(c *asapCore, ts uint64) {
 	}
 	ent.CommitAcks = len(ent.EarlyMCs)
 	epoch := persist.EpochID{Thread: c.id, TS: ts}
+	// Commit messages are scheduled in ascending controller order so the
+	// event sequence (and hence every downstream tie-break) is reproducible.
+	mcIDs := make([]int, 0, len(ent.EarlyMCs))
 	for mcID := range ent.EarlyMCs {
+		mcIDs = append(mcIDs, mcID)
+	}
+	sort.Ints(mcIDs)
+	for _, mcID := range mcIDs {
 		mc := m.env.MCs[mcID]
 		m.env.Eng.After(m.env.Cfg.MsgLat, func() {
 			mc.Commit(epoch, func() {

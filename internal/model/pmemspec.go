@@ -107,6 +107,7 @@ func (m *PMEMSpec) Store(core int, line mem.Line, token mem.Token, done func()) 
 
 	// Mis-speculation check: an older epoch has un-ACKed flushes to a
 	// different controller, so this younger write may persist first.
+	//asaplint:ignore detcheck a count increment plus max over all entries is order-independent
 	for old, oep := range c.outstanding {
 		if old >= ts {
 			continue
@@ -157,6 +158,7 @@ func (m *PMEMSpec) retire(c *specCore) {
 }
 
 func (m *PMEMSpec) drained(c *specCore) bool {
+	//asaplint:ignore detcheck an any-pending scan over all entries is order-independent
 	for _, ep := range c.outstanding {
 		if ep.pending > 0 {
 			return false

@@ -152,6 +152,7 @@ func (et *EpochTable) PrevCommitted(ts uint64) bool {
 // AllCommitted reports whether no uncommitted epoch remains except possibly
 // an empty open epoch with no writes. This is the dfence condition (§V-A).
 func (et *EpochTable) AllCommitted() bool {
+	//asaplint:ignore detcheck an all-entries predicate scan is order-independent
 	for _, e := range et.entries {
 		if e.Committed {
 			continue

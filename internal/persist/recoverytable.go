@@ -1,6 +1,10 @@
 package persist
 
-import "asap/internal/mem"
+import (
+	"sort"
+
+	"asap/internal/mem"
+)
 
 // UndoRecord stores the safe state for a speculatively updated address: the
 // value in memory prior to the speculative persist, or the value written by
@@ -137,6 +141,7 @@ func (rt *RecoveryTable) HasDelay(l mem.Line, e EpochID) bool {
 // removed and returned in arrival order so the controller can process them
 // as if the flushes had just arrived (§V-C).
 func (rt *RecoveryTable) Commit(e EpochID) []*DelayRecord {
+	//asaplint:ignore detcheck deleting the subset owned by e is order-independent
 	for l, r := range rt.undo {
 		if r.Creator == e {
 			delete(rt.undo, l)
@@ -150,12 +155,18 @@ func (rt *RecoveryTable) Commit(e EpochID) []*DelayRecord {
 	return ds
 }
 
-// UndoRecords returns all live undo records; the crash handler writes their
-// safe values back to NVM (§V-E). Delay records play no role in a crash.
+// UndoRecords returns all live undo records in ascending line order, so
+// crash replay is deterministic; the crash handler writes their safe
+// values back to NVM (§V-E). Delay records play no role in a crash.
 func (rt *RecoveryTable) UndoRecords() []*UndoRecord {
-	out := make([]*UndoRecord, 0, len(rt.undo))
-	for _, r := range rt.undo {
-		out = append(out, r)
+	lines := make([]mem.Line, 0, len(rt.undo))
+	for l := range rt.undo {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	out := make([]*UndoRecord, 0, len(lines))
+	for _, l := range lines {
+		out = append(out, rt.undo[l])
 	}
 	return out
 }

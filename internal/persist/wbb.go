@@ -1,6 +1,10 @@
 package persist
 
-import "asap/internal/mem"
+import (
+	"sort"
+
+	"asap/internal/mem"
+)
 
 // WBB is the write-back buffer of §V-F (borrowed from StrandWeaver [17]):
 // when a cache line is evicted from the private caches while writes to it
@@ -53,12 +57,23 @@ func (w *WBB) Contains(line mem.Line) bool {
 	return ok
 }
 
+// sortedParked returns the parked lines in ascending order, so release
+// processing is deterministic across runs.
+func (w *WBB) sortedParked() []mem.Line {
+	lines := make([]mem.Line, 0, len(w.entries))
+	for l := range w.entries {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	return lines
+}
+
 // OnFlush releases every line waiting on PB entry id (or any earlier
-// entry), returning the released lines.
+// entry), returning the released lines in ascending line order.
 func (w *WBB) OnFlush(pbEntryID uint64) []mem.Line {
 	var out []mem.Line
-	for l, id := range w.entries {
-		if id <= pbEntryID {
+	for _, l := range w.sortedParked() {
+		if w.entries[l] <= pbEntryID {
 			out = append(out, l)
 			delete(w.entries, l)
 			w.released++
@@ -72,7 +87,7 @@ func (w *WBB) OnFlush(pbEntryID uint64) []mem.Line {
 // flush notifications) and returns the count released.
 func (w *WBB) ReleaseIf(pred func(mem.Line) bool) int {
 	n := 0
-	for l := range w.entries {
+	for _, l := range w.sortedParked() {
 		if pred(l) {
 			delete(w.entries, l)
 			w.released++
