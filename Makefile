@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench ci
+.PHONY: all build test race vet lint bench bench-baseline golden golden-check ci
 
 all: build test
 
@@ -8,7 +8,7 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on -count=1 ./...
 
 race:
 	$(GO) test -race ./...
@@ -24,5 +24,27 @@ lint:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
+# bench-baseline regenerates the committed benchmark baseline the CI
+# bench job gates against (25% regression threshold). Run it on the same
+# class of machine CI uses, or refresh from CI's BENCH_ci.json artifact.
+bench-baseline:
+	$(GO) test -bench 'Fig8|Tab4|RunASAP' -benchtime 1x -count 3 -run '^$$' . > /tmp/bench_baseline.txt
+	$(GO) run ./cmd/benchdiff -tojson /tmp/bench_baseline.txt > BENCH_baseline.json
+	@cat BENCH_baseline.json
+
+# golden regenerates the checked-in golden tables the CI golden job (and
+# golden_test.go) diff against. Review the diff: a golden change means
+# published numbers moved.
+golden:
+	$(GO) run ./cmd/asapfig -ops 80 -csv -outdir testdata/golden all
+
+# golden-check reproduces the CI golden gate locally: serial and
+# 8-worker-parallel runs must both match the committed tables exactly.
+golden-check:
+	$(GO) run ./cmd/asapfig -ops 80 -csv -parallel 1 -outdir /tmp/asap-golden-serial all
+	diff -ru testdata/golden /tmp/asap-golden-serial
+	$(GO) run ./cmd/asapfig -ops 80 -csv -parallel 8 -outdir /tmp/asap-golden-parallel all
+	diff -ru testdata/golden /tmp/asap-golden-parallel
+
 # ci mirrors .github/workflows/ci.yml.
-ci: build vet test race lint
+ci: build vet test race lint golden-check

@@ -23,7 +23,11 @@ import (
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		h := harness.New(harness.QuickOptions())
+		// Parallel: 1 pins the per-experiment benchmarks to the strictly
+		// serial engine so they measure simulator throughput, not pool
+		// scheduling; the BenchmarkAll*/Fig8Parallel benchmarks below
+		// measure the parallel engine.
+		h := harness.New(harness.Options{Ops: 80, Seed: 1, Parallel: 1})
 		if _, err := h.Experiment(id); err != nil {
 			b.Fatal(err)
 		}
@@ -87,6 +91,40 @@ func BenchmarkSensitivityNVMBandwidth(b *testing.B) { benchExperiment(b, "abl_nv
 // BenchmarkStrandPersistency runs the strand-persistency extension
 // (HOPS vs StrandWeaver vs ASAP on strand-annotated traces).
 func BenchmarkStrandPersistency(b *testing.B) { benchExperiment(b, "abl_strands") }
+
+// Parallel-engine benchmarks: the full campaign (`asapfig all`) with a
+// serial engine vs the default GOMAXPROCS worker pool. The ratio of the
+// two is the wall-clock speedup the -parallel flag buys on this machine;
+// CI records both (the golden-table gate separately proves the outputs
+// are byte-identical).
+func benchAll(b *testing.B, parallel int) {
+	b.Helper()
+	ids := harness.Experiments()
+	for i := 0; i < b.N; i++ {
+		h := harness.New(harness.Options{Ops: 80, Seed: 1, Parallel: parallel})
+		if _, err := h.Tables(ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllSerial runs every experiment with one worker (the engine's
+// strictly serial mode).
+func BenchmarkAllSerial(b *testing.B) { benchAll(b, 1) }
+
+// BenchmarkAllParallel runs every experiment with a GOMAXPROCS pool.
+func BenchmarkAllParallel(b *testing.B) { benchAll(b, 0) }
+
+// BenchmarkFig8Parallel regenerates the headline figure alone on a
+// GOMAXPROCS pool (its ~84 simulations fan out via the prefetch plan).
+func BenchmarkFig8Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness.New(harness.Options{Ops: 80, Seed: 1, Parallel: 0})
+		if _, err := h.Experiment("fig8"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // Per-model microbenchmarks: simulator throughput for a single fixed
 // workload/model pair (simulated cycles are deterministic; this measures

@@ -3,33 +3,61 @@
 //
 // Usage:
 //
-//	asapfig fig8            # one experiment
-//	asapfig all             # everything
-//	asapfig -csv fig13      # CSV output
-//	asapfig -ops 400 fig10  # publication scale (default); -ops 80 is quick
+//	asapfig fig8                  # one experiment
+//	asapfig all                   # everything
+//	asapfig -csv fig13            # CSV output
+//	asapfig -ops 400 fig10        # publication scale (default); -ops 80 is quick
+//	asapfig -parallel 8 all       # 8 concurrent simulations (0 = GOMAXPROCS)
+//	asapfig -csv -outdir out all  # one file per experiment instead of stdout
+//	asapfig -list                 # print experiment IDs, one per line
+//
+// Independent simulations fan out across a worker pool; results are
+// deterministic, so output is byte-identical at any -parallel setting.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"asap/internal/harness"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable args and streams, for testing. It returns
+// the process exit code: 0 on success, 1 when an experiment fails, 2 on
+// usage errors.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("asapfig", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		ops  = flag.Int("ops", 400, "structure-level operations per thread (scale)")
-		seed = flag.Uint64("seed", 1, "workload seed")
-		csv  = flag.Bool("csv", false, "emit CSV instead of text tables")
+		ops      = fs.Int("ops", 400, "structure-level operations per thread (scale)")
+		seed     = fs.Uint64("seed", 1, "workload seed")
+		csv      = fs.Bool("csv", false, "emit CSV instead of text tables")
+		parallel = fs.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		outdir   = fs.String("outdir", "", "write one <experiment>.csv/.txt per experiment into this directory instead of stdout")
+		list     = fs.Bool("list", false, "print the experiment IDs and exit")
 	)
-	flag.Parse()
-	args := flag.Args()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *list {
+		for _, id := range harness.Experiments() {
+			fmt.Fprintln(stdout, id)
+		}
+		return 0
+	}
+	args := fs.Args()
 	if len(args) == 0 {
-		fmt.Fprintf(os.Stderr, "usage: asapfig [-ops N] [-csv] <%s|all>\n",
+		fmt.Fprintf(stderr, "usage: asapfig [-ops N] [-csv] [-parallel N] [-outdir DIR] <%s|all>\n",
 			strings.Join(harness.Experiments(), "|"))
-		os.Exit(2)
+		return 2
 	}
 
 	ids := args
@@ -37,17 +65,44 @@ func main() {
 		ids = harness.Experiments()
 	}
 
-	h := harness.New(harness.Options{Ops: *ops, Seed: *seed})
-	for _, id := range ids {
-		tb, err := h.Experiment(id)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	h := harness.New(harness.Options{Ops: *ops, Seed: *seed, Parallel: *parallel})
+	tbs, err := h.Tables(ids)
+	if err != nil {
+		// Tables wraps the first failure with its experiment ID.
+		fmt.Fprintf(stderr, "asapfig: %v\n", err)
+		return 1
+	}
+
+	if *outdir != "" {
+		if err := writeDir(*outdir, ids, tbs, *csv); err != nil {
+			fmt.Fprintf(stderr, "asapfig: %v\n", err)
+			return 1
 		}
+		return 0
+	}
+	for _, tb := range tbs {
 		if *csv {
-			fmt.Print(tb.CSV())
+			fmt.Fprint(stdout, tb.CSV())
 		} else {
-			fmt.Println(tb.Text())
+			fmt.Fprintln(stdout, tb.Text())
 		}
 	}
+	return 0
+}
+
+// writeDir writes one file per experiment: <dir>/<id>.csv or <id>.txt.
+func writeDir(dir string, ids []string, tbs []*harness.Table, csv bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, tb := range tbs {
+		name, body := ids[i]+".txt", tb.Text()
+		if csv {
+			name, body = ids[i]+".csv", tb.CSV()
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }

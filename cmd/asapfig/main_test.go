@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readFile(dir, name string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(dir, name))
+	return string(b), err
+}
+
+// TestUnknownExperiment: a bad experiment ID must produce a usable error
+// naming the ID on stderr and exit code 1 — the harness used to panic out
+// of main with no message.
+func TestUnknownExperiment(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-ops", "40", "nope"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	msg := errb.String()
+	if !strings.Contains(msg, "nope") || !strings.Contains(msg, "unknown experiment") {
+		t.Fatalf("stderr does not name the failing experiment: %q", msg)
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout not empty on failure: %q", out.String())
+	}
+}
+
+// TestUsage: no arguments is a usage error (exit 2) listing the IDs.
+func TestUsage(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "fig8") {
+		t.Errorf("usage message does not list experiments: %q", errb.String())
+	}
+}
+
+// TestList prints one experiment ID per line.
+func TestList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	ids := strings.Fields(out.String())
+	if len(ids) < 10 {
+		t.Fatalf("expected all experiment IDs, got %v", ids)
+	}
+}
+
+// TestSingleExperimentCSV smoke-runs the cheapest simulated experiment end
+// to end through the CLI at tiny scale.
+func TestSingleExperimentCSV(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-ops", "20", "-csv", "-parallel", "2", "tab5"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.HasPrefix(out.String(), "structure,") {
+		t.Errorf("unexpected CSV output: %q", out.String())
+	}
+}
+
+// TestOutdir writes per-experiment files.
+func TestOutdir(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb strings.Builder
+	code := run([]string{"-ops", "20", "-csv", "-outdir", dir, "tab5"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout should be empty with -outdir, got %q", out.String())
+	}
+	b, err := readFile(dir, "tab5.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b, "structure,") {
+		t.Errorf("tab5.csv content: %q", b)
+	}
+}

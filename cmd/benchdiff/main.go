@@ -1,0 +1,185 @@
+// Command benchdiff converts `go test -bench` output into a JSON summary
+// and compares two summaries, failing when any benchmark regresses beyond
+// a threshold. CI uses it as the bench-regression gate:
+//
+//	go test -bench 'Fig8|Tab4|RunASAP' -benchtime 1x -run '^$' . > bench.txt
+//	benchdiff -tojson bench.txt > BENCH_ci.json
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 0.25
+//
+// The comparison is asymmetric by design: regressions (current slower
+// than baseline by more than threshold) fail; improvements and benchmarks
+// present on only one side are reported but never fail, so adding or
+// retiring benchmarks does not break the gate. Refresh the committed
+// baseline with `make bench-baseline` (or from CI's uploaded BENCH_ci.json
+// artifact when runner hardware shifts).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Summary is the JSON document: benchmark name (minus the -GOMAXPROCS
+// suffix) to nanoseconds per operation.
+type Summary struct {
+	Benchmarks map[string]float64 `json:"benchmarks_ns_per_op"`
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkFig8-8    1    123456789 ns/op    456 B/op    7 allocs/op
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parse extracts benchmark results from go test -bench output. Repeated
+// runs of one benchmark (-count > 1) keep the minimum, the conventional
+// noise floor.
+func parse(r io.Reader) (*Summary, error) {
+	s := &Summary{Benchmarks: map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if old, ok := s.Benchmarks[m[1]]; !ok || ns < old {
+			s.Benchmarks[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchdiff: no benchmark result lines found")
+	}
+	return s, nil
+}
+
+func load(path string) (*Summary, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Summary
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchdiff: %s: no benchmarks", path)
+	}
+	return &s, nil
+}
+
+// compare reports each benchmark's delta and returns the regressed names.
+func compare(base, cur *Summary, threshold float64, w io.Writer) []string {
+	names := make([]string, 0, len(base.Benchmarks))
+	for n := range base.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var regressed []string
+	for _, n := range names {
+		b := base.Benchmarks[n]
+		c, ok := cur.Benchmarks[n]
+		if !ok {
+			fmt.Fprintf(w, "%-32s baseline %12.0f ns/op  (missing from current run, ignored)\n", n, b)
+			continue
+		}
+		delta := (c - b) / b
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESSED"
+			regressed = append(regressed, n)
+		}
+		fmt.Fprintf(w, "%-32s baseline %12.0f  current %12.0f  %+6.1f%%  %s\n",
+			n, b, c, delta*100, verdict)
+	}
+	extra := make([]string, 0, len(cur.Benchmarks))
+	for n := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[n]; !ok {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	for _, n := range extra {
+		fmt.Fprintf(w, "%-32s current %13.0f ns/op  (new, not in baseline)\n", n, cur.Benchmarks[n])
+	}
+	return regressed
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		tojson    = fs.String("tojson", "", "parse `go test -bench` output from this file ('-' = stdin) and print a JSON summary")
+		baseline  = fs.String("baseline", "", "baseline JSON summary")
+		current   = fs.String("current", "", "current JSON summary to compare against the baseline")
+		threshold = fs.Float64("threshold", 0.25, "fail when current exceeds baseline by more than this fraction")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	switch {
+	case *tojson != "":
+		in := io.Reader(os.Stdin)
+		if *tojson != "-" {
+			f, err := os.Open(*tojson)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			defer f.Close()
+			in = f
+		}
+		s, err := parse(in)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+
+	case *baseline != "" && *current != "":
+		b, err := load(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		c, err := load(*current)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if regressed := compare(b, c, *threshold, stdout); len(regressed) > 0 {
+			fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed >%g%%: %v\n",
+				len(regressed), *threshold*100, regressed)
+			return 1
+		}
+		fmt.Fprintf(stdout, "benchdiff: no benchmark regressed >%g%%\n", *threshold*100)
+		return 0
+
+	default:
+		fmt.Fprintln(stderr, "usage: benchdiff -tojson BENCH.txt | benchdiff -baseline A.json -current B.json [-threshold 0.25]")
+		return 2
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: asap
+BenchmarkFig8-8                	       1	 123000000 ns/op	 4560000 B/op	   70000 allocs/op
+BenchmarkTab4-8                	       1	 456000000 ns/op
+BenchmarkRunASAPCCEH-8         	       2	  50000000 ns/op
+BenchmarkRunASAPCCEH-8         	       2	  48000000 ns/op
+PASS
+ok  	asap	3.123s
+`
+
+func TestParse(t *testing.T) {
+	s, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"Fig8":        123000000,
+		"Tab4":        456000000,
+		"RunASAPCCEH": 48000000, // min of the two repeats
+	}
+	if len(s.Benchmarks) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(s.Benchmarks), len(want), s.Benchmarks)
+	}
+	for n, ns := range want {
+		if s.Benchmarks[n] != ns {
+			t.Errorf("%s = %v, want %v", n, s.Benchmarks[n], ns)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok asap 1s\n")); err == nil {
+		t.Fatal("expected an error for output with no benchmarks")
+	}
+}
+
+func writeSummary(t *testing.T, dir, name string, benchmarks map[string]float64) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	b, err := json.Marshal(Summary{Benchmarks: benchmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareGate: within threshold passes, beyond threshold fails, and
+// benchmarks on only one side never fail the gate.
+func TestCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSummary(t, dir, "base.json", map[string]float64{
+		"Fig8": 100, "Tab4": 200, "Retired": 300,
+	})
+
+	ok := writeSummary(t, dir, "ok.json", map[string]float64{
+		"Fig8": 124, "Tab4": 150, "Brand_New": 1,
+	})
+	var out, errb strings.Builder
+	if code := run([]string{"-baseline", base, "-current", ok, "-threshold", "0.25"}, &out, &errb); code != 0 {
+		t.Fatalf("within-threshold run failed (code %d): %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "Brand_New") || !strings.Contains(out.String(), "Retired") {
+		t.Errorf("one-sided benchmarks not reported:\n%s", out.String())
+	}
+
+	bad := writeSummary(t, dir, "bad.json", map[string]float64{
+		"Fig8": 126, "Tab4": 200,
+	})
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", base, "-current", bad, "-threshold", "0.25"}, &out, &errb); code != 1 {
+		t.Fatalf("regression not caught (code %d): %s", code, out.String())
+	}
+	if !strings.Contains(errb.String(), "Fig8") {
+		t.Errorf("regression message does not name the benchmark: %q", errb.String())
+	}
+}
+
+// TestToJSONRoundTrip: -tojson output loads back as a valid summary.
+func TestToJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-tojson", in}, &out, &errb); code != 0 {
+		t.Fatalf("tojson failed: %s", errb.String())
+	}
+	var s Summary
+	if err := json.Unmarshal([]byte(out.String()), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Benchmarks["Fig8"] != 123000000 {
+		t.Errorf("round trip lost Fig8: %v", s.Benchmarks)
+	}
+}
+
+func TestUsageError(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("expected usage error, got %d", code)
+	}
+}

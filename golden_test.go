@@ -1,0 +1,61 @@
+package asap
+
+// The golden-table gate: every experiment's CSV at quick scale must match
+// the files committed under testdata/golden byte-for-byte, on both the
+// serial and the parallel engine. This is the same check CI's golden job
+// runs through cmd/asapfig; here it also runs for anyone typing
+// `go test ./...`. Simulator timing changes are expected to trip it —
+// regenerate with `make golden` and review the diff as part of the
+// change.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"asap/internal/harness"
+)
+
+// goldenOptions mirrors `asapfig -ops 80 -csv -outdir testdata/golden all`.
+func goldenOptions(parallel int) harness.Options {
+	return harness.Options{Ops: 80, Seed: 1, Parallel: parallel}
+}
+
+func checkGolden(t *testing.T, parallel int) {
+	t.Helper()
+	h := harness.New(goldenOptions(parallel))
+	ids := harness.Experiments()
+	tbs, err := h.Tables(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tb := range tbs {
+		path := filepath.Join("testdata", "golden", ids[i]+".csv")
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with `make golden`)", ids[i], err)
+		}
+		if got := tb.CSV(); got != string(want) {
+			t.Errorf("%s: CSV differs from %s — if the simulator change is intended, regenerate with `make golden`\n--- got ---\n%s--- want ---\n%s",
+				ids[i], path, got, want)
+		}
+	}
+}
+
+// TestGoldenTablesSerial pins the serial engine's output to the goldens.
+func TestGoldenTablesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden regeneration is not short")
+	}
+	checkGolden(t, 1)
+}
+
+// TestGoldenTablesParallel pins the 8-worker engine to the same bytes —
+// the determinism guarantee that makes -parallel safe for publication
+// numbers.
+func TestGoldenTablesParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden regeneration is not short")
+	}
+	checkGolden(t, 8)
+}

@@ -15,14 +15,19 @@ import (
 // structure, one fence-heavy tree, one WHISPER app.
 var ablationWorkloads = []string{"cceh", "fast_fair", "nstore"}
 
-func (h *Harness) runWith(cfg config.Config, wl, mdl string, threads int) uint64 {
-	return uint64(h.runTrace(cfg, mdl, h.traceFor(wl, threads)).Cycles)
+// ablStructSizes is the structure-size sweep shared by AblRT and AblPB.
+var ablStructSizes = []int{4, 8, 16, 32, 64}
+
+// rtCfg is the recovery-table size sweep's machine configuration.
+func rtCfg(entries int) config.Config {
+	cfg := config.Default()
+	cfg.RTEntries = entries
+	return cfg
 }
 
 // AblRT sweeps the recovery-table size: smaller tables NACK more and fall
 // back to conservative flushing; the paper argues 32 entries suffice.
-func (h *Harness) AblRT() *Table {
-	sizes := []int{4, 8, 16, 32, 64}
+func (h *Harness) AblRT() (*Table, error) {
 	t := &Table{
 		ID:     "abl_rt",
 		Title:  "Ablation: recovery table size (ASAP_RP cycles normalized to 32 entries)",
@@ -32,10 +37,12 @@ func (h *Harness) AblRT() *Table {
 		ref := float64(0)
 		row := []string{wl}
 		var vals []float64
-		for _, sz := range sizes {
-			cfg := config.Default()
-			cfg.RTEntries = sz
-			c := float64(h.runWith(cfg, wl, model.NameASAPRP, 4))
+		for _, sz := range ablStructSizes {
+			r, err := h.RunCfg(rtCfg(sz), wl, model.NameASAPRP, 4)
+			if err != nil {
+				return nil, err
+			}
+			c := float64(r.Cycles)
 			if sz == 32 {
 				ref = c
 			}
@@ -47,13 +54,29 @@ func (h *Harness) AblRT() *Table {
 		t.Rows = append(t.Rows, row)
 	}
 	t.Notes = append(t.Notes, "NACK fallback keeps small tables functional; expect mild slowdown below 16")
-	return t
+	return t, nil
+}
+
+func (h *Harness) planAblRT() []prefetchJob {
+	var keys []runKey
+	for _, wl := range ablationWorkloads {
+		for _, sz := range ablStructSizes {
+			keys = append(keys, h.jobCfg(rtCfg(sz), wl, model.NameASAPRP, 4))
+		}
+	}
+	return jobs(keys...)
+}
+
+// pbCfg is the persist-buffer size sweep's machine configuration.
+func pbCfg(entries int) config.Config {
+	cfg := config.Default()
+	cfg.PBEntries = entries
+	return cfg
 }
 
 // AblPB sweeps the persist-buffer size: Figure 11 suggests ASAP performs
 // well with far fewer than 32 entries.
-func (h *Harness) AblPB() *Table {
-	sizes := []int{4, 8, 16, 32, 64}
+func (h *Harness) AblPB() (*Table, error) {
 	t := &Table{
 		ID:     "abl_pb",
 		Title:  "Ablation: persist buffer size (cycles normalized to 32 entries)",
@@ -64,10 +87,12 @@ func (h *Harness) AblPB() *Table {
 			row := []string{wl, mdl}
 			var vals []float64
 			ref := 0.0
-			for _, sz := range sizes {
-				cfg := config.Default()
-				cfg.PBEntries = sz
-				c := float64(h.runWith(cfg, wl, mdl, 4))
+			for _, sz := range ablStructSizes {
+				r, err := h.RunCfg(pbCfg(sz), wl, mdl, 4)
+				if err != nil {
+					return nil, err
+				}
+				c := float64(r.Cycles)
 				if sz == 32 {
 					ref = c
 				}
@@ -80,34 +105,78 @@ func (h *Harness) AblPB() *Table {
 		}
 	}
 	t.Notes = append(t.Notes, "paper (§VII-B): \"we expect to observe similar performance with smaller PBs\" for ASAP")
-	return t
+	return t, nil
+}
+
+func (h *Harness) planAblPB() []prefetchJob {
+	var keys []runKey
+	for _, wl := range ablationWorkloads {
+		for _, mdl := range []string{model.NameHOPSRP, model.NameASAPRP} {
+			for _, sz := range ablStructSizes {
+				keys = append(keys, h.jobCfg(pbCfg(sz), wl, mdl, 4))
+			}
+		}
+	}
+	return jobs(keys...)
+}
+
+// noEagerCfg disables eager flushing (safe flushes only).
+func noEagerCfg() config.Config {
+	cfg := config.Default()
+	cfg.ASAPNoEager = true
+	return cfg
 }
 
 // AblEager disables eager flushing while keeping the buffering: isolates the
 // speculation mechanism from the persist-buffer decoupling.
-func (h *Harness) AblEager() *Table {
+func (h *Harness) AblEager() (*Table, error) {
 	t := &Table{
 		ID:     "abl_eager",
 		Title:  "Ablation: ASAP_RP with eager flushing disabled (safe flushes only)",
 		Header: []string{"workload", "eager cycles", "no-eager cycles", "eager gain"},
 	}
 	for _, wl := range Workloads() {
-		eager := float64(h.Run(wl, model.NameASAPRP, 4).Cycles)
-		cfg := config.Default()
-		cfg.ASAPNoEager = true
-		cons := float64(h.runWith(cfg, wl, model.NameASAPRP, 4))
+		er, err := h.Run(wl, model.NameASAPRP, 4)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := h.RunCfg(noEagerCfg(), wl, model.NameASAPRP, 4)
+		if err != nil {
+			return nil, err
+		}
+		eager := float64(er.Cycles)
+		cons := float64(cr.Cycles)
 		t.Rows = append(t.Rows, []string{
 			wl, fmt.Sprintf("%.0f", eager), fmt.Sprintf("%.0f", cons), f2(cons / eager),
 		})
 	}
 	t.Notes = append(t.Notes, "no-eager ASAP ~= HOPS with CDR messages instead of polling")
-	return t
+	return t, nil
+}
+
+func (h *Harness) planAblEager() []prefetchJob {
+	var keys []runKey
+	for _, wl := range Workloads() {
+		keys = append(keys,
+			h.job(wl, model.NameASAPRP, 4),
+			h.jobCfg(noEagerCfg(), wl, model.NameASAPRP, 4))
+	}
+	return jobs(keys...)
+}
+
+// ablXPBufSizes is the XPBuffer sweep (lines per MC).
+var ablXPBufSizes = []int{0, 16, 64, 256}
+
+// xpBufCfg sets the XPBuffer size.
+func xpBufCfg(lines int) config.Config {
+	cfg := config.Default()
+	cfg.XPBufLines = lines
+	return cfg
 }
 
 // AblXPBuf sweeps the Optane XPBuffer size, which sets the cost of
 // undo-record creation reads (§V-A argues most hit this buffer).
-func (h *Harness) AblXPBuf() *Table {
-	sizes := []int{0, 16, 64, 256}
+func (h *Harness) AblXPBuf() (*Table, error) {
 	t := &Table{
 		ID:     "abl_xpbuf",
 		Title:  "Ablation: XPBuffer lines vs undo-read media traffic (ASAP_RP)",
@@ -116,10 +185,11 @@ func (h *Harness) AblXPBuf() *Table {
 	for _, wl := range ablationWorkloads {
 		row := []string{wl}
 		var cyc0, cyc64 float64
-		for _, sz := range sizes {
-			cfg := config.Default()
-			cfg.XPBufLines = sz
-			res := h.runTrace(cfg, model.NameASAPRP, h.traceFor(wl, 4))
+		for _, sz := range ablXPBufSizes {
+			res, err := h.RunCfg(xpBufCfg(sz), wl, model.NameASAPRP, 4)
+			if err != nil {
+				return nil, err
+			}
 			row = append(row, fmt.Sprintf("%d", res.Stats.Get("mcUndoMediaReads")))
 			switch sz {
 			case 0:
@@ -131,13 +201,30 @@ func (h *Harness) AblXPBuf() *Table {
 		row = append(row, f2(cyc0/cyc64))
 		t.Rows = append(t.Rows, row)
 	}
-	return t
+	return t, nil
+}
+
+func (h *Harness) planAblXPBuf() []prefetchJob {
+	var keys []runKey
+	for _, wl := range ablationWorkloads {
+		for _, sz := range ablXPBufSizes {
+			keys = append(keys, h.jobCfg(xpBufCfg(sz), wl, model.NameASAPRP, 4))
+		}
+	}
+	return jobs(keys...)
+}
+
+// interleaveCfg sets the MC interleave granularity.
+func interleaveCfg(bytes uint64) config.Config {
+	cfg := config.Default()
+	cfg.InterleaveBytes = bytes
+	return cfg
 }
 
 // AblInterleave compares 256 B vs 4 KB interleaving across the controllers:
 // fine interleaving spreads epochs over both MCs, the regime where eager
 // flushing matters most (§III).
-func (h *Harness) AblInterleave() *Table {
+func (h *Harness) AblInterleave() (*Table, error) {
 	t := &Table{
 		ID:     "abl_interleave",
 		Title:  "Ablation: MC interleave granularity (cycles, 4 threads)",
@@ -145,23 +232,40 @@ func (h *Harness) AblInterleave() *Table {
 	}
 	for _, wl := range ablationWorkloads {
 		for _, mdl := range []string{model.NameHOPSRP, model.NameASAPRP} {
-			cfg := config.Default()
-			cfg.InterleaveBytes = 256
-			fine := float64(h.runWith(cfg, wl, mdl, 4))
-			cfg.InterleaveBytes = 4096
-			coarse := float64(h.runWith(cfg, wl, mdl, 4))
+			fr, err := h.RunCfg(interleaveCfg(256), wl, mdl, 4)
+			if err != nil {
+				return nil, err
+			}
+			cr, err := h.RunCfg(interleaveCfg(4096), wl, mdl, 4)
+			if err != nil {
+				return nil, err
+			}
+			fine := float64(fr.Cycles)
+			coarse := float64(cr.Cycles)
 			t.Rows = append(t.Rows, []string{
 				wl, mdl, fmt.Sprintf("%.0f", fine), fmt.Sprintf("%.0f", coarse), f2(fine / coarse),
 			})
 		}
 	}
-	return t
+	return t, nil
+}
+
+func (h *Harness) planAblInterleave() []prefetchJob {
+	var keys []runKey
+	for _, wl := range ablationWorkloads {
+		for _, mdl := range []string{model.NameHOPSRP, model.NameASAPRP} {
+			keys = append(keys,
+				h.jobCfg(interleaveCfg(256), wl, mdl, 4),
+				h.jobCfg(interleaveCfg(4096), wl, mdl, 4))
+		}
+	}
+	return jobs(keys...)
 }
 
 func init() {
-	experiments["abl_rt"] = (*Harness).AblRT
-	experiments["abl_pb"] = (*Harness).AblPB
-	experiments["abl_eager"] = (*Harness).AblEager
-	experiments["abl_xpbuf"] = (*Harness).AblXPBuf
-	experiments["abl_interleave"] = (*Harness).AblInterleave
+	experiments["abl_rt"] = experiment{run: (*Harness).AblRT, plan: (*Harness).planAblRT}
+	experiments["abl_pb"] = experiment{run: (*Harness).AblPB, plan: (*Harness).planAblPB}
+	experiments["abl_eager"] = experiment{run: (*Harness).AblEager, plan: (*Harness).planAblEager}
+	experiments["abl_xpbuf"] = experiment{run: (*Harness).AblXPBuf, plan: (*Harness).planAblXPBuf}
+	experiments["abl_interleave"] = experiment{run: (*Harness).AblInterleave, plan: (*Harness).planAblInterleave}
 }

@@ -2,27 +2,30 @@ package harness
 
 import "testing"
 
+// renderAll runs every experiment on one harness and returns the rendered
+// Text and CSV per experiment ID.
+func renderAll(t *testing.T, opts Options) map[string][2]string {
+	t.Helper()
+	h := New(opts)
+	out := make(map[string][2]string)
+	for _, id := range Experiments() {
+		tb, err := h.Experiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[id] = [2]string{tb.Text(), tb.CSV()}
+	}
+	return out
+}
+
 // TestDeterministicOutput runs every experiment twice with the same seed
 // and demands byte-identical table output. The simulator's claim to be a
 // reproducible measurement instrument rests on this: any map-iteration
 // order leaking into event scheduling or report formatting shows up here
 // as a diff (and should also be caught statically by asaplint's detcheck).
 func TestDeterministicOutput(t *testing.T) {
-	render := func() map[string][2]string {
-		h := New(QuickOptions())
-		out := make(map[string][2]string)
-		for _, id := range Experiments() {
-			tb, err := h.Experiment(id)
-			if err != nil {
-				t.Fatal(err)
-			}
-			out[id] = [2]string{tb.Text(), tb.CSV()}
-		}
-		return out
-	}
-
-	first := render()
-	second := render()
+	first := renderAll(t, QuickOptions())
+	second := renderAll(t, QuickOptions())
 	for _, id := range Experiments() {
 		if first[id][0] != second[id][0] {
 			t.Errorf("%s: Text() differs between two same-seed runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
@@ -30,6 +33,50 @@ func TestDeterministicOutput(t *testing.T) {
 		}
 		if first[id][1] != second[id][1] {
 			t.Errorf("%s: CSV() differs between two same-seed runs", id)
+		}
+	}
+}
+
+// TestParallelMatchesSerial: the concurrent engine must be invisible in
+// the output — every experiment renders byte-identically whether the
+// simulations ran strictly serially or fanned out across 8 workers. This
+// is the property that makes the golden-table CI gate and the parallel
+// `asapfig all` safe, and (run under `go test -race` in CI) the test that
+// exercises the engine's concurrency.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := renderAll(t, Options{Ops: 80, Seed: 1, Parallel: 1})
+	parallel := renderAll(t, Options{Ops: 80, Seed: 1, Parallel: 8})
+	for _, id := range Experiments() {
+		if serial[id][0] != parallel[id][0] {
+			t.Errorf("%s: Text() differs between serial and parallel engines:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, serial[id][0], parallel[id][0])
+		}
+		if serial[id][1] != parallel[id][1] {
+			t.Errorf("%s: CSV() differs between serial and parallel engines", id)
+		}
+	}
+}
+
+// TestParallelTablesMatchSerial: the whole-campaign path (Tables, the one
+// `asapfig all` uses, experiments themselves concurrent and sharing
+// simulations) is byte-identical to the serial path too.
+func TestParallelTablesMatchSerial(t *testing.T) {
+	opts := Options{Ops: 40, Seed: 1}
+	ids := Experiments()
+
+	opts.Parallel = 1
+	st, err := New(opts).Tables(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallel = 8
+	pt, err := New(opts).Tables(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if st[i].Text() != pt[i].Text() {
+			t.Errorf("%s: Tables output differs between serial and parallel", ids[i])
 		}
 	}
 }

@@ -1,0 +1,232 @@
+package harness
+
+// The experiment engine: a concurrency-safe, singleflight-deduplicated
+// cache of workload traces and simulation runs, executed by a bounded
+// worker pool.
+//
+// Every simulation in the evaluation is a pure function of its key —
+// (workload, generator params, model, machine config) — and each
+// machine.Machine instance is single-goroutine deterministic, so
+// independent simulations may run concurrently without changing any
+// result: parallel output is byte-identical to serial output. The engine
+// guarantees each key is computed exactly once (fig8/fig9/fig10 request
+// heavily overlapping runs), bounds concurrently executing simulations to
+// the pool size, converts panics on worker goroutines into errors, and
+// cancels outstanding work when any simulation fails (first error wins
+// and is reported as the cause everywhere).
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"asap/internal/config"
+	"asap/internal/machine"
+	"asap/internal/trace"
+	"asap/internal/workload"
+)
+
+// traceKey identifies one generated trace. workload.Params is a flat
+// comparable struct, so the key is directly usable in a map.
+type traceKey struct {
+	wl string
+	p  workload.Params
+}
+
+// runKey identifies one simulation: a trace and the machine that replays
+// it. config.Config is likewise flat and comparable.
+type runKey struct {
+	wl  string
+	p   workload.Params
+	mdl string
+	cfg config.Config
+}
+
+func (k runKey) String() string {
+	return fmt.Sprintf("%s/%s/%dt", k.wl, k.mdl, k.p.Threads)
+}
+
+// machineKey caches a fully-run Machine (RunMachine callers need ledger
+// and engine state, not just the Result summary) under a distinct type so
+// it never collides with the Result cache for the same runKey.
+type machineKey runKey
+
+// call is one singleflight computation: the first requester of a key
+// becomes the leader and computes; everyone else waits on ready.
+type call struct {
+	ready chan struct{} // closed once val/err are final
+	val   any
+	err   error
+}
+
+// engine executes simulations with bounded concurrency and caches every
+// outcome (including errors — a failed harness stays failed).
+type engine struct {
+	sem    chan struct{} // bounds concurrently executing simulations
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	mu    sync.Mutex
+	calls map[any]*call
+
+	// traceGens and runExecs count leader executions (not cache hits);
+	// the plan-coverage test uses them to prove prefetch plans request
+	// everything the experiment bodies consume.
+	traceGens atomic.Int64
+	runExecs  atomic.Int64
+}
+
+// newEngine builds an engine with the given worker-pool size;
+// parallel <= 0 selects GOMAXPROCS.
+func newEngine(parallel int) *engine {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	return &engine{
+		sem:    make(chan struct{}, parallel),
+		ctx:    ctx,
+		cancel: cancel,
+		calls:  make(map[any]*call),
+	}
+}
+
+// workers reports the pool size.
+func (e *engine) workers() int { return cap(e.sem) }
+
+// once runs fn exactly once per key, caching the outcome. Concurrent
+// callers of the same key block until the leader finishes. Any error
+// cancels the engine so outstanding leaders stop before simulating; the
+// first error becomes the cancellation cause reported everywhere.
+func (e *engine) once(key any, fn func() (any, error)) (any, error) {
+	e.mu.Lock()
+	if c, ok := e.calls[key]; ok {
+		e.mu.Unlock()
+		<-c.ready
+		return c.val, c.err
+	}
+	c := &call{ready: make(chan struct{})}
+	e.calls[key] = c
+	e.mu.Unlock()
+
+	c.val, c.err = fn()
+	if c.err != nil {
+		e.cancel(c.err) // no-op after the first cancellation
+	}
+	close(c.ready)
+	return c.val, c.err
+}
+
+// capture converts a panic below fn — the simulator's internal invariant
+// checks still panic — into a returned error, so a failure on a worker
+// goroutine propagates through the pool instead of killing the process.
+func capture(what string, fn func() (any, error)) (val any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%s: panic: %v", what, r)
+		}
+	}()
+	return fn()
+}
+
+// protect is the worker-slot wrapper for simulation leaders: it waits for
+// a pool slot, honours cancellation (returning the root-cause error of
+// whichever simulation failed first), and captures panics.
+func (e *engine) protect(what string, fn func() (any, error)) (any, error) {
+	select {
+	case <-e.ctx.Done():
+		return nil, context.Cause(e.ctx)
+	case e.sem <- struct{}{}:
+	}
+	defer func() { <-e.sem }()
+	if e.ctx.Err() != nil { // cancelled while we raced the slot
+		return nil, context.Cause(e.ctx)
+	}
+	return capture(what, fn)
+}
+
+// trace returns the generated trace for key, computing it at most once.
+// Trace generation deliberately does not take a pool slot: it is always
+// invoked either inline by a run leader that already holds one, or
+// directly from a serial experiment body, so a slot-per-trace would risk
+// leaders deadlocking behind runs that wait for their traces.
+func (e *engine) trace(k traceKey) (*trace.Trace, error) {
+	v, err := e.once(k, func() (any, error) {
+		return capture("workload "+k.wl, func() (any, error) {
+			e.traceGens.Add(1)
+			return workload.Generate(k.wl, k.p)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*trace.Trace), nil
+}
+
+// run executes the simulation for key, computing it at most once.
+func (e *engine) run(k runKey) (machine.Result, error) {
+	v, err := e.once(k, func() (any, error) {
+		return e.protect(k.String(), func() (any, error) {
+			m, err := e.build(k)
+			if err != nil {
+				return nil, err
+			}
+			e.runExecs.Add(1)
+			r := m.Run(0)
+			if r.Cycles == 0 {
+				return nil, fmt.Errorf("harness: %s produced zero cycles", k)
+			}
+			return r, nil
+		})
+	})
+	if err != nil {
+		return machine.Result{}, err
+	}
+	return v.(machine.Result), nil
+}
+
+// machine executes the simulation for key and caches the whole run
+// machine, for experiments that inspect ledger or engine state after the
+// run (Fig2). Cached machines are read-only once their run completes.
+func (e *engine) machine(k runKey) (*machine.Machine, error) {
+	v, err := e.once(machineKey(k), func() (any, error) {
+		return e.protect(k.String(), func() (any, error) {
+			m, err := e.build(k)
+			if err != nil {
+				return nil, err
+			}
+			e.runExecs.Add(1)
+			if r := m.Run(0); r.Cycles == 0 {
+				return nil, fmt.Errorf("harness: %s produced zero cycles", k)
+			}
+			return m, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*machine.Machine), nil
+}
+
+// build assembles the machine for key (trace generation is singleflighted
+// separately: runs of the same workload under different models share one
+// trace, which machines only read).
+func (e *engine) build(k runKey) (*machine.Machine, error) {
+	tr, err := e.trace(traceKey{wl: k.wl, p: k.p})
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(k.cfg, k.mdl, tr)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", k, err)
+	}
+	return m, nil
+}
+
+// execs reports leader executions so far (traces generated, runs
+// simulated) — cache hits excluded.
+func (e *engine) execs() (traces, runs int64) {
+	return e.traceGens.Load(), e.runExecs.Load()
+}

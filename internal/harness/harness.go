@@ -1,12 +1,19 @@
 // Package harness regenerates every figure and table of the ASAP paper's
 // evaluation (§VII). Each experiment returns a Table that the cmd/asapfig
 // binary prints as text or CSV; EXPERIMENTS.md records paper-vs-measured.
+//
+// Experiments execute on a concurrent engine (engine.go): the independent
+// (workload, model, config) simulations behind a table fan out across a
+// bounded worker pool, deduplicated so overlapping experiments compute
+// each simulation exactly once, while table assembly stays serial — so
+// parallel output is byte-identical to serial output.
 package harness
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"asap/internal/config"
 	"asap/internal/machine"
@@ -86,6 +93,10 @@ func (t *Table) CSV() string {
 type Options struct {
 	Ops  int
 	Seed uint64
+	// Parallel bounds concurrently executing simulations: 0 picks
+	// GOMAXPROCS, 1 runs strictly serially. Results are identical at any
+	// setting (every simulation is a pure function of its key).
+	Parallel int
 }
 
 // DefaultOptions gives publication-scale runs (a few seconds per figure).
@@ -94,24 +105,25 @@ func DefaultOptions() Options { return Options{Ops: 400, Seed: 1} }
 // QuickOptions gives fast runs for tests and benchmarks.
 func QuickOptions() Options { return Options{Ops: 80, Seed: 1} }
 
-// Harness caches generated traces and run results across experiments.
+// Harness runs experiments on a shared concurrent engine; traces and run
+// results are cached and deduplicated across experiments.
 type Harness struct {
-	opts   Options
-	traces map[string]*trace.Trace
-	runs   map[string]machine.Result
+	opts Options
+	eng  *engine
 }
 
 // New builds a harness.
 func New(opts Options) *Harness {
 	if opts.Ops <= 0 {
+		ops := opts
 		opts = DefaultOptions()
+		opts.Parallel = ops.Parallel
 	}
-	return &Harness{
-		opts:   opts,
-		traces: make(map[string]*trace.Trace),
-		runs:   make(map[string]machine.Result),
-	}
+	return &Harness{opts: opts, eng: newEngine(opts.Parallel)}
 }
+
+// Parallelism reports the engine's worker-pool size.
+func (h *Harness) Parallelism() int { return h.eng.workers() }
 
 // Workloads returns the Table III workload list (the bandwidth micro is
 // excluded; it has its own experiment).
@@ -133,42 +145,6 @@ func (h *Harness) params(threads int) workload.Params {
 	return p
 }
 
-func (h *Harness) traceFor(wl string, threads int) *trace.Trace {
-	key := fmt.Sprintf("%s/%d", wl, threads)
-	if tr, ok := h.traces[key]; ok {
-		return tr
-	}
-	tr, err := workload.Generate(wl, h.params(threads))
-	if err != nil {
-		panic(err)
-	}
-	h.traces[key] = tr
-	return tr
-}
-
-// Run executes workload wl under the named model with `threads` threads on
-// a machine with max(threads, 4) cores and 2 MCs, caching the result.
-func (h *Harness) Run(wl, mdl string, threads int) machine.Result {
-	key := fmt.Sprintf("%s/%s/%d", wl, mdl, threads)
-	if r, ok := h.runs[key]; ok {
-		return r
-	}
-	cfg := config.Default()
-	if threads > cfg.Cores {
-		cfg.Cores = threads
-	}
-	m, err := machine.New(cfg, mdl, h.traceFor(wl, threads))
-	if err != nil {
-		panic(err)
-	}
-	r := m.Run(0)
-	if r.Cycles == 0 {
-		panic(fmt.Sprintf("harness: %s produced zero cycles", key))
-	}
-	h.runs[key] = r
-	return r
-}
-
 func (h *Harness) cfgFor(threads int) config.Config {
 	cfg := config.Default()
 	if threads > cfg.Cores {
@@ -177,31 +153,75 @@ func (h *Harness) cfgFor(threads int) config.Config {
 	return cfg
 }
 
-func (h *Harness) runTrace(cfg config.Config, mdl string, tr *trace.Trace) machine.Result {
-	m, err := machine.New(cfg, mdl, tr)
-	if err != nil {
-		panic(err)
-	}
-	r := m.Run(0)
-	if r.Cycles == 0 {
-		panic("harness: run produced zero cycles")
-	}
-	return r
+// job builds the run key for the standard configuration: `threads`
+// threads on a machine with max(threads, 4) cores and 2 MCs.
+func (h *Harness) job(wl, mdl string, threads int) runKey {
+	return runKey{wl: wl, p: h.params(threads), mdl: mdl, cfg: h.cfgFor(threads)}
 }
 
-// RunMachine builds and runs a machine without caching, returning it for
-// inspection (used by experiments needing ledger access).
-func (h *Harness) RunMachine(wl, mdl string, threads int) *machine.Machine {
-	cfg := config.Default()
-	if threads > cfg.Cores {
-		cfg.Cores = threads
+// jobCfg is job with an explicit machine configuration (ablation sweeps).
+func (h *Harness) jobCfg(cfg config.Config, wl, mdl string, threads int) runKey {
+	return runKey{wl: wl, p: h.params(threads), mdl: mdl, cfg: cfg}
+}
+
+// jobParams is job with explicit workload parameters too (bandwidth and
+// strand traces).
+func jobParams(cfg config.Config, p workload.Params, wl, mdl string) runKey {
+	return runKey{wl: wl, p: p, mdl: mdl, cfg: cfg}
+}
+
+func (h *Harness) traceFor(wl string, threads int) (*trace.Trace, error) {
+	return h.eng.trace(traceKey{wl: wl, p: h.params(threads)})
+}
+
+// Run executes workload wl under the named model with `threads` threads on
+// a machine with max(threads, 4) cores and 2 MCs, caching the result.
+func (h *Harness) Run(wl, mdl string, threads int) (machine.Result, error) {
+	return h.eng.run(h.job(wl, mdl, threads))
+}
+
+// RunCfg is Run with an explicit machine configuration.
+func (h *Harness) RunCfg(cfg config.Config, wl, mdl string, threads int) (machine.Result, error) {
+	return h.eng.run(h.jobCfg(cfg, wl, mdl, threads))
+}
+
+// RunParams is Run with explicit machine configuration and workload
+// parameters (the bandwidth micro and strand-annotated traces).
+func (h *Harness) RunParams(cfg config.Config, p workload.Params, wl, mdl string) (machine.Result, error) {
+	return h.eng.run(jobParams(cfg, p, wl, mdl))
+}
+
+// RunMachine builds and runs a machine, returning it for inspection (used
+// by experiments needing ledger access). The run machine is cached; it
+// must not be mutated.
+func (h *Harness) RunMachine(wl, mdl string, threads int) (*machine.Machine, error) {
+	return h.eng.machine(h.job(wl, mdl, threads))
+}
+
+// experiment couples a table builder with the prefetch plan that lists
+// the simulations the builder will request. The plan is an optimization
+// contract, not a correctness one: the body always goes through the
+// engine cache, so a drifted plan only costs parallelism (the
+// plan-coverage test keeps plans honest).
+type experiment struct {
+	run  func(*Harness) (*Table, error)
+	plan func(*Harness) []prefetchJob
+}
+
+// prefetchJob is one planned simulation; machine marks RunMachine users
+// whose whole machine must be cached, not just the Result.
+type prefetchJob struct {
+	key     runKey
+	machine bool
+}
+
+// jobs converts plain run keys into prefetch jobs.
+func jobs(keys ...runKey) []prefetchJob {
+	out := make([]prefetchJob, len(keys))
+	for i, k := range keys {
+		out[i] = prefetchJob{key: k}
 	}
-	m, err := machine.New(cfg, mdl, h.traceFor(wl, threads))
-	if err != nil {
-		panic(err)
-	}
-	m.Run(0)
-	return m
+	return out
 }
 
 // Experiments lists the available experiment IDs in paper order.
@@ -214,25 +234,81 @@ func Experiments() []string {
 	return ids
 }
 
-var experiments = map[string]func(*Harness) *Table{
-	"fig2":  (*Harness).Fig2,
-	"fig3":  (*Harness).Fig3,
-	"fig8":  (*Harness).Fig8,
-	"fig9":  (*Harness).Fig9,
-	"fig10": (*Harness).Fig10,
-	"fig11": (*Harness).Fig11,
-	"fig12": (*Harness).Fig12,
-	"fig13": (*Harness).Fig13,
-	"tab5":  (*Harness).Tab5,
+var experiments = map[string]experiment{
+	"fig2":  {run: (*Harness).Fig2, plan: (*Harness).planFig2},
+	"fig3":  {run: (*Harness).Fig3, plan: (*Harness).planFig3},
+	"fig8":  {run: (*Harness).Fig8, plan: (*Harness).planFig8},
+	"fig9":  {run: (*Harness).Fig9, plan: (*Harness).planFig9},
+	"fig10": {run: (*Harness).Fig10, plan: (*Harness).planFig10},
+	"fig11": {run: (*Harness).Fig11, plan: (*Harness).planFig11},
+	"fig12": {run: (*Harness).Fig12, plan: (*Harness).planFig12},
+	"fig13": {run: (*Harness).Fig13, plan: (*Harness).planFig13},
+	"tab5":  {run: (*Harness).Tab5},
 }
 
-// Experiment runs one experiment by ID.
+// Experiment runs one experiment by ID. With a parallel engine the
+// experiment's planned simulations fan out across the worker pool first;
+// the body then assembles the table serially from the cache, so output
+// does not depend on the pool size.
 func (h *Harness) Experiment(id string) (*Table, error) {
-	fn, ok := experiments[id]
+	exp, ok := experiments[id]
 	if !ok {
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, Experiments())
 	}
-	return fn(h), nil
+	if exp.plan != nil && h.Parallelism() > 1 {
+		h.prefetch(exp.plan(h))
+	}
+	return exp.run(h)
+}
+
+// prefetch fans the planned simulations out across the engine's worker
+// pool and waits for them. Individual failures are not reported here: the
+// experiment body hits the same cached error (or the first failure's
+// root cause, once cancellation fires) in its deterministic serial order.
+func (h *Harness) prefetch(plan []prefetchJob) {
+	var wg sync.WaitGroup
+	wg.Add(len(plan))
+	for _, j := range plan {
+		go func(j prefetchJob) {
+			defer wg.Done()
+			if j.machine {
+				h.eng.machine(j.key) //nolint:errcheck // body re-reads from cache
+			} else {
+				h.eng.run(j.key) //nolint:errcheck // body re-reads from cache
+			}
+		}(j)
+	}
+	wg.Wait()
+}
+
+// Tables runs the given experiments — concurrently when the engine is
+// parallel, with simulations shared between them computed exactly once —
+// and returns the tables in request order. The first failure (in request
+// order) is returned as an error wrapped with its experiment ID.
+func (h *Harness) Tables(ids []string) ([]*Table, error) {
+	out := make([]*Table, len(ids))
+	errs := make([]error, len(ids))
+	if h.Parallelism() > 1 {
+		var wg sync.WaitGroup
+		wg.Add(len(ids))
+		for i, id := range ids {
+			go func(i int, id string) {
+				defer wg.Done()
+				out[i], errs[i] = h.Experiment(id)
+			}(i, id)
+		}
+		wg.Wait()
+	} else {
+		for i, id := range ids {
+			out[i], errs[i] = h.Experiment(id)
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ids[i], err)
+		}
+	}
+	return out, nil
 }
 
 func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }

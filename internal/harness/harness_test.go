@@ -78,14 +78,24 @@ func TestWorkloadsExcludesBandwidth(t *testing.T) {
 func TestRunDeterminism(t *testing.T) {
 	a := New(QuickOptions())
 	b := New(QuickOptions())
-	ra := a.Run("cceh", "asap_rp", 4)
-	rb := b.Run("cceh", "asap_rp", 4)
+	ra, err := a.Run("cceh", "asap_rp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Run("cceh", "asap_rp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ra.Cycles != rb.Cycles || ra.PMWrites != rb.PMWrites {
 		t.Fatalf("non-deterministic: %d/%d vs %d/%d cycles/writes",
 			ra.Cycles, ra.PMWrites, rb.Cycles, rb.PMWrites)
 	}
 	// Cached second run returns the identical result.
-	if r2 := a.Run("cceh", "asap_rp", 4); r2.Cycles != ra.Cycles {
+	r2, err := a.Run("cceh", "asap_rp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cycles != ra.Cycles {
 		t.Fatal("cache returned a different result")
 	}
 }
@@ -109,17 +119,26 @@ func TestFigureShapes(t *testing.T) {
 	h := New(QuickOptions())
 	nWL := len(Workloads())
 
-	fig2 := h.Fig2()
+	fig2, err := h.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(fig2.Rows) != nWL {
 		t.Errorf("fig2 rows = %d, want %d", len(fig2.Rows), nWL)
 	}
 
-	fig3 := h.Fig3()
+	fig3, err := h.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(fig3.Rows) != nWL+1 { // + average
 		t.Errorf("fig3 rows = %d", len(fig3.Rows))
 	}
 
-	fig8 := h.Fig8()
+	fig8, err := h.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(fig8.Rows) != nWL+1 || len(fig8.Header) != 6 {
 		t.Errorf("fig8 shape %dx%d", len(fig8.Rows), len(fig8.Header))
 	}
@@ -132,7 +151,10 @@ func TestFigureShapes(t *testing.T) {
 		}
 	}
 
-	fig12 := h.Fig12()
+	fig12, err := h.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, row := range fig12.Rows[:len(fig12.Rows)-1] {
 		var occ int
 		if _, err := fmtSscan(row[1], &occ); err == nil && occ > 32 {
@@ -140,9 +162,57 @@ func TestFigureShapes(t *testing.T) {
 		}
 	}
 
-	fig13 := h.Fig13()
+	fig13, err := h.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(fig13.Rows) != 3 {
 		t.Errorf("fig13 rows = %d", len(fig13.Rows))
+	}
+}
+
+// TestTablesOrder: Tables returns tables in request order regardless of
+// completion order, and wraps failures with the experiment ID.
+func TestTablesOrder(t *testing.T) {
+	h := New(Options{Ops: 30, Seed: 1, Parallel: 4})
+	ids := []string{"tab5", "fig13", "abl_interleave"}
+	tbs, err := h.Tables(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tb := range tbs {
+		if tb.ID != ids[i] {
+			t.Errorf("tables[%d].ID = %s, want %s", i, tb.ID, ids[i])
+		}
+	}
+	if _, err := h.Tables([]string{"tab5", "bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "bogus") {
+		t.Errorf("Tables error = %v, want wrapped with failing ID", err)
+	}
+}
+
+// TestPlansCoverBodies: after a prefetch of an experiment's plan, the
+// body must find every simulation it needs already in the cache. A drift
+// between plan and body is invisible in output (the cache serves both
+// paths identically) but silently serializes the drifted runs — this test
+// pins the contract.
+func TestPlansCoverBodies(t *testing.T) {
+	for _, id := range Experiments() {
+		exp := experiments[id]
+		if exp.plan == nil {
+			continue
+		}
+		t.Run(id, func(t *testing.T) {
+			h := New(Options{Ops: 20, Seed: 1, Parallel: 2})
+			h.prefetch(exp.plan(h))
+			_, preRuns := h.eng.execs()
+			if _, err := exp.run(h); err != nil {
+				t.Fatal(err)
+			}
+			if _, postRuns := h.eng.execs(); postRuns != preRuns {
+				t.Errorf("body executed %d simulations the plan missed", postRuns-preRuns)
+			}
+		})
 	}
 }
 

@@ -6,8 +6,25 @@ import (
 	"asap/internal/config"
 	"asap/internal/model"
 	"asap/internal/sim"
-	"asap/internal/workload"
 )
+
+// tab4Models are the Table IV designs compared at the default 2-MC
+// configuration.
+var tab4Models = []string{
+	model.NameLBPP, model.NameHOPSRP, model.NameDPO, model.NameLRP,
+	model.NameVorpal, model.NamePMEMSpec, model.NameASAPRP, model.NameEADR,
+}
+
+// tab4Workloads is the representative workload subset of the comparison.
+var tab4Workloads = []string{"nstore", "cceh", "fast_fair", "atlas_queue", "p_masstree"}
+
+// oneMCCfg is the single-controller machine, the configuration where the
+// paper says PMEM-Spec matches ASAP (it never mis-speculates there).
+func oneMCCfg() config.Config {
+	cfg := config.Default()
+	cfg.MCs = 1
+	return cfg
+}
 
 // Tab4 makes the paper's qualitative related-work comparison (Table IV)
 // quantitative for the designs implemented here: the six evaluated models
@@ -15,32 +32,42 @@ import (
 // multi-MC story) and PMEM-Spec (unbuffered speculation with software
 // mis-speculation recovery). PMEM-Spec also runs on a 1-MC machine, the
 // configuration where the paper says it matches ASAP.
-func (h *Harness) Tab4() *Table {
-	models := []string{
-		model.NameLBPP, model.NameHOPSRP, model.NameDPO, model.NameLRP,
-		model.NameVorpal, model.NamePMEMSpec, model.NameASAPRP, model.NameEADR,
-	}
+func (h *Harness) Tab4() (*Table, error) {
 	t := &Table{
 		ID:    "tab4",
 		Title: "Quantitative Table IV: speedup over baseline (2 MCs; pmem_spec also at 1 MC)",
-		Header: append(append([]string{"workload"}, models...),
+		Header: append(append([]string{"workload"}, tab4Models...),
 			"pmem_spec@1mc", "asap_rp@1mc"),
 	}
-	wls := []string{"nstore", "cceh", "fast_fair", "atlas_queue", "p_masstree"}
-	for _, wl := range wls {
-		base := float64(h.Run(wl, model.NameBaseline, 4).Cycles)
+	for _, wl := range tab4Workloads {
+		br, err := h.Run(wl, model.NameBaseline, 4)
+		if err != nil {
+			return nil, err
+		}
+		base := float64(br.Cycles)
 		row := []string{wl}
-		for _, mn := range models {
-			r := h.Run(wl, mn, 4)
+		for _, mn := range tab4Models {
+			r, err := h.Run(wl, mn, 4)
+			if err != nil {
+				return nil, err
+			}
 			row = append(row, f2(base/float64(r.Cycles)))
 		}
 		// Single-controller runs: PMEM-Spec never mis-speculates there.
-		oneMC := config.Default()
-		oneMC.MCs = 1
-		base1 := float64(h.runTrace(oneMC, model.NameBaseline, h.traceFor(wl, 4)).Cycles)
-		spec1 := float64(h.runTrace(oneMC, model.NamePMEMSpec, h.traceFor(wl, 4)).Cycles)
-		asap1 := float64(h.runTrace(oneMC, model.NameASAPRP, h.traceFor(wl, 4)).Cycles)
-		row = append(row, f2(base1/spec1), f2(base1/asap1))
+		base1r, err := h.RunCfg(oneMCCfg(), wl, model.NameBaseline, 4)
+		if err != nil {
+			return nil, err
+		}
+		spec1r, err := h.RunCfg(oneMCCfg(), wl, model.NamePMEMSpec, 4)
+		if err != nil {
+			return nil, err
+		}
+		asap1r, err := h.RunCfg(oneMCCfg(), wl, model.NameASAPRP, 4)
+		if err != nil {
+			return nil, err
+		}
+		base1 := float64(base1r.Cycles)
+		row = append(row, f2(base1/float64(spec1r.Cycles)), f2(base1/float64(asap1r.Cycles)))
 		t.Rows = append(t.Rows, row)
 	}
 	t.Notes = append(t.Notes,
@@ -50,7 +77,32 @@ func (h *Harness) Tab4() *Table {
 		"note: this LB++ omits its cache-eviction stalls, so it can beat polling-bound HOPS on short epochs;",
 		"vorpal pays a 500-cycle clock broadcast before any epoch's successor may persist, so dfence-heavy",
 		"workloads fall below even the synchronous baseline — the paper's broadcast-frequency criticism")
-	return t
+	return t, nil
+}
+
+func (h *Harness) planTab4() []prefetchJob {
+	var keys []runKey
+	for _, wl := range tab4Workloads {
+		keys = append(keys, h.job(wl, model.NameBaseline, 4))
+		for _, mn := range tab4Models {
+			keys = append(keys, h.job(wl, mn, 4))
+		}
+		for _, mn := range []string{model.NameBaseline, model.NamePMEMSpec, model.NameASAPRP} {
+			keys = append(keys, h.jobCfg(oneMCCfg(), wl, mn, 4))
+		}
+	}
+	return jobs(keys...)
+}
+
+// ablNVMBWGaps is the NVMDrainGap sweep in ns; the header labels the
+// per-controller write bandwidth each gap corresponds to.
+var ablNVMBWGaps = []uint64{56, 28, 14, 7}
+
+// nvmBWCfg sets the per-line media drain gap (write throughput).
+func (h *Harness) nvmBWCfg(threads int, gapNS uint64) config.Config {
+	cfg := h.cfgFor(threads)
+	cfg.NVMDrainGap = sim.NS(gapNS)
+	return cfg
 }
 
 // AblNVMBW sweeps the per-controller NVM write bandwidth on the
@@ -58,37 +110,50 @@ func (h *Harness) Tab4() *Table {
 // greater performance benefit with increasing NVM write bandwidth" — faster
 // media raises ASAP's eager-flushing ceiling while conservative designs
 // stay bound by their per-epoch ACK round trip.
-func (h *Harness) AblNVMBW() *Table {
+func (h *Harness) AblNVMBW() (*Table, error) {
 	t := &Table{
 		ID:     "abl_nvmbw",
 		Title:  "Sensitivity: NVM write bandwidth per MC vs ASAP's advantage over HOPS (bandwidth micro)",
 		Header: []string{"threads", "1.1GB/s", "2.3GB/s", "4.6GB/s", "9.1GB/s"},
 	}
-	gaps := []uint64{56, 28, 14, 7} // NVMDrainGap in ns
 	for _, th := range []int{1, 2} {
-		p := h.params(th)
-		p.OpsPerThread = h.opts.Ops * 4
-		tr, err := workload.Generate("bandwidth", p)
-		if err != nil {
-			panic(err)
-		}
+		p := h.fig13Params(th)
 		row := []string{fmt.Sprintf("%d", th)}
-		for _, gapNS := range gaps {
-			cfg := h.cfgFor(th)
-			cfg.NVMDrainGap = sim.NS(gapNS)
-			hops := float64(h.runTrace(cfg, model.NameHOPSRP, tr).Cycles)
-			asap := float64(h.runTrace(cfg, model.NameASAPRP, tr).Cycles)
-			row = append(row, f2(hops/asap))
+		for _, gapNS := range ablNVMBWGaps {
+			cfg := h.nvmBWCfg(th, gapNS)
+			hr, err := h.RunParams(cfg, p, "bandwidth", model.NameHOPSRP)
+			if err != nil {
+				return nil, err
+			}
+			ar, err := h.RunParams(cfg, p, "bandwidth", model.NameASAPRP)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(float64(hr.Cycles)/float64(ar.Cycles)))
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	t.Notes = append(t.Notes,
-		fmt.Sprintf("cells: HOPS/ASAP cycle ratio (>1 = ASAP faster); drain gaps swept: %v ns/line", gaps),
+		fmt.Sprintf("cells: HOPS/ASAP cycle ratio (>1 = ASAP faster); drain gaps swept: %v ns/line", ablNVMBWGaps),
 		"paper §I: ASAP offers greater benefit with increasing NVM write bandwidth")
-	return t
+	return t, nil
+}
+
+func (h *Harness) planAblNVMBW() []prefetchJob {
+	var keys []runKey
+	for _, th := range []int{1, 2} {
+		p := h.fig13Params(th)
+		for _, gapNS := range ablNVMBWGaps {
+			cfg := h.nvmBWCfg(th, gapNS)
+			keys = append(keys,
+				jobParams(cfg, p, "bandwidth", model.NameHOPSRP),
+				jobParams(cfg, p, "bandwidth", model.NameASAPRP))
+		}
+	}
+	return jobs(keys...)
 }
 
 func init() {
-	experiments["tab4"] = (*Harness).Tab4
-	experiments["abl_nvmbw"] = (*Harness).AblNVMBW
+	experiments["tab4"] = experiment{run: (*Harness).Tab4, plan: (*Harness).planTab4}
+	experiments["abl_nvmbw"] = experiment{run: (*Harness).AblNVMBW, plan: (*Harness).planAblNVMBW}
 }

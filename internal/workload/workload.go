@@ -75,6 +75,11 @@ func SortedNames() []string {
 }
 
 // Generate builds the named workload's trace.
+//
+// Generate is safe for concurrent callers: the registry is immutable
+// after package init, and every generator builds a private heap, data
+// structure and RNG per call (the harness's parallel engine relies on
+// this to generate traces from worker goroutines).
 func Generate(name string, p Params) (*trace.Trace, error) {
 	g, ok := registry[name]
 	if !ok {

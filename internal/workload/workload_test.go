@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"sync"
 	"testing"
 
 	"asap/internal/config"
@@ -65,6 +66,54 @@ func TestGenerateDeterministic(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestGenerateConcurrent: Generate is documented safe for concurrent
+// callers (the harness's parallel engine generates traces from worker
+// goroutines). Each generator builds a private heap and RNG, and the
+// registry is immutable after init — this test pins that by generating
+// the same and different workloads from many goroutines at once and
+// demanding byte-identical traces; `go test -race` in CI checks the
+// absence of sharing.
+func TestGenerateConcurrent(t *testing.T) {
+	names := []string{"cceh", "cceh", "fast_fair", "p_art", "nstore", "bandwidth", "cceh", "echo"}
+	ref := make(map[string]*trace.Trace)
+	for _, n := range names {
+		tr, err := Generate(n, smallParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[n] = tr
+	}
+	var wg sync.WaitGroup
+	for rep := 0; rep < 4; rep++ {
+		for _, n := range names {
+			wg.Add(1)
+			go func(n string) {
+				defer wg.Done()
+				tr, err := Generate(n, smallParams())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want := ref[n]
+				if tr.TotalOps() != want.TotalOps() {
+					t.Errorf("%s: concurrent generation produced %d ops, want %d",
+						n, tr.TotalOps(), want.TotalOps())
+					return
+				}
+				for i := range want.Threads {
+					for j := range want.Threads[i] {
+						if tr.Threads[i][j] != want.Threads[i][j] {
+							t.Errorf("%s: concurrent trace diverges at thread %d op %d", n, i, j)
+							return
+						}
+					}
+				}
+			}(n)
+		}
+	}
+	wg.Wait()
 }
 
 // TestUnknownWorkload: helpful error.
