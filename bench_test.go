@@ -17,6 +17,7 @@ import (
 	"asap/internal/harness"
 	"asap/internal/machine"
 	"asap/internal/model"
+	"asap/internal/obs"
 	"asap/internal/workload"
 )
 
@@ -154,3 +155,32 @@ func BenchmarkRunHOPSCCEH(b *testing.B)     { benchRun(b, "cceh", model.NameHOPS
 func BenchmarkRunASAPCCEH(b *testing.B)     { benchRun(b, "cceh", model.NameASAPRP) }
 func BenchmarkRunASAPPART(b *testing.B)     { benchRun(b, "p_art", model.NameASAPRP) }
 func BenchmarkRunEADRCCEH(b *testing.B)     { benchRun(b, "cceh", model.NameEADR) }
+
+// BenchmarkRunASAPTraced is BenchmarkRunASAPCCEH with full tracing on —
+// collector and timeline attached, events recorded but not serialized.
+// The ratio against BenchmarkRunASAPCCEH is the tracing-on overhead; CI
+// gates it through benchdiff like every other benchmark.
+func BenchmarkRunASAPTraced(b *testing.B) {
+	p := workload.Default()
+	p.OpsPerThread = 120
+	tr, err := workload.Generate("cceh", p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := machine.New(config.Default(), model.NameASAPRP, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		col := obs.NewCollector(m.Eng.Now)
+		m.AttachTracer(col)
+		m.EnableTimeline(0)
+		if res := m.Run(0); res.Cycles == 0 {
+			b.Fatal("zero cycles")
+		}
+		if col.Len() == 0 {
+			b.Fatal("tracing recorded no events")
+		}
+	}
+}

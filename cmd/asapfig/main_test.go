@@ -66,6 +66,56 @@ func TestSingleExperimentCSV(t *testing.T) {
 	}
 }
 
+// TestPerfReport: -perf leaves stdout untouched and reports per-experiment
+// wall time and aggregate throughput on stderr.
+func TestPerfReport(t *testing.T) {
+	var out, errb, plain, nperr strings.Builder
+	code := run([]string{"-ops", "20", "-csv", "-perf", "tab5"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	msg := errb.String()
+	if !strings.Contains(msg, "perf: tab5") || !strings.Contains(msg, "cycles/s") {
+		t.Fatalf("perf report missing from stderr: %q", msg)
+	}
+	if run([]string{"-ops", "20", "-csv", "tab5"}, &plain, &nperr); out.String() != plain.String() {
+		t.Error("-perf changed stdout")
+	}
+}
+
+// TestProfileAndTraceDir: -profile writes cpu/heap profiles and -tracedir
+// captures one trace JSON + timeline CSV per executed simulation.
+func TestProfileAndTraceDir(t *testing.T) {
+	prof, traces := t.TempDir(), t.TempDir()
+	var out, errb strings.Builder
+	// tab5 is analytic; fig2 is the cheapest experiment that simulates.
+	code := run([]string{"-ops", "20", "-csv", "-profile", prof, "-tracedir", traces, "fig2"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		if _, err := os.Stat(filepath.Join(prof, name)); err != nil {
+			t.Errorf("missing profile %s: %v", name, err)
+		}
+	}
+	ents, err := os.ReadDir(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nTrace, nTimeline int
+	for _, e := range ents {
+		switch {
+		case strings.HasSuffix(e.Name(), ".trace.json"):
+			nTrace++
+		case strings.HasSuffix(e.Name(), ".timeline.csv"):
+			nTimeline++
+		}
+	}
+	if nTrace == 0 || nTrace != nTimeline {
+		t.Fatalf("captured %d traces / %d timelines, want equal and nonzero", nTrace, nTimeline)
+	}
+}
+
 // TestOutdir writes per-experiment files.
 func TestOutdir(t *testing.T) {
 	dir := t.TempDir()

@@ -1,5 +1,6 @@
 // Command asaplint runs the repository's static-analysis suite
-// (internal/analysis): donecheck, detcheck, unitcheck and ledgercheck.
+// (internal/analysis): donecheck, detcheck, unitcheck, ledgercheck and
+// obscheck.
 // It loads every package of the module from source using only the
 // standard library — no go/packages, no external tools — and exits
 // non-zero if any finding survives //asaplint:ignore filtering.
@@ -23,6 +24,7 @@ import (
 	"asap/internal/analysis/detcheck"
 	"asap/internal/analysis/donecheck"
 	"asap/internal/analysis/ledgercheck"
+	"asap/internal/analysis/obscheck"
 	"asap/internal/analysis/unitcheck"
 )
 
@@ -32,6 +34,7 @@ func analyzers() []analysis.Analyzer {
 		detcheck.New(),
 		unitcheck.New(),
 		ledgercheck.New(),
+		obscheck.New(),
 	}
 }
 

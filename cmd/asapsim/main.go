@@ -4,20 +4,32 @@
 // Usage:
 //
 //	asapsim -workload cceh -model asap_rp -threads 4 -ops 600
+//	asapsim -trace out.json -timeline out.csv -workload atlas_queue
+//	asapsim -stats -workload cceh
 //
 // Models: baseline, hops_ep, hops_rp, asap_ep, asap_rp, eadr.
 // Workloads: see -list.
+//
+// -trace writes a Chrome trace-event JSON of the run — open it in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. One track per core
+// (dfence/lock-wait spans), per persist buffer (epoch activity), and per
+// memory controller (flush service); counters record queue occupancies.
+// -timeline writes a CSV of occupancy samples (persist buffers, epoch
+// tables, WPQs, recovery tables) every -interval cycles.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"asap/internal/config"
 	"asap/internal/machine"
 	"asap/internal/model"
+	"asap/internal/obs"
+	"asap/internal/sim"
 	"asap/internal/trace"
 	"asap/internal/workload"
 )
@@ -35,6 +47,10 @@ func main() {
 		list     = flag.Bool("list", false, "list workloads and exit")
 		saveTr   = flag.String("save-trace", "", "write the generated trace to this file and exit")
 		loadTr   = flag.String("load-trace", "", "replay a trace file instead of generating one")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto)")
+		tlOut    = flag.String("timeline", "", "write a CSV occupancy timeline of the run to this file")
+		interval = flag.Uint64("interval", 0, "timeline sampling interval in cycles (0 = default)")
+		describe = flag.Bool("stats", false, "print statistics with their registered descriptions")
 	)
 	flag.Parse()
 
@@ -94,7 +110,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	var col *obs.Collector
+	if *traceOut != "" {
+		col = obs.NewCollector(m.Eng.Now)
+		m.AttachTracer(col)
+	}
+	var tl *obs.Timeline
+	if *tlOut != "" {
+		tl = m.EnableTimeline(sim.Cycles(*interval))
+	}
 	res := m.Run(0)
+	if col != nil {
+		writeArtifact(*traceOut, col.WriteChromeTrace)
+	}
+	if tl != nil {
+		writeArtifact(*tlOut, tl.WriteCSV)
+	}
 
 	fmt.Printf("workload          %s (%d threads, %d trace ops)\n",
 		tr.Name, tr.NumThreads(), tr.TotalOps())
@@ -107,5 +138,26 @@ func main() {
 		fmt.Printf("rtMaxOccupancy    %d\n", res.RTMaxOcc)
 	}
 	fmt.Printf("wpqMaxOccupancy   %d\n", res.WPQMaxOcc)
-	fmt.Printf("\n--- stats ---\n%s", res.Stats)
+	if *describe {
+		fmt.Printf("\n--- stats ---\n%s", res.Stats.Describe())
+	} else {
+		fmt.Printf("\n--- stats ---\n%s", res.Stats)
+	}
+}
+
+// writeArtifact serializes one run artifact into path via write.
+func writeArtifact(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	werr := write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintln(os.Stderr, werr)
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,158 @@
+package asap
+
+// The golden-trace gate: the Chrome trace of one small queue run is
+// pinned byte-for-byte under testdata/golden/trace_small.json, and its
+// shape is validated structurally (valid JSON, per-track monotonic
+// timestamps, balanced begin/end pairs). Tracing changes are expected to
+// trip the byte comparison — regenerate with `make golden` (which sets
+// UPDATE_GOLDEN for this test) and review the diff.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"asap/internal/config"
+	"asap/internal/machine"
+	"asap/internal/model"
+	"asap/internal/obs"
+	"asap/internal/workload"
+)
+
+// goldenTraceJSON reproduces
+//
+//	asapsim -workload atlas_queue -model asap_rp -threads 2 -ops 12 -trace ...
+//
+// and returns the serialized Chrome trace.
+func goldenTraceJSON(t *testing.T) []byte {
+	t.Helper()
+	tr, err := workload.Generate("atlas_queue", workload.Params{
+		Threads: 2, OpsPerThread: 12, KeyRange: 4096, ValueSize: 64, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(config.Default(), model.NameASAPRP, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obs.NewCollector(m.Eng.Now)
+	m.AttachTracer(col)
+	if res := m.Run(0); res.Cycles == 0 {
+		t.Fatal("golden trace run simulated zero cycles")
+	}
+	var buf bytes.Buffer
+	if err := col.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTrace pins the trace bytes. UPDATE_GOLDEN=1 regenerates the
+// committed file instead of comparing.
+func TestGoldenTrace(t *testing.T) {
+	got := goldenTraceJSON(t)
+	path := filepath.Join("testdata", "golden", "trace_small.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with `make golden`)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace differs from %s — if the tracing change is intended, regenerate with `make golden` and review the diff", path)
+	}
+}
+
+// chromeEvent is the subset of the trace-event schema the shape test
+// inspects.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s"`
+	Args  map[string]any `json:"args"`
+}
+
+// TestGoldenTraceShape validates the trace structurally, independent of
+// exact bytes: it must be valid JSON in the Chrome trace-event format,
+// every track's timestamps must be monotonically non-decreasing, every
+// End must close an open Begin, and no span may remain open at the end.
+func TestGoldenTraceShape(t *testing.T) {
+	raw := goldenTraceJSON(t)
+	var tf struct {
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ns", tf.DisplayTimeUnit)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+
+	lastTS := map[int]float64{} // per-track monotonicity
+	depth := map[int]int{}      // per-track open-span depth
+	names := map[string]bool{}  // thread_name metadata seen
+	counters := map[string]bool{}
+	for i, e := range tf.TraceEvents {
+		switch e.Phase {
+		case "M":
+			if e.Name == "thread_name" {
+				n, _ := e.Args["name"].(string)
+				names[n] = true
+			}
+			continue
+		case "B":
+			depth[e.TID]++
+		case "E":
+			depth[e.TID]--
+			if depth[e.TID] < 0 {
+				t.Fatalf("event %d: End on track %d with no open Begin", i, e.TID)
+			}
+		case "i":
+			if e.Scope != "t" {
+				t.Errorf("event %d: instant scope = %q, want t", i, e.Scope)
+			}
+		case "C":
+			if _, ok := e.Args["value"]; !ok {
+				t.Errorf("event %d: counter %q without value arg", i, e.Name)
+			}
+			counters[e.Name] = true
+		default:
+			t.Errorf("event %d: unknown phase %q", i, e.Phase)
+		}
+		if e.TS < lastTS[e.TID] {
+			t.Fatalf("event %d: track %d timestamp %v before %v — not monotonic", i, e.TID, e.TS, lastTS[e.TID])
+		}
+		lastTS[e.TID] = e.TS
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Errorf("track %d: %d spans left open", tid, d)
+		}
+	}
+	// One track per core, per persist buffer, and per MC, plus the engine.
+	for _, want := range []string{"core0", "core1", "core0 pb", "core1 pb", "mc0", "mc1", "engine"} {
+		if !names[want] {
+			t.Errorf("track %q missing (have %v)", want, names)
+		}
+	}
+	for _, want := range []string{"mc0/wpq", "core0 pb/pb", "core0 pb/et", "engine/events"} {
+		if !counters[want] {
+			t.Errorf("counter series %q missing", want)
+		}
+	}
+}

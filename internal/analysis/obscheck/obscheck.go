@@ -1,0 +1,167 @@
+// Package obscheck enforces the observability layer's zero-overhead
+// contract: tracer hooks embedded in the simulator (internal/obs.Tracer's
+// Begin/End/Instant/Counter) are nil when tracing is off, so every call
+// site must sit inside an `if <tracer> != nil { ... }` guard — an
+// unguarded call either panics on untraced runs or forces callers to
+// allocate a no-op tracer, both of which break the tracing-off fast path.
+//
+// The analyzer matches the Tracer interface structurally (a named
+// interface type called Tracer), so its fixtures need no non-stdlib
+// imports, and it exempts internal/obs itself. Track is deliberately not
+// checked: it is called only from AttachTracer wiring, where the tracer
+// is contractually non-nil. Guards do not propagate into function
+// literals — a closure may run after the guarded block, so it needs its
+// own check.
+package obscheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"asap/internal/analysis"
+)
+
+// New returns the obscheck analyzer.
+func New() analysis.Analyzer { return checker{} }
+
+type checker struct{}
+
+func (checker) Name() string { return "obscheck" }
+
+func (checker) Doc() string {
+	return "every obs.Tracer hook call (Begin/End/Instant/Counter) must be nil-guarded; tracers are nil unless tracing is enabled"
+}
+
+// hookNames are the Tracer methods that run on simulation hot paths and
+// therefore must be guarded at every call site.
+var hookNames = map[string]bool{
+	"Begin":   true,
+	"End":     true,
+	"Instant": true,
+	"Counter": true,
+}
+
+func (c checker) Run(pass *analysis.Pass) {
+	if strings.HasSuffix(pass.Path, "internal/obs") {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.visit(pass, fd.Body, nil)
+			}
+		}
+	}
+}
+
+// visit walks a subtree carrying the set of expressions known non-nil on
+// the current path (rendered with types.ExprString).
+func (c checker) visit(pass *analysis.Pass, node ast.Node, guards map[string]bool) {
+	switch s := node.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.visit(pass, s.Init, guards)
+		}
+		c.visit(pass, s.Cond, guards)
+		c.visit(pass, s.Body, merge(guards, nilGuards(s.Cond)))
+		if s.Else != nil {
+			c.visit(pass, s.Else, guards)
+		}
+		return
+	case *ast.FuncLit:
+		// A closure may execute long after the guarded block (deferred,
+		// scheduled as a sim event), when the tracer field could differ:
+		// it must carry its own guard.
+		c.visit(pass, s.Body, nil)
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if n == nil || n == node {
+			return true
+		}
+		switch n.(type) {
+		case *ast.IfStmt, *ast.FuncLit:
+			c.visit(pass, n, guards)
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			c.checkCall(pass, call, guards)
+		}
+		return true
+	})
+}
+
+func (c checker) checkCall(pass *analysis.Pass, call *ast.CallExpr, guards map[string]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !hookNames[sel.Sel.Name] || !isTracer(pass.TypeOf(sel.X)) {
+		return
+	}
+	if recv := types.ExprString(sel.X); !guards[recv] {
+		pass.Reportf(call.Pos(),
+			"obs hook %s.%s not nil-guarded: wrap the call in `if %s != nil { ... }` (tracers are nil unless tracing is on)",
+			recv, sel.Sel.Name, recv)
+	}
+}
+
+// isTracer matches any named interface type called Tracer, so the check
+// applies to internal/obs.Tracer in the real tree and to the stdlib-only
+// fixture's local copy alike.
+func isTracer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok || n.Obj().Name() != "Tracer" {
+		return false
+	}
+	_, ok = n.Underlying().(*types.Interface)
+	return ok
+}
+
+// nilGuards collects the expressions an if-condition proves non-nil:
+// `x != nil` comparisons, including conjuncts of && chains.
+func nilGuards(cond ast.Expr) map[string]bool {
+	out := make(map[string]bool)
+	var collect func(e ast.Expr)
+	collect = func(e ast.Expr) {
+		switch b := e.(type) {
+		case *ast.ParenExpr:
+			collect(b.X)
+		case *ast.BinaryExpr:
+			switch b.Op {
+			case token.LAND:
+				collect(b.X)
+				collect(b.Y)
+			case token.NEQ:
+				if isNilIdent(b.X) {
+					out[types.ExprString(b.Y)] = true
+				} else if isNilIdent(b.Y) {
+					out[types.ExprString(b.X)] = true
+				}
+			}
+		}
+	}
+	collect(cond)
+	return out
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func merge(a, b map[string]bool) map[string]bool {
+	if len(b) == 0 {
+		return a
+	}
+	out := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}

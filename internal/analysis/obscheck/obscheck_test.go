@@ -1,0 +1,18 @@
+package obscheck_test
+
+import (
+	"testing"
+
+	"asap/internal/analysis/analysistest"
+	"asap/internal/analysis/obscheck"
+)
+
+func TestObscheck(t *testing.T) {
+	analysistest.Run(t, obscheck.New(), "asap/internal/machine", "testdata/obs")
+}
+
+// TestObscheckExemptsObsPackage: the obs package itself (which implements
+// Tracer) is out of scope.
+func TestObscheckExemptsObsPackage(t *testing.T) {
+	analysistest.Run(t, obscheck.New(), "asap/internal/obs", "testdata/exempt")
+}

@@ -1,0 +1,95 @@
+// Package obsfix exercises obscheck: tracer hook calls must be
+// nil-guarded. The local Tracer interface mirrors internal/obs.Tracer
+// (fixtures may import only the standard library; the analyzer matches
+// the interface structurally by name).
+package obsfix
+
+type TrackID int
+
+type Tracer interface {
+	Track(name string, sort int) TrackID
+	Begin(t TrackID, name string)
+	End(t TrackID)
+	Instant(t TrackID, name string)
+	Counter(t TrackID, name string, v int64)
+}
+
+type dev struct {
+	trc   Tracer // nil unless tracing
+	track TrackID
+	busy  bool
+}
+
+func (d *dev) goodBlock() {
+	if d.trc != nil {
+		d.trc.Begin(d.track, "serve")
+		d.trc.End(d.track)
+	}
+}
+
+func (d *dev) goodConjunct() {
+	if d.busy && d.trc != nil {
+		d.trc.Instant(d.track, "busy")
+	}
+}
+
+func (d *dev) goodNested() {
+	if d.trc != nil {
+		if d.busy {
+			d.trc.Counter(d.track, "q", 1)
+		}
+	}
+}
+
+func (d *dev) goodClosureOwnGuard(after func(func())) {
+	after(func() {
+		if d.trc != nil {
+			d.trc.Instant(d.track, "later")
+		}
+	})
+}
+
+// attach wires the tracer; Track is exempt from guarding because
+// AttachTracer contracts a non-nil tracer.
+func (d *dev) attach(tr Tracer) {
+	d.trc = tr
+	d.track = tr.Track("dev", 0)
+}
+
+func (d *dev) badUnguarded() {
+	d.trc.Instant(d.track, "x") // want `obs hook d\.trc\.Instant not nil-guarded`
+}
+
+func (d *dev) badWrongReceiver(other *dev) {
+	if other.trc != nil {
+		d.trc.Counter(d.track, "q", 2) // want `obs hook d\.trc\.Counter not nil-guarded`
+	}
+}
+
+func (d *dev) badElseBranch() {
+	if d.trc != nil {
+		d.trc.Instant(d.track, "on")
+	} else {
+		d.trc.End(d.track) // want `obs hook d\.trc\.End not nil-guarded`
+	}
+}
+
+func (d *dev) badGuardDoesNotCrossClosure(after func(func())) {
+	if d.trc != nil {
+		after(func() {
+			d.trc.Begin(d.track, "later") // want `obs hook d\.trc\.Begin not nil-guarded`
+		})
+	}
+}
+
+func (d *dev) badEqGuard() {
+	if d.trc == nil {
+		return
+	}
+	d.trc.Instant(d.track, "x") // want `obs hook d\.trc\.Instant not nil-guarded`
+}
+
+func (d *dev) suppressed() {
+	//asaplint:ignore obscheck early-return guards are not tracked; this site is provably guarded
+	d.trc.Instant(d.track, "x")
+}

@@ -16,14 +16,19 @@ package harness
 // and is reported as the cause everywhere).
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"asap/internal/config"
 	"asap/internal/machine"
+	"asap/internal/obs"
 	"asap/internal/trace"
 	"asap/internal/workload"
 )
@@ -64,32 +69,36 @@ type call struct {
 // engine executes simulations with bounded concurrency and caches every
 // outcome (including errors — a failed harness stays failed).
 type engine struct {
-	sem    chan struct{} // bounds concurrently executing simulations
-	ctx    context.Context
-	cancel context.CancelCauseFunc
+	sem      chan struct{} // bounds concurrently executing simulations
+	ctx      context.Context
+	cancel   context.CancelCauseFunc
+	traceDir string // when non-empty, capture trace artifacts per run
 
 	mu    sync.Mutex
 	calls map[any]*call
 
 	// traceGens and runExecs count leader executions (not cache hits);
 	// the plan-coverage test uses them to prove prefetch plans request
-	// everything the experiment bodies consume.
+	// everything the experiment bodies consume. simCycles accumulates the
+	// simulated cycles of executed runs for cycles/sec reporting.
 	traceGens atomic.Int64
 	runExecs  atomic.Int64
+	simCycles atomic.Uint64
 }
 
 // newEngine builds an engine with the given worker-pool size;
 // parallel <= 0 selects GOMAXPROCS.
-func newEngine(parallel int) *engine {
+func newEngine(parallel int, traceDir string) *engine {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	return &engine{
-		sem:    make(chan struct{}, parallel),
-		ctx:    ctx,
-		cancel: cancel,
-		calls:  make(map[any]*call),
+		sem:      make(chan struct{}, parallel),
+		ctx:      ctx,
+		cancel:   cancel,
+		traceDir: traceDir,
+		calls:    make(map[any]*call),
 	}
 }
 
@@ -173,10 +182,15 @@ func (e *engine) run(k runKey) (machine.Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			flush := e.instrument(k, m)
 			e.runExecs.Add(1)
 			r := m.Run(0)
 			if r.Cycles == 0 {
 				return nil, fmt.Errorf("harness: %s produced zero cycles", k)
+			}
+			e.simCycles.Add(uint64(r.Cycles))
+			if err := flush(); err != nil {
+				return nil, err
 			}
 			return r, nil
 		})
@@ -197,9 +211,15 @@ func (e *engine) machine(k runKey) (*machine.Machine, error) {
 			if err != nil {
 				return nil, err
 			}
+			flush := e.instrument(k, m)
 			e.runExecs.Add(1)
-			if r := m.Run(0); r.Cycles == 0 {
+			r := m.Run(0)
+			if r.Cycles == 0 {
 				return nil, fmt.Errorf("harness: %s produced zero cycles", k)
+			}
+			e.simCycles.Add(uint64(r.Cycles))
+			if err := flush(); err != nil {
+				return nil, err
 			}
 			return m, nil
 		})
@@ -229,4 +249,58 @@ func (e *engine) build(k runKey) (*machine.Machine, error) {
 // simulated) — cache hits excluded.
 func (e *engine) execs() (traces, runs int64) {
 	return e.traceGens.Load(), e.runExecs.Load()
+}
+
+// artifactKey dedups trace-artifact writes: the Result cache and the
+// Machine cache may both execute the same runKey, and the artifacts are
+// deterministic, so whichever leader finishes first writes the files.
+type artifactKey string
+
+// instrument attaches a fresh collector and default-interval timeline to
+// m when trace capture is enabled, and returns the function that
+// serializes both artifacts after the run. Each leader owns its own
+// collector, so parallel captures never share mutable state. With capture
+// disabled it returns a no-op, keeping the call sites unconditional.
+func (e *engine) instrument(k runKey, m *machine.Machine) func() error {
+	if e.traceDir == "" {
+		return func() error { return nil }
+	}
+	col := obs.NewCollector(m.Eng.Now)
+	m.AttachTracer(col)
+	tl := m.EnableTimeline(0)
+	return func() error { return e.writeArtifacts(k, col, tl) }
+}
+
+// writeArtifacts serializes one run's Chrome trace and occupancy timeline
+// into the engine's trace directory, at most once per artifact name.
+func (e *engine) writeArtifacts(k runKey, col *obs.Collector, tl *obs.Timeline) error {
+	name := artifactName(k)
+	_, err := e.once(artifactKey(name), func() (any, error) {
+		if err := os.MkdirAll(e.traceDir, 0o755); err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := col.WriteChromeTrace(&buf); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(filepath.Join(e.traceDir, name+".trace.json"), buf.Bytes(), 0o644); err != nil {
+			return nil, err
+		}
+		buf.Reset()
+		if err := tl.WriteCSV(&buf); err != nil {
+			return nil, err
+		}
+		return nil, os.WriteFile(filepath.Join(e.traceDir, name+".timeline.csv"), buf.Bytes(), 0o644)
+	})
+	return err
+}
+
+// artifactName derives a stable, filesystem-safe name for a run's trace
+// artifacts. Workload/model/threads make the common case readable; the
+// hash of the full key separates ablation runs that differ only in
+// machine configuration or generator parameters.
+func artifactName(k runKey) string {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%+v", k)
+	return fmt.Sprintf("%s_%s_%dt_%08x", k.wl, k.mdl, k.p.Threads, h.Sum32())
 }

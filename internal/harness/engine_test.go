@@ -106,7 +106,7 @@ func TestZeroCyclesError(t *testing.T) {
 // TestPanicBecomesError: a panic below a worker is converted into an
 // error that propagates through the pool instead of killing the process.
 func TestPanicBecomesError(t *testing.T) {
-	e := newEngine(2)
+	e := newEngine(2, "")
 	_, err := e.protect("boom-test", func() (any, error) {
 		panic("boom")
 	})
@@ -119,7 +119,7 @@ func TestPanicBecomesError(t *testing.T) {
 // not started yet return the first failure's root cause instead of
 // running.
 func TestFirstErrorCancels(t *testing.T) {
-	e := newEngine(1)
+	e := newEngine(1, "")
 	root := errors.New("root cause failure")
 	if _, err := e.once("a", func() (any, error) {
 		return e.protect("a", func() (any, error) { return nil, root })
@@ -144,7 +144,7 @@ func TestFirstErrorCancels(t *testing.T) {
 // TestPoolBound: no more than Parallel simulations execute at once.
 func TestPoolBound(t *testing.T) {
 	const bound = 3
-	e := newEngine(bound)
+	e := newEngine(bound, "")
 	var cur, peak atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < 32; i++ {

@@ -97,6 +97,12 @@ type Options struct {
 	// GOMAXPROCS, 1 runs strictly serially. Results are identical at any
 	// setting (every simulation is a pure function of its key).
 	Parallel int
+	// TraceDir, when non-empty, captures a Chrome trace-event JSON and an
+	// occupancy-timeline CSV for every executed simulation into this
+	// directory (<workload>_<model>_<N>t_<hash>.trace.json / .timeline.csv).
+	// Artifacts are deterministic and written exactly once per simulation,
+	// so capture is safe at any Parallel setting.
+	TraceDir string
 }
 
 // DefaultOptions gives publication-scale runs (a few seconds per figure).
@@ -115,15 +121,25 @@ type Harness struct {
 // New builds a harness.
 func New(opts Options) *Harness {
 	if opts.Ops <= 0 {
-		ops := opts
+		given := opts
 		opts = DefaultOptions()
-		opts.Parallel = ops.Parallel
+		opts.Parallel = given.Parallel
+		opts.TraceDir = given.TraceDir
 	}
-	return &Harness{opts: opts, eng: newEngine(opts.Parallel)}
+	return &Harness{opts: opts, eng: newEngine(opts.Parallel, opts.TraceDir)}
 }
 
 // Parallelism reports the engine's worker-pool size.
 func (h *Harness) Parallelism() int { return h.eng.workers() }
+
+// Perf reports the work the engine has executed so far: leader
+// simulations run (cache hits excluded) and the simulated cycles they
+// covered. cmd/asapfig divides the cycle count by wall time for its
+// cycles/sec report.
+func (h *Harness) Perf() (runs int64, simCycles uint64) {
+	_, r := h.eng.execs()
+	return r, h.eng.simCycles.Load()
+}
 
 // Workloads returns the Table III workload list (the bandwidth micro is
 // excluded; it has its own experiment).

@@ -11,6 +11,7 @@ import (
 	"asap/internal/config"
 	"asap/internal/mem"
 	"asap/internal/model"
+	"asap/internal/obs"
 	"asap/internal/persist"
 	"asap/internal/sim"
 	"asap/internal/stats"
@@ -40,6 +41,13 @@ type Machine struct {
 
 	crashAt sim.Cycles
 	Crashed bool
+
+	trc        obs.Tracer // nil unless tracing; every use must be nil-guarded
+	coreTracks []obs.TrackID
+	engTrack   obs.TrackID
+	dispatches uint64
+	timeline   *obs.Timeline
+	tlETs      bool // timeline includes epoch-table columns
 }
 
 type coreState struct {
@@ -49,6 +57,8 @@ type coreState struct {
 	pstores int // persistent stores issued so far (token origin index)
 	finish  sim.Cycles
 	done    bool
+
+	waitingLock bool // a "lock wait" trace span is open for this core
 }
 
 type lockState struct {
@@ -107,12 +117,97 @@ func New(cfg config.Config, modelName string, tr *trace.Trace) (*Machine, error)
 // evictions of lines whose writes are still queued in the persist buffer.
 func (m *Machine) WBB(core int) *persist.WBB { return m.wbbs[core] }
 
+// AttachTracer wires tr through every layer of the machine: core tracks
+// (dfence and lock-wait spans), the model's persist path, the memory
+// controllers with their WPQ/RT/XPBuffer/NVM, the write-back buffers, and
+// an engine track counting event dispatches. Call before Run; tracing left
+// unattached costs one nil comparison per hook site.
+func (m *Machine) AttachTracer(tr obs.Tracer) {
+	m.trc = tr
+	m.coreTracks = make([]obs.TrackID, len(m.cores))
+	for i := range m.cores {
+		// Cores at even sort indices so each core's persist-path track
+		// (2*i+1, allocated by the model) sits directly beneath it.
+		m.coreTracks[i] = tr.Track(fmt.Sprintf("core%d", i), 2*i)
+	}
+	m.engTrack = tr.Track("engine", 1000)
+	m.Eng.SetDispatchHook(func(sim.Cycles) { m.dispatches++ })
+	if t, ok := m.Model.(model.Traced); ok {
+		t.AttachTracer(tr)
+	}
+	for _, mc := range m.MCs {
+		mc.AttachTracer(tr)
+	}
+	for i, wbb := range m.wbbs {
+		wbb.AttachTracer(tr, m.coreTracks[i])
+	}
+}
+
+// EnableTimeline starts periodic occupancy sampling into a CSV timeline:
+// one row every interval cycles (0 = obs.DefaultTimelineInterval) with
+// per-core persist-buffer occupancy, per-core epoch-table size (models
+// implementing model.EpochTabled), per-MC WPQ depth, and per-MC
+// recovery-table occupancy. Call before Run; the returned timeline is
+// filled during the run and serialized by the caller.
+func (m *Machine) EnableTimeline(interval sim.Cycles) *obs.Timeline {
+	_, m.tlETs = m.Model.(model.EpochTabled)
+	var cols []string
+	for i := range m.cores {
+		cols = append(cols, fmt.Sprintf("pb%d", i))
+	}
+	if m.tlETs {
+		for i := range m.cores {
+			cols = append(cols, fmt.Sprintf("et%d", i))
+		}
+	}
+	for j := range m.MCs {
+		cols = append(cols, fmt.Sprintf("wpq%d", j))
+	}
+	for j, mc := range m.MCs {
+		if mc.RT != nil {
+			cols = append(cols, fmt.Sprintf("rt%d", j))
+		}
+	}
+	m.timeline = obs.NewTimeline(interval, cols...)
+	return m.timeline
+}
+
+// timelineTick appends one occupancy row and reschedules itself.
+func (m *Machine) timelineTick() {
+	if m.allDone() || m.Eng.Halted() {
+		return
+	}
+	vals := make([]uint64, 0, 2*len(m.cores)+2*len(m.MCs))
+	for _, c := range m.cores {
+		vals = append(vals, uint64(m.Model.PBOccupancy(c.id)))
+	}
+	if m.tlETs {
+		et := m.Model.(model.EpochTabled)
+		for _, c := range m.cores {
+			vals = append(vals, uint64(et.ETLen(c.id)))
+		}
+	}
+	for _, mc := range m.MCs {
+		vals = append(vals, uint64(mc.WPQ.Len()))
+	}
+	for _, mc := range m.MCs {
+		if mc.RT != nil {
+			vals = append(vals, uint64(mc.RT.Occupancy()))
+		}
+	}
+	m.timeline.Append(m.Eng.Now(), vals...)
+	m.Eng.After(m.timeline.Interval(), m.timelineTick)
+}
+
 // ScheduleCrash arranges a power failure at the given cycle: the ADR logic
 // runs (WPQ drain plus undo-record write-back) and the simulation halts.
 func (m *Machine) ScheduleCrash(at sim.Cycles) {
 	m.crashAt = at
 	m.Eng.At(at, func() {
 		m.Crashed = true
+		if m.trc != nil {
+			m.trc.Instant(m.engTrack, "crash")
+		}
 		for _, mc := range m.MCs {
 			mc.CrashFlush()
 		}
@@ -142,6 +237,9 @@ func (m *Machine) Run(limit sim.Cycles) Result {
 		m.Eng.After(0, func() { m.step(c) })
 	}
 	m.Eng.After(SampleInterval, m.sample)
+	if m.timeline != nil {
+		m.Eng.After(m.timeline.Interval(), m.timelineTick)
+	}
 	m.Eng.Run(limit)
 	return m.result()
 }
@@ -230,7 +328,17 @@ func (m *Machine) step(c *coreState) {
 		m.Eng.After(m.Cfg.FenceCost, func() { m.Model.Ofence(c.id, next) })
 
 	case trace.OpDfence:
-		m.Eng.After(m.Cfg.FenceCost, func() { m.Model.Dfence(c.id, next) })
+		m.Eng.After(m.Cfg.FenceCost, func() {
+			if m.trc != nil {
+				m.trc.Begin(m.coreTracks[c.id], "dfence")
+			}
+			m.Model.Dfence(c.id, func() {
+				if m.trc != nil {
+					m.trc.End(m.coreTracks[c.id])
+				}
+				next()
+			})
+		})
 
 	case trace.OpAcquire:
 		m.acquire(c, mem.LineOf(op.Addr))
@@ -296,6 +404,10 @@ func (m *Machine) acquire(c *coreState, line mem.Line) {
 	lk := m.lock(line)
 	if lk.held {
 		m.St.Inc("lockContended")
+		if m.trc != nil {
+			m.trc.Begin(m.coreTracks[c.id], "lock wait")
+			c.waitingLock = true
+		}
 		lk.waiters = append(lk.waiters, c)
 		return // release hands off and resumes us
 	}
@@ -307,6 +419,12 @@ func (m *Machine) acquire(c *coreState, line mem.Line) {
 // finishAcquire performs the lock-line read with acquire semantics and
 // resumes the core.
 func (m *Machine) finishAcquire(c *coreState, line mem.Line) {
+	if c.waitingLock {
+		if m.trc != nil {
+			m.trc.End(m.coreTracks[c.id])
+		}
+		c.waitingLock = false
+	}
 	res := m.access(c.id, line, false, true)
 	m.Model.Acquire(c.id, line)
 	m.Eng.After(res.Latency+m.Cfg.LoadCost, func() { m.step(c) })
@@ -363,6 +481,12 @@ func (m *Machine) sample() {
 			m.St.Add("cyclesBlocked", uint64(SampleInterval))
 		}
 		m.St.Add("coreSampledCycles", uint64(SampleInterval))
+		if m.trc != nil {
+			m.trc.Counter(m.coreTracks[c.id], "pbOcc", int64(m.Model.PBOccupancy(c.id)))
+		}
+	}
+	if m.trc != nil {
+		m.trc.Counter(m.engTrack, "events", int64(m.dispatches))
 	}
 	for _, mc := range m.MCs {
 		if mc.RT != nil {

@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"asap/internal/config"
+	"asap/internal/model"
+	"asap/internal/obs"
+)
+
+// runTraced builds an asap_ep machine over a contended trace, attaches a
+// collector and timeline, runs it, and returns the serialized artifacts.
+func runTraced(t *testing.T) (trace string, timeline string, cycles uint64) {
+	t.Helper()
+	m, err := New(config.Default(), model.NameASAPEP, smallTrace(4, 300, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obs.NewCollector(m.Eng.Now)
+	m.AttachTracer(col)
+	tl := m.EnableTimeline(100)
+	res := m.Run(200_000_000)
+	if !m.allDone() {
+		t.Fatal("traced run did not complete")
+	}
+	if col.OpenSpans() != 0 {
+		t.Fatalf("%d spans left open after a clean run", col.OpenSpans())
+	}
+	if col.Len() == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	var buf bytes.Buffer
+	if err := col.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := tl.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), csv.String(), res.Cycles
+}
+
+func TestTracingEndToEnd(t *testing.T) {
+	out, csv, traced := runTraced(t)
+
+	if err := json.Unmarshal([]byte(out), &struct{}{}); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	for _, track := range []string{"core0", "core0 pb", "mc0", "engine"} {
+		if !strings.Contains(out, `"name":"`+track+`"`) {
+			t.Errorf("track %q missing from trace", track)
+		}
+	}
+	if !strings.HasPrefix(csv, "cycle,pb0,") {
+		t.Fatalf("timeline header = %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if strings.Count(csv, "\n") < 3 {
+		t.Fatalf("timeline too short:\n%s", csv)
+	}
+	// The timeline of an asap machine carries epoch-table and
+	// recovery-table columns.
+	header := strings.SplitN(csv, "\n", 2)[0]
+	if !strings.Contains(header, "et0") || !strings.Contains(header, "rt0") {
+		t.Fatalf("asap timeline missing et/rt columns: %q", header)
+	}
+
+	// Tracing must observe, not perturb: an untraced run of the same
+	// machine reports identical execution time.
+	m, err := New(config.Default(), model.NameASAPEP, smallTrace(4, 300, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain := m.Run(200_000_000); plain.Cycles != traced {
+		t.Fatalf("tracing changed the simulation: %d cycles traced vs %d untraced", traced, plain.Cycles)
+	}
+}
+
+func TestTracingDeterministic(t *testing.T) {
+	out1, csv1, _ := runTraced(t)
+	out2, csv2, _ := runTraced(t)
+	if out1 != out2 {
+		t.Fatal("identical traced runs serialized different traces")
+	}
+	if csv1 != csv2 {
+		t.Fatal("identical traced runs produced different timelines")
+	}
+}

@@ -1,6 +1,10 @@
 package mem
 
-import "sort"
+import (
+	"sort"
+
+	"asap/internal/obs"
+)
 
 // Token is the value stored in one NVM line. The timing model does not
 // simulate byte contents; instead every store in a workload carries a unique
@@ -18,6 +22,9 @@ type NVM struct {
 	lines  map[Line]Token
 	writes uint64
 	reads  uint64
+
+	trc   obs.Tracer // nil unless tracing; every use must be nil-guarded
+	track obs.TrackID
 }
 
 // NewNVM returns an empty device.
@@ -25,10 +32,20 @@ func NewNVM() *NVM {
 	return &NVM{lines: make(map[Line]Token)}
 }
 
+// AttachTracer emits a media-write instant and cumulative write counter on
+// track (the owning memory controller's track).
+func (n *NVM) AttachTracer(tr obs.Tracer, track obs.TrackID) {
+	n.trc = tr
+	n.track = track
+}
+
 // Write persists token t to line l.
 func (n *NVM) Write(l Line, t Token) {
 	n.lines[l] = t
 	n.writes++
+	if n.trc != nil {
+		n.trc.Counter(n.track, "nvmWrites", int64(n.writes))
+	}
 }
 
 // Read returns the token at line l (0 if never written).

@@ -1,5 +1,7 @@
 package mem
 
+import "asap/internal/obs"
+
 // WPQ is the write-pending queue of a memory controller. On platforms with
 // ADR the WPQ is inside the persistence domain: a write is durable the
 // moment it is accepted here (§II-C), and the queue is drained to NVM on a
@@ -12,6 +14,9 @@ type WPQ struct {
 	pending   map[Line]Token
 	coalesced uint64
 	maxOcc    int
+
+	trc   obs.Tracer // nil unless tracing; every use must be nil-guarded
+	track obs.TrackID
 }
 
 // NewWPQ returns a queue holding capacity distinct lines.
@@ -23,6 +28,13 @@ func NewWPQ(capacity int) *WPQ {
 		capacity: capacity,
 		pending:  make(map[Line]Token, capacity),
 	}
+}
+
+// AttachTracer emits queue-depth counters and coalesce instants on track
+// (the owning memory controller's track).
+func (w *WPQ) AttachTracer(tr obs.Tracer, track obs.TrackID) {
+	w.trc = tr
+	w.track = track
 }
 
 // Full reports whether a new distinct line cannot currently be accepted.
@@ -50,6 +62,9 @@ func (w *WPQ) Insert(l Line, t Token) bool {
 	if _, ok := w.pending[l]; ok {
 		w.pending[l] = t
 		w.coalesced++
+		if w.trc != nil {
+			w.trc.Instant(w.track, "wpq coalesce")
+		}
 		return true
 	}
 	if w.Full() {
@@ -59,6 +74,9 @@ func (w *WPQ) Insert(l Line, t Token) bool {
 	w.pending[l] = t
 	if len(w.order) > w.maxOcc {
 		w.maxOcc = len(w.order)
+	}
+	if w.trc != nil {
+		w.trc.Counter(w.track, "wpq", int64(len(w.order)))
 	}
 	return true
 }
@@ -73,6 +91,9 @@ func (w *WPQ) Pop() (Line, Token) {
 	w.order = w.order[1:]
 	t := w.pending[l]
 	delete(w.pending, l)
+	if w.trc != nil {
+		w.trc.Counter(w.track, "wpq", int64(len(w.order)))
+	}
 	return l, t
 }
 

@@ -1,5 +1,7 @@
 package mem
 
+import "asap/internal/obs"
+
 // XPBuffer models the small internal line cache of an Optane DIMM. The ASAP
 // paper leans on it to argue that the read-before-write needed to create an
 // undo record is usually cheap: "XPBuffer in Intel Optane Persistent memory
@@ -13,6 +15,9 @@ type XPBuffer struct {
 	tail     *xpNode // least recently used
 	hits     uint64
 	misses   uint64
+
+	trc   obs.Tracer // nil unless tracing; every use must be nil-guarded
+	track obs.TrackID
 }
 
 type xpNode struct {
@@ -30,14 +35,27 @@ func NewXPBuffer(capacity int) *XPBuffer {
 	}
 }
 
+// AttachTracer emits hit/miss instants on track (the owning memory
+// controller's track).
+func (x *XPBuffer) AttachTracer(tr obs.Tracer, track obs.TrackID) {
+	x.trc = tr
+	x.track = track
+}
+
 // Lookup returns the cached token for line l and whether it was present.
 func (x *XPBuffer) Lookup(l Line) (Token, bool) {
 	n, ok := x.entries[l]
 	if !ok {
 		x.misses++
+		if x.trc != nil {
+			x.trc.Instant(x.track, "xp miss")
+		}
 		return 0, false
 	}
 	x.hits++
+	if x.trc != nil {
+		x.trc.Instant(x.track, "xp hit")
+	}
 	x.moveToFront(n)
 	return n.token, true
 }

@@ -1,10 +1,12 @@
 package model
 
 import (
+	"fmt"
 	"sort"
 
 	"asap/internal/cache"
 	"asap/internal/mem"
+	"asap/internal/obs"
 	"asap/internal/persist"
 	"asap/internal/sim"
 	"asap/internal/stats"
@@ -23,6 +25,9 @@ type ASAP struct {
 	rp  bool // release persistency (vs epoch persistency)
 
 	cores []*asapCore
+
+	trc      obs.Tracer // nil unless tracing; every use must be nil-guarded
+	pbTracks []obs.TrackID
 }
 
 type asapCore struct {
@@ -66,6 +71,31 @@ func (m *ASAP) Name() string {
 
 // Stats returns the shared stat set.
 func (m *ASAP) Stats() *stats.Set { return m.env.St }
+
+// AttachTracer wires tr into the persist path: one "core<i> pb" track per
+// core (sorted under the machine's core track) carries persist-buffer
+// counters, early-flush/NACK instants, conservative-mode spans, and
+// epoch-lifecycle events. Call before the simulation starts.
+func (m *ASAP) AttachTracer(tr obs.Tracer) {
+	m.trc = tr
+	m.pbTracks = make([]obs.TrackID, len(m.cores))
+	for i, c := range m.cores {
+		m.pbTracks[i] = tr.Track(fmt.Sprintf("core%d pb", i), 2*i+1)
+		c.pb.AttachTracer(tr, m.pbTracks[i])
+	}
+}
+
+// ETLen reports the core's live epoch-table entries (timeline sampling).
+func (m *ASAP) ETLen(core int) int { return m.cores[core].et.Len() }
+
+// traceEpoch records an epoch-lifecycle instant plus the table occupancy.
+func (m *ASAP) traceEpoch(c *asapCore, ev string) {
+	if m.trc != nil {
+		t := m.pbTracks[c.id]
+		m.trc.Instant(t, ev)
+		m.trc.Counter(t, "et", int64(c.et.Len()))
+	}
+}
 
 // CurrentTS returns the open epoch of the core.
 func (m *ASAP) CurrentTS(core int) uint64 { return m.cores[core].et.CurrentTS() }
@@ -135,6 +165,7 @@ func (m *ASAP) Ofence(core int, done func()) {
 	}
 	closed := c.et.CurrentTS()
 	c.et.Advance()
+	m.traceEpoch(c, "epoch close")
 	m.tryCommit(c, closed)
 	done()
 }
@@ -152,6 +183,7 @@ func (m *ASAP) Dfence(core int, done func()) {
 	}
 	closed := c.et.CurrentTS()
 	c.et.Advance()
+	m.traceEpoch(c, "epoch close")
 	m.tryCommit(c, closed)
 	m.waitAllCommitted(c, done)
 }
@@ -178,6 +210,7 @@ func (m *ASAP) Release(core int, line mem.Line, done func()) {
 	if m.rp && !c.et.Full() {
 		relTS := c.et.CurrentTS()
 		c.et.Advance()
+		m.traceEpoch(c, "epoch close")
 		m.tryCommit(c, relTS)
 	}
 	// Under epoch persistency a release is an ordinary store; the
@@ -232,12 +265,14 @@ func (m *ASAP) addDependency(core int, src persist.EpochID) {
 	// mutually-dependent blocked cores (Lemma 0.1 requires it).
 	if w.et.CurrentTS() == src.TS {
 		w.et.Advance()
+		m.traceEpoch(w, "epoch split")
 		m.tryCommit(w, src.TS)
 	}
 	// Dependent side: open a new epoch carrying the dependency.
 	c := m.cores[core]
 	prev := c.et.CurrentTS()
 	c.et.Advance()
+	m.traceEpoch(c, "epoch split")
 	m.tryCommit(c, prev)
 	cur := c.et.Current()
 	dst := persist.EpochID{Thread: core, TS: cur.TS}
@@ -307,6 +342,9 @@ func (m *ASAP) flushOne(c *asapCore) {
 	mcID := m.env.IL.Home(e.Line)
 	if early {
 		m.env.St.Inc("totSpecWrites")
+		if m.trc != nil {
+			m.trc.Instant(m.pbTracks[c.id], "early flush")
+		}
 		if ent, ok := c.et.Get(e.TS); ok {
 			ent.EarlyMCs[mcID] = struct{}{}
 		}
@@ -341,10 +379,18 @@ func (m *ASAP) onFlushReply(c *asapCore, id uint64, res persist.FlushResult) {
 			panic("asap: NACK for unknown persist buffer entry")
 		}
 		m.env.St.Inc("pbNacks")
+		if m.trc != nil {
+			m.trc.Instant(m.pbTracks[c.id], "nack")
+		}
 		if ent, ok := c.et.Get(e.TS); ok {
 			ent.Nacked = true
 		}
 		if !c.conservative || e.TS < c.consTS {
+			if !c.conservative && m.trc != nil {
+				// Entering conservative flushing (§V-D): span lasts until
+				// the NACKed epoch commits.
+				m.trc.Begin(m.pbTracks[c.id], "conservative")
+			}
 			c.conservative = true
 			c.consTS = e.TS
 		}
@@ -422,6 +468,9 @@ func (m *ASAP) finishCommit(c *asapCore, ent *persist.ETEntry) {
 	// recovery-table pressure is gone (§V-D).
 	if c.conservative && ts >= c.consTS {
 		c.conservative = false
+		if m.trc != nil {
+			m.trc.End(m.pbTracks[c.id])
+		}
 	}
 
 	// CDR messages to dependent threads.
@@ -431,6 +480,7 @@ func (m *ASAP) finishCommit(c *asapCore, ent *persist.ETEntry) {
 	}
 
 	c.et.Retire(ts)
+	m.traceEpoch(c, "epoch commit")
 
 	// Committing may unblock: the next epoch's commit, a stalled ofence
 	// (table space freed), a dfence, and the flusher (epochs became safe).
@@ -461,7 +511,11 @@ func (m *ASAP) deliverCDR(dst persist.EpochID) {
 	m.kickFlusher(c)
 }
 
-var _ Model = (*ASAP)(nil)
+var (
+	_ Model       = (*ASAP)(nil)
+	_ Traced      = (*ASAP)(nil)
+	_ EpochTabled = (*ASAP)(nil)
+)
 
 // PBHasLine reports whether the core's persist buffer holds the line.
 func (m *ASAP) PBHasLine(core int, line mem.Line) bool {

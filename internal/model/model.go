@@ -12,6 +12,7 @@ import (
 	"asap/internal/cache"
 	"asap/internal/config"
 	"asap/internal/mem"
+	"asap/internal/obs"
 	"asap/internal/persist"
 	"asap/internal/sim"
 	"asap/internal/stats"
@@ -91,6 +92,20 @@ type Model interface {
 
 	// Stats returns the model's stat set (shared with Env.St).
 	Stats() *stats.Set
+}
+
+// Traced is implemented by models that can emit trace events. The machine
+// calls AttachTracer before the simulation starts; models without the
+// method simply stay silent in traces.
+type Traced interface {
+	AttachTracer(tr obs.Tracer)
+}
+
+// EpochTabled is implemented by models with per-core epoch tables; the
+// machine's timeline sampler uses it to record epoch-table size. Models
+// without the method report no epoch-table columns.
+type EpochTabled interface {
+	ETLen(core int) int
 }
 
 // Names of the six evaluated designs, plus the two related-work designs

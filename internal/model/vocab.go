@@ -1,0 +1,31 @@
+package model
+
+import "asap/internal/stats"
+
+// The persistency models' stat vocabulary. Registration happens at init so
+// a typo at a call site panics on first write instead of silently forking a
+// counter; asapsim -stats prints these descriptions next to the values.
+// Names mirror the gem5 stats in Table VI of the paper where one exists.
+func init() {
+	stats.Register("clwbIssued", "explicit cache-line write-backs issued (baseline clwb+fence path)")
+	stats.Register("cyclesStalled", "CPU stall cycles because of a full persist buffer")
+	stats.Register("dfenceStalled", "CPU stall cycles waiting on dfence completion")
+	stats.Register("dpoBroadcasts", "DPO inter-MC ordering broadcasts")
+	stats.Register("entriesInserted", "writes enqueued in the persist buffers")
+	stats.Register("epochsCommitted", "persist epochs committed durably")
+	stats.Register("fences", "ordering fences executed (baseline sfence path)")
+	stats.Register("hopsPolls", "HOPS completion polls while draining")
+	stats.Register("interTEpochConflict", "cross-thread epoch dependencies detected")
+	stats.Register("lrpForwardStalls", "LRP stalls forwarding a line under a pending release")
+	stats.Register("lrpStallCycles", "cycles LRP cores spent stalled on release persists")
+	stats.Register("ofenceStalled", "CPU stall cycles waiting on ofence ordering")
+	stats.Register("pbCoalesced", "stores coalesced into an existing persist-buffer entry")
+	stats.Register("pbNacks", "early flushes NACKed by the memory controller")
+	stats.Register("specMisspeculations", "PMEM-Spec misspeculations forcing replay")
+	stats.Register("swStrands", "StrandWeaver strands opened")
+	stats.Register("totSpecWrites", "early (speculative) flushes issued")
+	stats.Register("vorpalBroadcasts", "Vorpal vector-clock broadcasts")
+	stats.Register("vorpalParkCycles", "cycles Vorpal flushes spent parked on tag dependencies")
+	stats.Register("vorpalParked", "Vorpal flushes parked waiting on tag dependencies")
+	stats.Register("vorpalTagBytes", "bytes of Vorpal vector-timestamp tags attached to stores")
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Collector is the standard Tracer: it accumulates events in memory and
+// serializes them as Chrome trace-event JSON (the "JSON Array Format"
+// understood by Perfetto and chrome://tracing). Timestamps come from the
+// clock passed to NewCollector — the simulation engine's Now — mapped
+// from cycles to microseconds at the simulated core frequency, so one
+// simulated nanosecond reads as one nanosecond in the viewer.
+type Collector struct {
+	now    func() Cycles
+	tracks []track
+	events []event
+	opens  [][]int // per-track stack of open Begin event indices
+}
+
+type track struct {
+	name string
+	sort int
+}
+
+type event struct {
+	ts    Cycles
+	track TrackID
+	ph    byte // 'B', 'E', 'i', 'C'
+	name  string
+	val   int64
+}
+
+// NewCollector returns a collector reading event times from now
+// (typically sim.Engine.Now).
+func NewCollector(now func() Cycles) *Collector {
+	if now == nil {
+		panic("obs: NewCollector requires a clock")
+	}
+	return &Collector{now: now}
+}
+
+// Track registers a named track. Registering an existing name returns
+// the prior ID, so independent components may share a track.
+func (c *Collector) Track(name string, sort int) TrackID {
+	for i, t := range c.tracks {
+		if t.name == name {
+			return TrackID(i)
+		}
+	}
+	c.tracks = append(c.tracks, track{name: name, sort: sort})
+	c.opens = append(c.opens, nil)
+	return TrackID(len(c.tracks) - 1)
+}
+
+// TrackName returns the registered name of track t.
+func (c *Collector) TrackName(t TrackID) string { return c.tracks[t].name }
+
+// Len reports the number of recorded events (metadata excluded).
+func (c *Collector) Len() int { return len(c.events) }
+
+func (c *Collector) checkTrack(t TrackID) {
+	if int(t) < 0 || int(t) >= len(c.tracks) {
+		panic(fmt.Sprintf("obs: event on unregistered track %d", t))
+	}
+}
+
+// Begin opens a duration span on track t.
+func (c *Collector) Begin(t TrackID, name string) {
+	c.checkTrack(t)
+	c.opens[t] = append(c.opens[t], len(c.events))
+	c.events = append(c.events, event{ts: c.now(), track: t, ph: 'B', name: name})
+}
+
+// End closes the innermost open span on track t. Ending with no span
+// open is a protocol bug upstream and panics.
+func (c *Collector) End(t TrackID) {
+	c.checkTrack(t)
+	n := len(c.opens[t])
+	if n == 0 {
+		panic(fmt.Sprintf("obs: End on track %q with no open span", c.tracks[t].name))
+	}
+	c.opens[t] = c.opens[t][:n-1]
+	c.events = append(c.events, event{ts: c.now(), track: t, ph: 'E'})
+}
+
+// Instant records a point event on track t.
+func (c *Collector) Instant(t TrackID, name string) {
+	c.checkTrack(t)
+	c.events = append(c.events, event{ts: c.now(), track: t, ph: 'i', name: name})
+}
+
+// Counter records the current value of series name on track t. The
+// series is namespaced by the track name in the output ("core0/pb"), as
+// the Chrome format attaches counters to processes, not threads.
+func (c *Collector) Counter(t TrackID, name string, v int64) {
+	c.checkTrack(t)
+	c.events = append(c.events, event{ts: c.now(), track: t, ph: 'C', name: name, val: v})
+}
+
+// OpenSpans reports spans begun but not yet ended across all tracks.
+func (c *Collector) OpenSpans() int {
+	n := 0
+	for _, s := range c.opens {
+		n += len(s)
+	}
+	return n
+}
+
+// jsonEvent is the wire form of one trace event. Field order is fixed by
+// the struct, so output is byte-deterministic for identical event
+// sequences.
+type jsonEvent struct {
+	Name  string         `json:"name,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// tsOf maps a cycle count to a Chrome timestamp (microseconds).
+func tsOf(c Cycles) float64 { return float64(c) / (CyclesPerNS * 1000) }
+
+// WriteChromeTrace serializes the collected events as Chrome trace-event
+// JSON. Spans still open at serialization time (a run stopped by a crash
+// or a cycle limit) are closed at the time of the last event, keeping
+// every track's begin/end pairs balanced. The collector remains usable
+// afterwards.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[` + "\n")
+	enc := func(e jsonEvent) {
+		b, err := json.Marshal(e)
+		if err != nil {
+			bw.err = err
+			return
+		}
+		bw.Write(b)
+	}
+	first := true
+	emit := func(e jsonEvent) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		enc(e)
+	}
+
+	emit(jsonEvent{Name: "process_name", Phase: "M", PID: 0,
+		Args: map[string]any{"name": "asap simulated machine"}})
+	for i, t := range c.tracks {
+		emit(jsonEvent{Name: "thread_name", Phase: "M", PID: 0, TID: i,
+			Args: map[string]any{"name": t.name}})
+		emit(jsonEvent{Name: "thread_sort_index", Phase: "M", PID: 0, TID: i,
+			Args: map[string]any{"sort_index": t.sort}})
+	}
+
+	var last Cycles
+	for _, e := range c.events {
+		if e.ts > last {
+			last = e.ts
+		}
+		je := jsonEvent{Name: e.name, Phase: string(e.ph), TS: tsOf(e.ts), PID: 0, TID: int(e.track)}
+		switch e.ph {
+		case 'i':
+			je.Scope = "t"
+		case 'C':
+			// Counters are per-process in the Chrome format; prefix the
+			// series with the track name to keep per-core/per-MC series
+			// apart.
+			je.Name = c.tracks[e.track].name + "/" + e.name
+			je.Args = map[string]any{"value": e.val}
+		}
+		emit(je)
+	}
+
+	// Balance any spans the run left open.
+	for tid, open := range c.opens {
+		for range open {
+			emit(jsonEvent{Phase: "E", TS: tsOf(last), PID: 0, TID: tid})
+		}
+	}
+
+	bw.WriteString("\n]}\n")
+	return bw.err
+}
+
+// errWriter folds write errors so serialization reads linearly.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}
+
+func (e *errWriter) WriteString(s string) { e.Write([]byte(s)) }

@@ -1,0 +1,64 @@
+// Package obs is the simulator's observability layer: event tracing and
+// time-series sampling, designed to cost nothing when disabled.
+//
+// Components hold a Tracer-typed hook that is nil by default. Every call
+// site must be nil-guarded —
+//
+//	if m.trc != nil {
+//		m.trc.Instant(track, "nack")
+//	}
+//
+// — so a disabled tracer costs one pointer comparison and the event
+// arguments are never materialized. The obscheck analyzer
+// (internal/analysis/obscheck) enforces this contract statically.
+//
+// The package is a leaf: it imports nothing from the rest of the
+// repository, so every simulator layer (sim, mem, cache, persist, model,
+// machine) can hook into it without import cycles. Cycles mirrors
+// sim.Cycles (both are uint64 aliases), keeping call sites cast-free.
+//
+// Two sinks are provided: Collector accumulates trace events and
+// serializes them as Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing, one track per core and per memory controller), and
+// Timeline accumulates periodic occupancy samples and serializes them as
+// CSV. Both are single-goroutine, like the simulated machine that feeds
+// them: a parallel harness gives each machine its own sinks, which keeps
+// tracing race-free and its content deterministic.
+package obs
+
+// Cycles mirrors sim.Cycles (one cycle of the 2 GHz core clock) so this
+// package stays dependency-free.
+type Cycles = uint64
+
+// CyclesPerNS mirrors sim.CyclesPerNS: the simulated core frequency in
+// cycles per nanosecond, used to map cycles to trace timestamps.
+const CyclesPerNS = 2
+
+// TrackID identifies one timeline in a trace: a core, a memory
+// controller, or the engine itself. IDs are allocated by Tracer.Track.
+type TrackID int
+
+// Tracer is the event sink threaded through the simulation stack. All
+// methods take the event time from the sink's clock (the simulation
+// engine), so passive structures such as mem.WPQ can emit events without
+// holding an engine reference.
+//
+// Implementations are not safe for concurrent use; one Tracer serves one
+// single-goroutine machine.
+type Tracer interface {
+	// Track registers a named track and returns its ID. sort orders
+	// tracks in the viewer (lower is higher). Registering the same name
+	// twice returns the same ID.
+	Track(name string, sort int) TrackID
+
+	// Begin opens a duration span named name on track t. Spans on one
+	// track must nest; close them with End in LIFO order.
+	Begin(t TrackID, name string)
+	// End closes the innermost open span on track t.
+	End(t TrackID)
+	// Instant records a point event named name on track t.
+	Instant(t TrackID, name string)
+	// Counter records the current value of series name on track t; the
+	// series is plotted as a step function over time.
+	Counter(t TrackID, name string, v int64)
+}

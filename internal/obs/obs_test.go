@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fakeClock is an advanceable cycle counter standing in for sim.Engine.
+type fakeClock struct{ now Cycles }
+
+func (f *fakeClock) Now() Cycles { return f.now }
+
+func TestCollectorTracksAndEvents(t *testing.T) {
+	clk := &fakeClock{}
+	c := NewCollector(clk.Now)
+	core := c.Track("core0", 0)
+	mc := c.Track("mc0", 100)
+	if again := c.Track("core0", 0); again != core {
+		t.Fatalf("re-registering core0 gave %d, want %d", again, core)
+	}
+	if c.TrackName(mc) != "mc0" {
+		t.Fatalf("TrackName(mc) = %q", c.TrackName(mc))
+	}
+
+	c.Begin(core, "dfence")
+	clk.now = 10
+	c.Instant(mc, "flush safe")
+	c.Counter(mc, "wpq", 3)
+	clk.now = 20
+	c.End(core)
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+	if c.OpenSpans() != 0 {
+		t.Fatalf("OpenSpans = %d, want 0", c.OpenSpans())
+	}
+}
+
+func TestEndWithoutBeginPanics(t *testing.T) {
+	c := NewCollector(func() Cycles { return 0 })
+	tr := c.Track("core0", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("End with no open span did not panic")
+		}
+	}()
+	c.End(tr)
+}
+
+// chromeDoc mirrors the serialized trace for schema checks.
+type chromeDoc struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args"`
+}
+
+func writeTrace(t *testing.T, c *Collector) chromeDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return doc
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	clk := &fakeClock{}
+	c := NewCollector(clk.Now)
+	core := c.Track("core0", 0)
+	mc := c.Track("mc0", 100)
+
+	c.Begin(core, "dfence")
+	clk.now = 2000 // 1 us at 2 GHz
+	c.Counter(mc, "wpq", 5)
+	clk.now = 4000
+	c.End(core)
+
+	doc := writeTrace(t, c)
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	names := map[string]bool{}
+	var begins, ends int
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "M":
+			if e.Name == "thread_name" {
+				names[e.Args["name"].(string)] = true
+			}
+		case "B":
+			begins++
+		case "E":
+			ends++
+		case "C":
+			if e.Name != "mc0/wpq" {
+				t.Errorf("counter name = %q, want mc0/wpq", e.Name)
+			}
+			if v := e.Args["value"].(float64); v != 5 {
+				t.Errorf("counter value = %v, want 5", v)
+			}
+			if e.TS != 1.0 { // 2000 cycles = 1 us
+				t.Errorf("counter ts = %v us, want 1", e.TS)
+			}
+		}
+	}
+	if !names["core0"] || !names["mc0"] {
+		t.Errorf("thread_name metadata missing: %v", names)
+	}
+	if begins != 1 || ends != 1 {
+		t.Errorf("begin/end = %d/%d, want 1/1", begins, ends)
+	}
+}
+
+func TestChromeTraceClosesOpenSpans(t *testing.T) {
+	clk := &fakeClock{}
+	c := NewCollector(clk.Now)
+	core := c.Track("core0", 0)
+	c.Begin(core, "dfence")
+	clk.now = 100
+	c.Instant(core, "crash")
+
+	doc := writeTrace(t, c)
+	var begins, ends int
+	var lastEnd float64
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "B":
+			begins++
+		case "E":
+			ends++
+			lastEnd = e.TS
+		}
+	}
+	if begins != 1 || ends != 1 {
+		t.Fatalf("begin/end = %d/%d, want balanced 1/1", begins, ends)
+	}
+	if lastEnd != tsOf(100) {
+		t.Errorf("auto-close ts = %v, want %v (time of last event)", lastEnd, tsOf(100))
+	}
+	// The collector itself still reports the span open: serialization
+	// balances the output without mutating state.
+	if c.OpenSpans() != 1 {
+		t.Errorf("OpenSpans = %d after write, want 1", c.OpenSpans())
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	build := func() string {
+		clk := &fakeClock{}
+		c := NewCollector(clk.Now)
+		core := c.Track("core0", 0)
+		mc := c.Track("mc1", 101)
+		for i := 0; i < 50; i++ {
+			clk.now += 7
+			c.Instant(core, "store")
+			c.Counter(mc, "wpq", int64(i%9))
+		}
+		var buf bytes.Buffer
+		if err := c.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatal("identical event sequences serialized differently")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tl := NewTimeline(0, "pb0", "wpq0")
+	if tl.Interval() != DefaultTimelineInterval {
+		t.Fatalf("Interval = %d", tl.Interval())
+	}
+	tl.Append(200, 3, 1)
+	tl.Append(400, 5, 2)
+	if tl.Len() != 2 {
+		t.Fatalf("Len = %d", tl.Len())
+	}
+	cycle, vals := tl.Row(1)
+	if cycle != 400 || vals[0] != 5 || vals[1] != 2 {
+		t.Fatalf("Row(1) = %d %v", cycle, vals)
+	}
+
+	var buf bytes.Buffer
+	if err := tl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "cycle,pb0,wpq0\n200,3,1\n400,5,2\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestTimelineRowWidthPanics(t *testing.T) {
+	tl := NewTimeline(100, "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short row did not panic")
+		}
+	}()
+	tl.Append(100, 1)
+}
+
+func TestCounterSeriesPerTrack(t *testing.T) {
+	clk := &fakeClock{}
+	c := NewCollector(clk.Now)
+	a := c.Track("mc0", 100)
+	b := c.Track("mc1", 101)
+	c.Counter(a, "wpq", 1)
+	c.Counter(b, "wpq", 2)
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `"mc0/wpq"`) || !strings.Contains(s, `"mc1/wpq"`) {
+		t.Fatalf("counter series not namespaced by track:\n%s", s)
+	}
+}

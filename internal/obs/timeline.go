@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Timeline is the time-series sink: a periodic sampler appends one row
+// of occupancy gauges per interval, and WriteCSV renders the run as a
+// plottable CSV timeline ("PB fills at cycle X under Baseline but not
+// ASAP" becomes a fact you can graph). Like Collector, a Timeline serves
+// one single-goroutine machine.
+type Timeline struct {
+	interval Cycles
+	cols     []string
+	rows     [][]uint64
+}
+
+// DefaultTimelineInterval is the sampling period machines use when the
+// caller does not choose one, matching the statistics sampler.
+const DefaultTimelineInterval Cycles = 200
+
+// NewTimeline returns a timeline sampled every interval cycles with the
+// given value columns (a leading "cycle" column is implicit).
+func NewTimeline(interval Cycles, cols ...string) *Timeline {
+	if interval == 0 {
+		interval = DefaultTimelineInterval
+	}
+	if len(cols) == 0 {
+		panic("obs: timeline needs at least one column")
+	}
+	return &Timeline{interval: interval, cols: cols}
+}
+
+// Interval returns the sampling period in cycles.
+func (t *Timeline) Interval() Cycles { return t.interval }
+
+// Columns returns the value column names (without the cycle column).
+func (t *Timeline) Columns() []string { return t.cols }
+
+// Len reports the number of rows sampled.
+func (t *Timeline) Len() int { return len(t.rows) }
+
+// Append records one sample row at the given cycle. The number of values
+// must match the registered columns.
+func (t *Timeline) Append(cycle Cycles, vals ...uint64) {
+	if len(vals) != len(t.cols) {
+		panic(fmt.Sprintf("obs: timeline row has %d values for %d columns", len(vals), len(t.cols)))
+	}
+	row := make([]uint64, 0, len(vals)+1)
+	row = append(row, cycle)
+	row = append(row, vals...)
+	t.rows = append(t.rows, row)
+}
+
+// Row returns sample i as (cycle, values).
+func (t *Timeline) Row(i int) (Cycles, []uint64) {
+	r := t.rows[i]
+	return r[0], r[1:]
+}
+
+// WriteCSV renders the timeline with a header row.
+func (t *Timeline) WriteCSV(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.WriteString("cycle")
+	for _, c := range t.cols {
+		bw.WriteString("," + c)
+	}
+	bw.WriteString("\n")
+	for _, r := range t.rows {
+		for i, v := range r {
+			if i > 0 {
+				bw.WriteString(",")
+			}
+			bw.WriteString(strconv.FormatUint(v, 10))
+		}
+		bw.WriteString("\n")
+	}
+	return bw.err
+}

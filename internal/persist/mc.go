@@ -3,6 +3,7 @@ package persist
 import (
 	"asap/internal/config"
 	"asap/internal/mem"
+	"asap/internal/obs"
 	"asap/internal/sim"
 	"asap/internal/stats"
 	"fmt"
@@ -48,6 +49,9 @@ type MC struct {
 	wpqWaiters []func()
 
 	st *stats.Set
+
+	trc   obs.Tracer // nil unless tracing; every use must be nil-guarded
+	track obs.TrackID
 }
 
 // mcServeCost is the fixed front-end cost of handling one job (CAM lookup
@@ -77,6 +81,20 @@ func NewMC(id int, eng *sim.Engine, cfg config.Config, speculative bool, st *sta
 
 // Stats returns the stat set the controller reports into.
 func (mc *MC) Stats() *stats.Set { return mc.st }
+
+// AttachTracer wires tr through the controller and its sub-structures: one
+// "mc<ID>" track carries job-service spans, flush decision instants, and
+// the WPQ/RT/XPBuffer/NVM counters. Call before the simulation starts.
+func (mc *MC) AttachTracer(tr obs.Tracer) {
+	mc.trc = tr
+	mc.track = tr.Track(fmt.Sprintf("mc%d", mc.ID), 100+mc.ID)
+	mc.WPQ.AttachTracer(tr, mc.track)
+	mc.XP.AttachTracer(tr, mc.track)
+	mc.NVM.AttachTracer(tr, mc.track)
+	if mc.RT != nil {
+		mc.RT.AttachTracer(tr, mc.track)
+	}
+}
 
 // Receive accepts a flush packet. reply is invoked (after the on-chip
 // message latency) with ACK or NACK. Callers model the PB→MC flush latency
@@ -116,16 +134,34 @@ func (mc *MC) serve() {
 	j := mc.queue[0]
 	mc.queue = mc.queue[1:]
 	done := func() {
+		if mc.trc != nil {
+			mc.trc.End(mc.track)
+		}
 		mc.serving = false
 		mc.serve()
 	}
 	mc.eng.After(mcServeCost, func() {
+		if mc.trc != nil {
+			mc.trc.Begin(mc.track, jobName(j))
+		}
 		if j.isCommit {
 			mc.processCommit(j, done)
 		} else {
 			mc.processFlush(j, done)
 		}
 	})
+}
+
+// jobName labels a controller job's service span in the trace.
+func jobName(j mcJob) string {
+	switch {
+	case j.isCommit:
+		return "commit"
+	case j.pkt.Early:
+		return "early flush"
+	default:
+		return "safe flush"
+	}
 }
 
 // processFlush applies Table I.
@@ -142,6 +178,9 @@ func (mc *MC) processFlush(j mcJob, done func()) {
 	}
 	nack := func() {
 		mc.st.Inc("mcNacks")
+		if mc.trc != nil {
+			mc.trc.Instant(mc.track, "nack")
+		}
 		if mc.Bloom != nil {
 			mc.Bloom.Add(pkt.Line)
 		}
@@ -271,6 +310,9 @@ func (mc *MC) readCurrent(l mem.Line, k func(mem.Token)) {
 		return
 	}
 	mc.st.Inc("mcUndoMediaReads")
+	if mc.trc != nil {
+		mc.trc.Instant(mc.track, "undo media read")
+	}
 	// The controller pipelines media reads: the front-end is occupied for
 	// the read-throughput interval, not the full access latency.
 	gap := mc.cfg.NVMReadGap
@@ -293,6 +335,9 @@ func (mc *MC) insertWrite(l mem.Line, t mem.Token, k func()) {
 		return
 	}
 	mc.st.Inc("mcWpqFullStalls")
+	if mc.trc != nil {
+		mc.trc.Instant(mc.track, "wpq full")
+	}
 	mc.wpqWaiters = append(mc.wpqWaiters, func() { mc.insertWrite(l, t, k) })
 }
 

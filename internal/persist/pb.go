@@ -1,6 +1,9 @@
 package persist
 
-import "asap/internal/mem"
+import (
+	"asap/internal/mem"
+	"asap/internal/obs"
+)
 
 // PBState is the lifecycle of one persist buffer entry.
 type PBState int
@@ -40,6 +43,9 @@ type PersistBuffer struct {
 	inserted  uint64
 	coalesced uint64
 	maxOcc    int
+
+	trc   obs.Tracer // nil unless tracing; every use must be nil-guarded
+	track obs.TrackID
 }
 
 // NewPersistBuffer returns a buffer holding capacity entries.
@@ -48,6 +54,13 @@ func NewPersistBuffer(capacity int) *PersistBuffer {
 		panic("persist: persist buffer capacity must be positive")
 	}
 	return &PersistBuffer{capacity: capacity}
+}
+
+// AttachTracer emits occupancy counters and insert/flush events on track
+// (the owning core's persist-path track).
+func (pb *PersistBuffer) AttachTracer(tr obs.Tracer, track obs.TrackID) {
+	pb.trc = tr
+	pb.track = track
 }
 
 // Len returns the number of live entries (waiting + inflight).
@@ -82,6 +95,9 @@ func (pb *PersistBuffer) Enqueue(line mem.Line, token mem.Token, ts uint64) (boo
 		if e.Line == line && e.TS == ts && e.State == PBWaiting {
 			e.Token = token
 			pb.coalesced++
+			if pb.trc != nil {
+				pb.trc.Instant(pb.track, "pb coalesce")
+			}
 			return true, true
 		}
 		// Stop scanning past an older epoch's entry for this line:
@@ -104,6 +120,9 @@ func (pb *PersistBuffer) Enqueue(line mem.Line, token mem.Token, ts uint64) (boo
 	pb.inserted++
 	if len(pb.entries) > pb.maxOcc {
 		pb.maxOcc = len(pb.entries)
+	}
+	if pb.trc != nil {
+		pb.trc.Counter(pb.track, "pb", int64(len(pb.entries)))
 	}
 	return false, true
 }
@@ -142,6 +161,9 @@ func (pb *PersistBuffer) Ack(id uint64) *PBEntry {
 			}
 			pb.inflight--
 			pb.entries = append(pb.entries[:i], pb.entries[i+1:]...)
+			if pb.trc != nil {
+				pb.trc.Counter(pb.track, "pb", int64(len(pb.entries)))
+			}
 			return e
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"asap/internal/mem"
+	"asap/internal/obs"
 )
 
 // UndoRecord stores the safe state for a speculatively updated address: the
@@ -38,6 +39,9 @@ type RecoveryTable struct {
 	undoMade  uint64
 	delayMade uint64
 	coalesced uint64
+
+	trc   obs.Tracer // nil unless tracing; every use must be nil-guarded
+	track obs.TrackID
 }
 
 // NewRecoveryTable returns a table with the given total record capacity.
@@ -50,6 +54,13 @@ func NewRecoveryTable(capacity int) *RecoveryTable {
 		undo:     make(map[mem.Line]*UndoRecord),
 		delay:    make(map[EpochID][]*DelayRecord),
 	}
+}
+
+// AttachTracer emits record-creation instants and occupancy counters on
+// track (the owning memory controller's track).
+func (rt *RecoveryTable) AttachTracer(tr obs.Tracer, track obs.TrackID) {
+	rt.trc = tr
+	rt.track = track
 }
 
 // Occupancy returns the number of live records (undo + delay).
@@ -90,6 +101,10 @@ func (rt *RecoveryTable) CreateUndo(l mem.Line, safe mem.Token, e EpochID) bool 
 	rt.undo[l] = &UndoRecord{Line: l, Safe: safe, Creator: e}
 	rt.undoMade++
 	rt.bumpOcc()
+	if rt.trc != nil {
+		rt.trc.Instant(rt.track, "undo create")
+		rt.trc.Counter(rt.track, "rt", int64(rt.Occupancy()))
+	}
 	return true
 }
 
@@ -123,6 +138,10 @@ func (rt *RecoveryTable) CreateDelay(l mem.Line, tok mem.Token, e EpochID) bool 
 	rt.delayLen++
 	rt.delayMade++
 	rt.bumpOcc()
+	if rt.trc != nil {
+		rt.trc.Instant(rt.track, "delay create")
+		rt.trc.Counter(rt.track, "rt", int64(rt.Occupancy()))
+	}
 	return true
 }
 
@@ -151,6 +170,9 @@ func (rt *RecoveryTable) Commit(e EpochID) []*DelayRecord {
 	if ds != nil {
 		delete(rt.delay, e)
 		rt.delayLen -= len(ds)
+	}
+	if rt.trc != nil {
+		rt.trc.Counter(rt.track, "rt", int64(rt.Occupancy()))
 	}
 	return ds
 }

@@ -1,0 +1,17 @@
+package persist
+
+import "asap/internal/stats"
+
+// The memory controller's stat vocabulary (Table I flush handling and the
+// recovery-table path). See internal/model/vocab.go for the rationale.
+func init() {
+	stats.Register("mcCommits", "epoch commit messages processed by the MC")
+	stats.Register("mcDelayCoalesced", "flushes coalesced into an existing delay record")
+	stats.Register("mcEarlyFlushes", "early (speculative) flushes accepted by the MC")
+	stats.Register("mcNacks", "early flushes NACKed for lack of recovery-table space")
+	stats.Register("mcSafeFlushes", "safe (post-commit) flushes received by the MC")
+	stats.Register("mcUndoMediaReads", "NVM media reads to capture undo images")
+	stats.Register("mcWpqFullStalls", "inserts stalled on a full write-pending queue")
+	stats.Register("mcWritesSuppressed", "NVM writes suppressed by delay-record coalescing")
+	stats.Register("totalUndo", "undo records created in the recovery table")
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"asap/internal/mem"
+	"asap/internal/obs"
 )
 
 // WBB is the write-back buffer of §V-F (borrowed from StrandWeaver [17]):
@@ -23,6 +24,9 @@ type WBB struct {
 	parked   uint64
 	released uint64
 	maxOcc   int
+
+	trc   obs.Tracer // nil unless tracing; every use must be nil-guarded
+	track obs.TrackID
 }
 
 // NewWBB returns a buffer holding capacity parked evictions.
@@ -31,6 +35,13 @@ func NewWBB(capacity int) *WBB {
 		panic("persist: WBB capacity must be positive")
 	}
 	return &WBB{capacity: capacity, entries: make(map[mem.Line]uint64)}
+}
+
+// AttachTracer emits park instants and occupancy counters on track (the
+// owning core's track).
+func (w *WBB) AttachTracer(tr obs.Tracer, track obs.TrackID) {
+	w.trc = tr
+	w.track = track
 }
 
 // Park holds an evicted line until PB entry id is flushed. It reports false
@@ -47,6 +58,10 @@ func (w *WBB) Park(line mem.Line, pbEntryID uint64) bool {
 	w.parked++
 	if len(w.entries) > w.maxOcc {
 		w.maxOcc = len(w.entries)
+	}
+	if w.trc != nil {
+		w.trc.Instant(w.track, "wbb park")
+		w.trc.Counter(w.track, "wbb", int64(len(w.entries)))
 	}
 	return true
 }
@@ -93,6 +108,9 @@ func (w *WBB) ReleaseIf(pred func(mem.Line) bool) int {
 			w.released++
 			n++
 		}
+	}
+	if n > 0 && w.trc != nil {
+		w.trc.Counter(w.track, "wbb", int64(len(w.entries)))
 	}
 	return n
 }

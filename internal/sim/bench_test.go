@@ -20,6 +20,30 @@ func BenchmarkEventThroughput(b *testing.B) {
 	e.Run(0)
 }
 
+// BenchmarkEventThroughputHooked is BenchmarkEventThroughput with a
+// dispatch hook attached — the tracing-on configuration. The delta
+// against BenchmarkEventThroughput is the cost tracing adds per
+// dispatched event; CI gates both through benchdiff.
+func BenchmarkEventThroughputHooked(b *testing.B) {
+	e := NewEngine()
+	var dispatched uint64
+	e.SetDispatchHook(func(Cycles) { dispatched++ })
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(3, tick)
+		}
+	}
+	e.After(1, tick)
+	b.ResetTimer()
+	e.Run(0)
+	if dispatched == 0 {
+		b.Fatal("dispatch hook never fired")
+	}
+}
+
 // BenchmarkEventFanout measures dispatch with a deep, wide queue (the
 // pattern MC drain + per-core flushers produce).
 func BenchmarkEventFanout(b *testing.B) {

@@ -47,10 +47,11 @@ func (h *eventHeap) Pop() interface{} {
 // not safe for concurrent use: the whole simulated machine runs on one
 // goroutine, which keeps the model deterministic.
 type Engine struct {
-	now    Cycles
-	seq    uint64
-	events eventHeap
-	halted bool
+	now        Cycles
+	seq        uint64
+	events     eventHeap
+	halted     bool
+	onDispatch func(when Cycles)
 }
 
 // NewEngine returns an engine with the clock at cycle zero.
@@ -79,6 +80,11 @@ func (e *Engine) After(delay Cycles, fn func()) {
 // Pending reports the number of scheduled events not yet dispatched.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// SetDispatchHook registers fn to be called immediately before each event
+// dispatch (the observability layer counts dispatches through it). A nil fn
+// clears the hook; with no hook set, dispatch pays one pointer comparison.
+func (e *Engine) SetDispatchHook(fn func(when Cycles)) { e.onDispatch = fn }
+
 // Halt stops Run before the next event is dispatched. It is typically called
 // from within an event handler (e.g. by a crash injector).
 func (e *Engine) Halt() { e.halted = true }
@@ -98,6 +104,9 @@ func (e *Engine) Run(limit Cycles) Cycles {
 		}
 		heap.Pop(&e.events)
 		e.now = next.when
+		if e.onDispatch != nil {
+			e.onDispatch(next.when)
+		}
 		next.fn()
 	}
 	return e.now
@@ -110,6 +119,9 @@ func (e *Engine) Step() bool {
 	}
 	next := heap.Pop(&e.events).(event)
 	e.now = next.when
+	if e.onDispatch != nil {
+		e.onDispatch(next.when)
+	}
 	next.fn()
 	return true
 }

@@ -17,6 +17,36 @@ import (
 	"strings"
 )
 
+// registry maps counter and distribution names to their one-line
+// descriptions. It is written only from package init functions (the
+// vocabulary files in machine, model, and persist) and read afterwards,
+// so no locking is needed even under the parallel harness.
+var registry = make(map[string]string)
+
+// Register records a one-line description for stat name. Every counter or
+// distribution must be registered before the first write; the write methods
+// panic on unregistered names, which keeps the Table VI vocabulary closed —
+// a typo in a stat name fails the first test that touches it instead of
+// silently splitting a counter in two. Call Register from the owning
+// package's init. Re-registering a name with the same description is a
+// no-op; conflicting descriptions panic.
+func Register(name, desc string) {
+	if prev, ok := registry[name]; ok && prev != desc {
+		panic(fmt.Sprintf("stats: %q registered twice with different descriptions (%q vs %q)", name, prev, desc))
+	}
+	registry[name] = desc
+}
+
+// Description returns the registered description for name, or "" if the
+// name was never registered.
+func Description(name string) string { return registry[name] }
+
+func checkRegistered(name string) {
+	if _, ok := registry[name]; !ok {
+		panic(fmt.Sprintf("stats: counter %q used without stats.Register", name))
+	}
+}
+
 // Set is a named collection of counters and distributions. The zero value is
 // not usable; call New.
 type Set struct {
@@ -34,6 +64,7 @@ func New() *Set {
 
 // Add increments counter name by delta.
 func (s *Set) Add(name string, delta uint64) {
+	checkRegistered(name)
 	s.counters[name] += delta
 }
 
@@ -46,6 +77,7 @@ func (s *Set) Get(name string) uint64 { return s.counters[name] }
 // SetMax raises counter name to v if v is larger. Used for high-water marks
 // such as recovery-table max occupancy.
 func (s *Set) SetMax(name string, v uint64) {
+	checkRegistered(name)
 	if v > s.counters[name] {
 		s.counters[name] = v
 	}
@@ -53,6 +85,7 @@ func (s *Set) SetMax(name string, v uint64) {
 
 // Observe records sample v in the distribution named name.
 func (s *Set) Observe(name string, v uint64) {
+	checkRegistered(name)
 	d, ok := s.dists[name]
 	if !ok {
 		d = &Dist{}
@@ -99,6 +132,22 @@ func (s *Set) String() string {
 	for _, n := range s.distNames() {
 		d := s.dists[n]
 		fmt.Fprintf(&b, "%-28s avg=%.2f p99=%d max=%d n=%d\n", n, d.Mean(), d.Percentile(0.99), d.Max(), d.Count())
+	}
+	return b.String()
+}
+
+// Describe renders the set like String but with the registered description
+// of each stat as a trailing column, turning a stats dump into its own
+// legend (`asapsim -stats`).
+func (s *Set) Describe() string {
+	var b strings.Builder
+	for _, n := range s.Names() {
+		fmt.Fprintf(&b, "%-28s %-12d # %s\n", n, s.counters[n], Description(n))
+	}
+	for _, n := range s.distNames() {
+		d := s.dists[n]
+		fmt.Fprintf(&b, "%-28s avg=%.2f p99=%d max=%d n=%d # %s\n",
+			n, d.Mean(), d.Percentile(0.99), d.Max(), d.Count(), Description(n))
 	}
 	return b.String()
 }
@@ -166,11 +215,23 @@ func (d *Dist) Mean() float64 {
 // Max returns the largest sample observed.
 func (d *Dist) Max() uint64 { return d.max }
 
-// Percentile returns the smallest value v such that at least p (0..1) of the
-// samples are <= v. Samples in the overflow bucket report Max.
+// Percentile returns the smallest value v such that at least p of the
+// samples are <= v, for p in [0, 1]; values outside that range are clamped.
+//
+// Resolution is exact for samples below the bucket range. Samples in the
+// overflow bucket lose per-value resolution, so any percentile whose target
+// sample lands there reports Max — the distribution's true upper bound —
+// rather than an interpolated guess. In particular Percentile(1) == Max()
+// always, on both the exact-bucket and overflow paths.
 func (d *Dist) Percentile(p float64) uint64 {
 	if d.count == 0 {
 		return 0
+	}
+	if p >= 1 {
+		return d.max
+	}
+	if p < 0 {
+		p = 0
 	}
 	// Smallest v with at least ceil(p * count) samples <= v.
 	target := uint64(p * float64(d.count))
@@ -179,6 +240,10 @@ func (d *Dist) Percentile(p float64) uint64 {
 	}
 	if target == 0 {
 		target = 1
+	}
+	if target > d.count-d.over {
+		// The target sample is in the overflow bucket.
+		return d.max
 	}
 	var cum uint64
 	for v, c := range d.buckets {

@@ -5,6 +5,57 @@ import (
 	"testing"
 )
 
+// Register the ad-hoc names this file writes; production names live in the
+// vocab files of the owning packages.
+func init() {
+	for _, n := range []string{"a", "b", "m", "x", "y", "zeta", "alpha", "lat", "d", "occ"} {
+		Register(n, "test counter "+n)
+	}
+}
+
+func TestUnregisteredCounterPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("write to unregistered counter did not panic")
+		}
+	}()
+	s.Inc("definitely-not-registered")
+}
+
+func TestRegisterConflictPanics(t *testing.T) {
+	Register("dup", "one description")
+	Register("dup", "one description") // same description: idempotent
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting re-registration did not panic")
+		}
+	}()
+	Register("dup", "another description")
+}
+
+func TestDescription(t *testing.T) {
+	if d := Description("a"); d != "test counter a" {
+		t.Fatalf("Description(a) = %q", d)
+	}
+	if Description("never-registered") != "" {
+		t.Fatal("unknown name should describe as empty")
+	}
+}
+
+func TestDescribeOutput(t *testing.T) {
+	s := New()
+	s.Add("a", 3)
+	s.Observe("occ", 5)
+	out := s.Describe()
+	if !strings.Contains(out, "# test counter a") {
+		t.Fatalf("counter description missing from %q", out)
+	}
+	if !strings.Contains(out, "# test counter occ") {
+		t.Fatalf("dist description missing from %q", out)
+	}
+}
+
 func TestCounters(t *testing.T) {
 	s := New()
 	s.Inc("a")
@@ -61,6 +112,54 @@ func TestDistOverflowBucket(t *testing.T) {
 	}
 	if p := d.Percentile(0.99); p != 1<<20 {
 		t.Fatalf("p99 = %d, want the overflow max", p)
+	}
+}
+
+func TestPercentileOverflowConsistency(t *testing.T) {
+	// Two samples in the overflow bucket: per-value resolution is gone
+	// there, so every percentile landing in it reports Max — not the
+	// smaller overflow sample, which the buckets cannot distinguish.
+	var d Dist
+	d.Observe(10)
+	d.Observe(5000)
+	d.Observe(6000)
+	if p := d.Percentile(0.3); p != 10 {
+		t.Fatalf("p30 = %d, want exact-bucket 10", p)
+	}
+	if p := d.Percentile(0.5); p != 6000 {
+		t.Fatalf("p50 = %d, want Max for an overflow-bucket target", p)
+	}
+}
+
+func TestPercentileP100IsMax(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []uint64
+	}{
+		{"exact", []uint64{1, 2, 3}},
+		{"overflow", []uint64{1, 5000}},
+		{"all-overflow", []uint64{4096, 9999}},
+	}
+	for _, c := range cases {
+		var d Dist
+		for _, v := range c.samples {
+			d.Observe(v)
+		}
+		if got := d.Percentile(1); got != d.Max() {
+			t.Errorf("%s: Percentile(1) = %d, Max = %d", c.name, got, d.Max())
+		}
+		if got := d.Percentile(1.5); got != d.Max() {
+			t.Errorf("%s: Percentile(1.5) = %d, want clamp to Max", c.name, got)
+		}
+	}
+}
+
+func TestPercentileClampsNegative(t *testing.T) {
+	var d Dist
+	d.Observe(7)
+	d.Observe(9)
+	if p := d.Percentile(-0.5); p != 7 {
+		t.Fatalf("Percentile(-0.5) = %d, want the minimum sample", p)
 	}
 }
 
