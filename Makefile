@@ -26,11 +26,15 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # bench-baseline regenerates the committed benchmark baseline the CI
-# bench job gates against (25% regression threshold). Run it on the same
-# class of machine CI uses, or refresh from CI's BENCH_ci.json artifact.
+# bench job gates against (25% time regression, 10% allocs/op regression;
+# zero-alloc benchmarks fail on any allocation). Run it on the same class
+# of machine CI uses, or refresh from CI's BENCH_ci.json artifact.
 bench-baseline:
-	$(GO) test -bench 'Fig8|Tab4|RunASAP' -benchtime 1x -count 3 -run '^$$' . > /tmp/bench_baseline.txt
-	$(GO) test -bench 'EventThroughput' -benchtime 1000000x -count 3 -run '^$$' ./internal/sim >> /tmp/bench_baseline.txt
+	$(GO) test -bench 'Fig8|Tab4|RunASAP' -benchtime 1x -count 3 -benchmem -run '^$$' . > /tmp/bench_baseline.txt
+	$(GO) test -bench 'EventThroughput' -benchtime 1000000x -count 3 -benchmem -run '^$$' ./internal/sim >> /tmp/bench_baseline.txt
+	$(GO) test -bench 'HierarchyAccess' -benchtime 1000000x -count 3 -benchmem -run '^$$' ./internal/cache >> /tmp/bench_baseline.txt
+	$(GO) test -bench 'PBFlushCycle|MCFlushCommit' -benchtime 200000x -count 3 -benchmem -run '^$$' ./internal/persist >> /tmp/bench_baseline.txt
+	$(GO) test -bench 'MachineOps' -benchtime 10000x -count 3 -benchmem -run '^$$' ./internal/machine >> /tmp/bench_baseline.txt
 	$(GO) run ./cmd/benchdiff -tojson /tmp/bench_baseline.txt > BENCH_baseline.json
 	@cat BENCH_baseline.json
 

@@ -1,6 +1,6 @@
 // Command asaplint runs the repository's static-analysis suite
-// (internal/analysis): donecheck, detcheck, unitcheck, ledgercheck and
-// obscheck.
+// (internal/analysis): donecheck, detcheck, unitcheck, ledgercheck,
+// obscheck and schedcheck.
 // It loads every package of the module from source using only the
 // standard library — no go/packages, no external tools — and exits
 // non-zero if any finding survives //asaplint:ignore filtering.
@@ -25,6 +25,7 @@ import (
 	"asap/internal/analysis/donecheck"
 	"asap/internal/analysis/ledgercheck"
 	"asap/internal/analysis/obscheck"
+	"asap/internal/analysis/schedcheck"
 	"asap/internal/analysis/unitcheck"
 )
 
@@ -35,6 +36,7 @@ func analyzers() []analysis.Analyzer {
 		unitcheck.New(),
 		ledgercheck.New(),
 		obscheck.New(),
+		schedcheck.New(),
 	}
 }
 

@@ -6,10 +6,12 @@
 //	benchdiff -tojson bench.txt > BENCH_ci.json
 //	benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 0.25
 //
-// The comparison is asymmetric by design: regressions (current slower
-// than baseline by more than threshold) fail; improvements and benchmarks
-// present on only one side are reported but never fail, so adding or
-// retiring benchmarks does not break the gate. Refresh the committed
+// The comparison is asymmetric by design: regressions fail — current
+// slower than baseline by more than -threshold, or allocating more than
+// -alloc-threshold over baseline allocs/op (any allocation fails a
+// zero-alloc baseline) — while improvements and benchmarks present on
+// only one side are reported but never fail, so adding or retiring
+// benchmarks does not break the gate. Refresh the committed
 // baseline with `make bench-baseline` (or from CI's uploaded BENCH_ci.json
 // artifact when runner hardware shifts).
 package main
@@ -27,19 +29,25 @@ import (
 )
 
 // Summary is the JSON document: benchmark name (minus the -GOMAXPROCS
-// suffix) to nanoseconds per operation.
+// suffix) to nanoseconds, bytes, and allocations per operation. The alloc
+// and byte maps are present only when the bench run used -benchmem; older
+// baselines without them still load, and the alloc gate skips benchmarks
+// they lack.
 type Summary struct {
 	Benchmarks map[string]float64 `json:"benchmarks_ns_per_op"`
+	Allocs     map[string]float64 `json:"benchmarks_allocs_per_op,omitempty"`
+	Bytes      map[string]float64 `json:"benchmarks_bytes_per_op,omitempty"`
 }
 
-// benchLine matches one result line of `go test -bench` output, e.g.
+// benchLine matches one result line of `go test -bench` output, with the
+// optional -benchmem columns, e.g.
 //
 //	BenchmarkFig8-8    1    123456789 ns/op    456 B/op    7 allocs/op
-var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
 // parse extracts benchmark results from go test -bench output. Repeated
-// runs of one benchmark (-count > 1) keep the minimum, the conventional
-// noise floor.
+// runs of one benchmark (-count > 1) keep the minimum of each metric, the
+// conventional noise floor.
 func parse(r io.Reader) (*Summary, error) {
 	s := &Summary{Benchmarks: map[string]float64{}}
 	sc := bufio.NewScanner(r)
@@ -55,6 +63,27 @@ func parse(r io.Reader) (*Summary, error) {
 		}
 		if old, ok := s.Benchmarks[m[1]]; !ok || ns < old {
 			s.Benchmarks[m[1]] = ns
+		}
+		if m[3] == "" {
+			continue
+		}
+		bytes, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad B/op in %q: %w", sc.Text(), err)
+		}
+		allocs, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad allocs/op in %q: %w", sc.Text(), err)
+		}
+		if s.Allocs == nil {
+			s.Allocs = map[string]float64{}
+			s.Bytes = map[string]float64{}
+		}
+		if old, ok := s.Bytes[m[1]]; !ok || bytes < old {
+			s.Bytes[m[1]] = bytes
+		}
+		if old, ok := s.Allocs[m[1]]; !ok || allocs < old {
+			s.Allocs[m[1]] = allocs
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -82,7 +111,11 @@ func load(path string) (*Summary, error) {
 }
 
 // compare reports each benchmark's delta and returns the regressed names.
-func compare(base, cur *Summary, threshold float64, w io.Writer) []string {
+// Time regresses past threshold; allocations regress past allocThreshold,
+// and a zero-alloc baseline fails on any allocation at all — a benchmark
+// that earned 0 allocs/op must keep it. Benchmarks missing an alloc figure
+// on either side (pre-benchmem baselines) skip the alloc gate.
+func compare(base, cur *Summary, threshold, allocThreshold float64, w io.Writer) []string {
 	names := make([]string, 0, len(base.Benchmarks))
 	for n := range base.Benchmarks {
 		names = append(names, n)
@@ -100,6 +133,14 @@ func compare(base, cur *Summary, threshold float64, w io.Writer) []string {
 		verdict := "ok"
 		if delta > threshold {
 			verdict = "REGRESSED"
+		}
+		if ab, aok := base.Allocs[n]; aok {
+			if ac, aok := cur.Allocs[n]; aok && allocRegressed(ab, ac, allocThreshold) {
+				verdict = "REGRESSED (allocs)"
+				fmt.Fprintf(w, "%-32s baseline %12.0f  current %12.0f  allocs/op\n", n, ab, ac)
+			}
+		}
+		if verdict != "ok" {
 			regressed = append(regressed, n)
 		}
 		fmt.Fprintf(w, "%-32s baseline %12.0f  current %12.0f  %+6.1f%%  %s\n",
@@ -118,6 +159,15 @@ func compare(base, cur *Summary, threshold float64, w io.Writer) []string {
 	return regressed
 }
 
+// allocRegressed applies the alloc gate: any increase from a zero-alloc
+// baseline fails, otherwise an increase beyond the fractional threshold.
+func allocRegressed(base, cur, threshold float64) bool {
+	if base == 0 {
+		return cur > 0
+	}
+	return (cur-base)/base > threshold
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -130,6 +180,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		baseline  = fs.String("baseline", "", "baseline JSON summary")
 		current   = fs.String("current", "", "current JSON summary to compare against the baseline")
 		threshold = fs.Float64("threshold", 0.25, "fail when current exceeds baseline by more than this fraction")
+		allocTh   = fs.Float64("alloc-threshold", 0.10, "fail when allocs/op exceeds baseline by more than this fraction (a 0 allocs/op baseline fails on any allocation)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -170,12 +221,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		if regressed := compare(b, c, *threshold, stdout); len(regressed) > 0 {
-			fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed >%g%%: %v\n",
-				len(regressed), *threshold*100, regressed)
+		if regressed := compare(b, c, *threshold, *allocTh, stdout); len(regressed) > 0 {
+			fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed (time >%g%% or allocs >%g%%): %v\n",
+				len(regressed), *threshold*100, *allocTh*100, regressed)
 			return 1
 		}
-		fmt.Fprintf(stdout, "benchdiff: no benchmark regressed >%g%%\n", *threshold*100)
+		fmt.Fprintf(stdout, "benchdiff: no benchmark regressed (time >%g%%, allocs >%g%%)\n", *threshold*100, *allocTh*100)
 		return 0
 
 	default:

@@ -37,6 +37,14 @@ func TestParse(t *testing.T) {
 			t.Errorf("%s = %v, want %v", n, s.Benchmarks[n], ns)
 		}
 	}
+	// Only Fig8's line carries -benchmem columns.
+	if s.Allocs["Fig8"] != 70000 || s.Bytes["Fig8"] != 4560000 {
+		t.Errorf("Fig8 memory columns = %v allocs, %v bytes; want 70000, 4560000",
+			s.Allocs["Fig8"], s.Bytes["Fig8"])
+	}
+	if _, ok := s.Allocs["Tab4"]; ok {
+		t.Errorf("Tab4 has no -benchmem columns but parsed allocs: %v", s.Allocs)
+	}
 }
 
 func TestParseEmpty(t *testing.T) {
@@ -46,9 +54,13 @@ func TestParseEmpty(t *testing.T) {
 }
 
 func writeSummary(t *testing.T, dir, name string, benchmarks map[string]float64) string {
+	return writeSummaryFull(t, dir, name, Summary{Benchmarks: benchmarks})
+}
+
+func writeSummaryFull(t *testing.T, dir, name string, s Summary) string {
 	t.Helper()
 	path := filepath.Join(dir, name)
-	b, err := json.Marshal(Summary{Benchmarks: benchmarks})
+	b, err := json.Marshal(s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,6 +99,45 @@ func TestCompareGate(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "Fig8") {
 		t.Errorf("regression message does not name the benchmark: %q", errb.String())
+	}
+}
+
+// TestAllocGate: allocs/op regressions fail independently of time, a
+// zero-alloc baseline fails on any allocation, and benchmarks without
+// alloc figures (old baselines) skip the alloc gate.
+func TestAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSummaryFull(t, dir, "base.json", Summary{
+		Benchmarks: map[string]float64{"Fig8": 100, "Throughput": 20, "Legacy": 50},
+		Allocs:     map[string]float64{"Fig8": 1000, "Throughput": 0},
+	})
+
+	// Time flat everywhere; Fig8 allocs creep 5% (within 10%), Throughput
+	// stays at zero, Legacy has no alloc figure — all pass.
+	ok := writeSummaryFull(t, dir, "ok.json", Summary{
+		Benchmarks: map[string]float64{"Fig8": 100, "Throughput": 20, "Legacy": 500},
+		Allocs:     map[string]float64{"Fig8": 1050, "Throughput": 0},
+	})
+	var out, errb strings.Builder
+	if code := run([]string{"-baseline", base, "-current", ok, "-threshold", "20"}, &out, &errb); code != 0 {
+		t.Fatalf("within-alloc-threshold run failed (code %d): %s%s", code, out.String(), errb.String())
+	}
+
+	// Fig8 allocs up 20% and Throughput gains its first allocation — both
+	// fail even though every time delta is zero.
+	bad := writeSummaryFull(t, dir, "bad.json", Summary{
+		Benchmarks: map[string]float64{"Fig8": 100, "Throughput": 20, "Legacy": 50},
+		Allocs:     map[string]float64{"Fig8": 1200, "Throughput": 1},
+	})
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", base, "-current", bad, "-threshold", "20"}, &out, &errb); code != 1 {
+		t.Fatalf("alloc regression not caught (code %d): %s", code, out.String())
+	}
+	for _, n := range []string{"Fig8", "Throughput"} {
+		if !strings.Contains(errb.String(), n) {
+			t.Errorf("alloc regression message does not name %s: %q", n, errb.String())
+		}
 	}
 }
 

@@ -1,0 +1,21 @@
+// Fixture for schedcheck under the engine's own package path
+// (asap/internal/sim): the heap implementation appends to its own events
+// slice freely.
+package sim
+
+type Cycles = uint64
+
+type event struct {
+	when Cycles
+	fn   func()
+}
+
+type Engine struct {
+	events []event
+}
+
+func (e *Engine) After(delay Cycles, fn func()) { e.push(event{delay, fn}) }
+
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev) // the engine owns its heap
+}

@@ -1,0 +1,32 @@
+// Fixture for schedcheck under an unconverted package path
+// (asap/internal/model): closure scheduling is still the norm there, but
+// the engine's event heap stays off-limits.
+package model
+
+type Cycles = uint64
+
+type event struct {
+	when Cycles
+	fn   func()
+}
+
+type Engine struct {
+	events []event
+}
+
+// Stubs; the real methods live in internal/sim.
+func (e *Engine) At(when Cycles, fn func())     {}
+func (e *Engine) After(delay Cycles, fn func()) {}
+
+type model struct {
+	eng *Engine
+}
+
+func (m *model) schedule() {
+	m.eng.After(3, func() {}) // closure form allowed: package not converted
+	m.eng.At(9, func() {})
+}
+
+func (m *model) sideDoor() {
+	m.eng.events = append(m.eng.events, event{}) // want `direct append to m\.eng\.events bypasses`
+}

@@ -1,0 +1,28 @@
+package cache
+
+import (
+	"testing"
+
+	"asap/internal/config"
+	"asap/internal/mem"
+)
+
+// BenchmarkHierarchyAccess measures the full per-access path — directory
+// update, three cache levels, LLC fill and eviction collection — on a
+// mixed read/write stream with cross-core sharing. This is the single
+// hottest call in the machine's op loop; benchdiff gates it at zero
+// allocations per access.
+func BenchmarkHierarchyAccess(b *testing.B) {
+	cfg := config.Default()
+	h := NewHierarchy(cfg)
+	const lines = 4096
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core := i % cfg.Cores
+		line := mem.Line(i % lines)
+		write := i%3 == 0
+		res := h.Access(core, line, write, false, uint64(i))
+		_ = res.Latency
+	}
+}

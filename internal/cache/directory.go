@@ -21,9 +21,24 @@ type DirEntry struct {
 	ReleasedBy int
 }
 
+// dirSlabSize is the number of DirEntry values allocated per slab block.
+const dirSlabSize = 512
+
 // Directory tracks coherence state for every line touched by the machine.
 type Directory struct {
 	entries map[mem.Line]*DirEntry
+
+	// slab is the current DirEntry allocation block. Entries are handed out
+	// from it until it fills, then a fresh block is started; a block with
+	// free capacity never reallocates, so the handed-out pointers stay
+	// valid. This turns one heap allocation per first-touched line into one
+	// per dirSlabSize lines.
+	slab []DirEntry
+
+	// scratch backs the *Conflict returned by Read and Write; it is valid
+	// only until the next directory operation, which keeps the conflict
+	// path allocation-free. All models consume conflicts synchronously.
+	scratch Conflict
 
 	remoteTransfers uint64
 	invalidations   uint64
@@ -38,7 +53,11 @@ func NewDirectory() *Directory {
 func (d *Directory) Entry(l mem.Line) *DirEntry {
 	e, ok := d.entries[l]
 	if !ok {
-		e = &DirEntry{Owner: -1, LastWriter: -1, ReleasedBy: -1}
+		if len(d.slab) == cap(d.slab) {
+			d.slab = make([]DirEntry, 0, dirSlabSize)
+		}
+		d.slab = append(d.slab, DirEntry{Owner: -1, LastWriter: -1, ReleasedBy: -1})
+		e = &d.slab[len(d.slab)-1]
 		d.entries[l] = e
 	}
 	return e
@@ -51,7 +70,9 @@ func (d *Directory) Peek(l mem.Line) (*DirEntry, bool) {
 }
 
 // Conflict describes a remote access that hit a line modified by another
-// core — the raw material for a cross-thread dependency.
+// core — the raw material for a cross-thread dependency. Pointers returned
+// by Read and Write alias the directory's scratch storage and are valid
+// only until the next directory operation.
 type Conflict struct {
 	Line     mem.Line
 	Writer   int    // core that last modified the line
@@ -72,7 +93,8 @@ type Conflict struct {
 func (d *Directory) Write(core int, l mem.Line, ts uint64) (conflict *Conflict, remote bool) {
 	e := d.Entry(l)
 	if e.LastWriter >= 0 && e.LastWriter != core {
-		conflict = &Conflict{Line: l, Writer: e.LastWriter, WriterTS: e.LastWriterTS}
+		d.scratch = Conflict{Line: l, Writer: e.LastWriter, WriterTS: e.LastWriterTS}
+		conflict = &d.scratch
 	}
 	if e.Owner >= 0 && e.Owner != core {
 		remote = true
@@ -99,13 +121,13 @@ func (d *Directory) Write(core int, l mem.Line, ts uint64) (conflict *Conflict, 
 func (d *Directory) Read(core int, l mem.Line, acquire bool) (conflict *Conflict, remote bool) {
 	e := d.Entry(l)
 	if e.LastWriter >= 0 && e.LastWriter != core {
-		c := &Conflict{Line: l, Writer: e.LastWriter, WriterTS: e.LastWriterTS}
+		d.scratch = Conflict{Line: l, Writer: e.LastWriter, WriterTS: e.LastWriterTS}
 		if acquire && e.Released {
-			c.AcquireOnRelease = true
-			c.Writer = e.ReleasedBy
-			c.WriterTS = e.ReleaseTS
+			d.scratch.AcquireOnRelease = true
+			d.scratch.Writer = e.ReleasedBy
+			d.scratch.WriterTS = e.ReleaseTS
 		}
-		conflict = c
+		conflict = &d.scratch
 	}
 	if e.Dirty && e.Owner != core && e.Owner >= 0 {
 		remote = true

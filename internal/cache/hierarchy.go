@@ -7,6 +7,11 @@ import (
 )
 
 // AccessResult summarizes one core access through the hierarchy.
+//
+// Conflict and LLCEvicted alias per-hierarchy scratch storage that the next
+// Access (or directory operation) overwrites: callers must consume them
+// before touching the hierarchy again, which keeps the per-access path free
+// of heap allocation.
 type AccessResult struct {
 	Latency sim.Cycles
 	// Level the access was satisfied at: "l1", "l2", "remote", "llc", "mem".
@@ -28,6 +33,10 @@ type Hierarchy struct {
 	l2  []*SetAssoc
 	llc *SetAssoc
 	dir *Directory
+
+	// evScratch backs AccessResult.LLCEvicted, reused across accesses so
+	// the steady-state access path does not allocate.
+	evScratch []mem.Line
 }
 
 // NewHierarchy builds the hierarchy for cfg.Cores cores.
@@ -57,6 +66,7 @@ func (h *Hierarchy) Directory() *Directory { return h.dir }
 func (h *Hierarchy) Access(core int, l mem.Line, write, acquire bool, ts uint64) AccessResult {
 	var res AccessResult
 	var remote bool
+	h.evScratch = h.evScratch[:0]
 	if write {
 		res.Conflict, remote = h.dir.Write(core, l, ts)
 	} else {
@@ -76,7 +86,7 @@ func (h *Hierarchy) Access(core int, l mem.Line, write, acquire bool, ts uint64)
 		res.Latency = h.cfg.RemoteXfer
 		res.Level = "remote"
 		h.fillPrivate(core, l)
-		res.LLCEvicted = h.fillLLC(l, res.LLCEvicted)
+		res.LLCEvicted = h.fillLLC(l)
 	case h.llc.Lookup(l):
 		res.Latency = h.cfg.LLCHit
 		res.Level = "llc"
@@ -86,7 +96,7 @@ func (h *Hierarchy) Access(core int, l mem.Line, write, acquire bool, ts uint64)
 		res.Latency = h.cfg.LLCHit + h.cfg.NVMRead
 		res.Level = "mem"
 		h.fillPrivate(core, l)
-		res.LLCEvicted = h.fillLLC(l, res.LLCEvicted)
+		res.LLCEvicted = h.fillLLC(l)
 	}
 
 	if write {
@@ -111,12 +121,13 @@ func (h *Hierarchy) fillPrivate(core int, l mem.Line) {
 	h.l2[core].Insert(l)
 }
 
-// fillLLC installs the line in the shared LLC, collecting evictions.
-func (h *Hierarchy) fillLLC(l mem.Line, evicted []mem.Line) []mem.Line {
+// fillLLC installs the line in the shared LLC, collecting evictions into
+// the reused scratch slice.
+func (h *Hierarchy) fillLLC(l mem.Line) []mem.Line {
 	if v, had := h.llc.Insert(l); had {
-		evicted = append(evicted, v)
+		h.evScratch = append(h.evScratch, v)
 	}
-	return evicted
+	return h.evScratch
 }
 
 // L1 and L2 expose per-core caches; LLC the shared cache (tests, stats).

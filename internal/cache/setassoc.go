@@ -7,14 +7,28 @@ package cache
 
 import "asap/internal/mem"
 
-// SetAssoc is a set-associative cache of line presence with LRU replacement.
-type SetAssoc struct {
-	sets  int
-	ways  int
-	lines []mem.Line // sets*ways entries; 0 slot uses valid mask
+// setsPerChunk is the granularity of lazy slot-state allocation. Building a
+// cache no longer allocates (and zeroes) arrays for its full capacity;
+// state materializes one chunk of sets at a time on first insert. Workloads
+// whose footprint covers a fraction of the LLC — the common case for the
+// experiment sweeps, which construct thousands of machines — only ever pay
+// for the chunks they touch.
+const setsPerChunk = 64
+
+// setChunk holds the slot state for setsPerChunk consecutive sets; a nil
+// lines slice marks a chunk no insert has reached yet.
+type setChunk struct {
+	lines []mem.Line
 	valid []bool
 	// lru[i] is the recency rank of slot i within its set: 0 = MRU.
 	lru []uint8
+}
+
+// SetAssoc is a set-associative cache of line presence with LRU replacement.
+type SetAssoc struct {
+	sets   int
+	ways   int
+	chunks []setChunk
 
 	hits, misses, evictions uint64
 }
@@ -31,27 +45,31 @@ func NewSetAssoc(sizeBytes, ways int) *SetAssoc {
 	if sets == 0 {
 		sets = 1
 	}
-	n := sets * ways
 	return &SetAssoc{
-		sets:  sets,
-		ways:  ways,
-		lines: make([]mem.Line, n),
-		valid: make([]bool, n),
-		lru:   make([]uint8, n),
+		sets:   sets,
+		ways:   ways,
+		chunks: make([]setChunk, (sets+setsPerChunk-1)/setsPerChunk),
 	}
 }
 
-func (c *SetAssoc) setOf(l mem.Line) int { return int(uint64(l) % uint64(c.sets)) }
+// slotBase locates the chunk holding line l's set and the set's base index
+// within that chunk.
+func (c *SetAssoc) slotBase(l mem.Line) (*setChunk, int) {
+	set := int(uint64(l) % uint64(c.sets))
+	return &c.chunks[set/setsPerChunk], (set % setsPerChunk) * c.ways
+}
 
 // Lookup reports whether line l is present, updating recency on a hit.
 func (c *SetAssoc) Lookup(l mem.Line) bool {
-	base := c.setOf(l) * c.ways
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.valid[i] && c.lines[i] == l {
-			c.touch(base, i)
-			c.hits++
-			return true
+	ch, base := c.slotBase(l)
+	if ch.lines != nil {
+		for w := 0; w < c.ways; w++ {
+			i := base + w
+			if ch.valid[i] && ch.lines[i] == l {
+				ch.touch(base, i, c.ways)
+				c.hits++
+				return true
+			}
 		}
 	}
 	c.misses++
@@ -60,10 +78,13 @@ func (c *SetAssoc) Lookup(l mem.Line) bool {
 
 // Contains reports presence without updating recency or hit counters.
 func (c *SetAssoc) Contains(l mem.Line) bool {
-	base := c.setOf(l) * c.ways
+	ch, base := c.slotBase(l)
+	if ch.lines == nil {
+		return false
+	}
 	for w := 0; w < c.ways; w++ {
 		i := base + w
-		if c.valid[i] && c.lines[i] == l {
+		if ch.valid[i] && ch.lines[i] == l {
 			return true
 		}
 	}
@@ -74,32 +95,38 @@ func (c *SetAssoc) Contains(l mem.Line) bool {
 // the evicted line and whether an eviction happened. Inserting a present
 // line only refreshes recency.
 func (c *SetAssoc) Insert(l mem.Line) (mem.Line, bool) {
-	base := c.setOf(l) * c.ways
+	ch, base := c.slotBase(l)
+	if ch.lines == nil {
+		n := setsPerChunk * c.ways
+		ch.lines = make([]mem.Line, n)
+		ch.valid = make([]bool, n)
+		ch.lru = make([]uint8, n)
+	}
 	victim := -1
 	var worst uint8
 	for w := 0; w < c.ways; w++ {
 		i := base + w
-		if c.valid[i] && c.lines[i] == l {
-			c.touch(base, i)
+		if ch.valid[i] && ch.lines[i] == l {
+			ch.touch(base, i, c.ways)
 			return 0, false
 		}
-		if !c.valid[i] {
-			if victim == -1 || c.valid[victim] {
+		if !ch.valid[i] {
+			if victim == -1 || ch.valid[victim] {
 				victim = i
 			}
-		} else if victim == -1 || (c.valid[victim] && c.lru[i] > worst) {
+		} else if victim == -1 || (ch.valid[victim] && ch.lru[i] > worst) {
 			victim = i
-			worst = c.lru[i]
+			worst = ch.lru[i]
 		}
 	}
-	evicted := c.lines[victim]
-	hadEvict := c.valid[victim]
-	c.lines[victim] = l
-	c.valid[victim] = true
+	evicted := ch.lines[victim]
+	hadEvict := ch.valid[victim]
+	ch.lines[victim] = l
+	ch.valid[victim] = true
 	// A freshly filled slot ranks as least-recent so that touch ages
 	// every other valid way exactly once.
-	c.lru[victim] = uint8(c.ways)
-	c.touch(base, victim)
+	ch.lru[victim] = uint8(c.ways)
+	ch.touch(base, victim, c.ways)
 	if hadEvict {
 		c.evictions++
 	}
@@ -108,11 +135,14 @@ func (c *SetAssoc) Insert(l mem.Line) (mem.Line, bool) {
 
 // Invalidate removes line l if present.
 func (c *SetAssoc) Invalidate(l mem.Line) {
-	base := c.setOf(l) * c.ways
+	ch, base := c.slotBase(l)
+	if ch.lines == nil {
+		return
+	}
 	for w := 0; w < c.ways; w++ {
 		i := base + w
-		if c.valid[i] && c.lines[i] == l {
-			c.valid[i] = false
+		if ch.valid[i] && ch.lines[i] == l {
+			ch.valid[i] = false
 			return
 		}
 	}
@@ -120,15 +150,15 @@ func (c *SetAssoc) Invalidate(l mem.Line) {
 
 // touch makes slot i the MRU of its set, aging the ways that were more
 // recent than it.
-func (c *SetAssoc) touch(base, i int) {
-	old := c.lru[i]
-	for w := 0; w < c.ways; w++ {
+func (ch *setChunk) touch(base, i, ways int) {
+	old := ch.lru[i]
+	for w := 0; w < ways; w++ {
 		j := base + w
-		if j != i && c.valid[j] && c.lru[j] < old {
-			c.lru[j]++
+		if j != i && ch.valid[j] && ch.lru[j] < old {
+			ch.lru[j]++
 		}
 	}
-	c.lru[i] = 0
+	ch.lru[i] = 0
 }
 
 // Hits, Misses and Evictions report access outcomes.

@@ -114,6 +114,8 @@ func (c Config) Validate() {
 		panic("config: Cores must be positive")
 	case c.MCs <= 0:
 		panic("config: MCs must be positive")
+	case c.MCs > 64:
+		panic("config: MCs must fit the epoch table's controller bitmask (max 64)")
 	case c.PBEntries <= 0 || c.ETEntries <= 0 || c.WPQEntries <= 0:
 		panic("config: structure sizes must be positive")
 	case c.PBMaxInflight <= 0:

@@ -1,0 +1,30 @@
+package machine
+
+import (
+	"testing"
+
+	"asap/internal/config"
+)
+
+// BenchmarkMachineOps measures end-to-end op dispatch through a full
+// machine running the ASAP model — core tick, cache access, persist-path
+// scheduling and controller service — reported per trace op. This is the
+// composite figure the hot-path allocation purge targets; benchdiff gates
+// its ns/op and allocs/op.
+func BenchmarkMachineOps(b *testing.B) {
+	tr := smallTrace(4, 2000, 7)
+	ops := tr.TotalOps()
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for n < b.N {
+		b.StopTimer()
+		m, err := New(config.Default(), "asap_ep", tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		m.Run(0)
+		n += ops
+	}
+}

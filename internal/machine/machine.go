@@ -21,6 +21,18 @@ import (
 // SampleInterval is the period of the occupancy/blocked-cycles sampler.
 const SampleInterval sim.Cycles = 200
 
+// Typed-event kinds dispatched through Machine.RunEvent. The per-op core
+// tick, persistent-store issue, and fence paths run through these so the
+// steady-state instruction stream schedules no closures.
+const (
+	mEvStep     = iota // resume core arg's next op
+	mEvPStore          // issue core arg's staged persistent store to the model
+	mEvOfence          // run the model's Ofence for core arg
+	mEvDfence          // run the model's Dfence for core arg
+	mEvSample          // periodic occupancy sampler
+	mEvTimeline        // periodic timeline row
+)
+
 // Machine is one runnable system instance. Build with New, run with Run.
 type Machine struct {
 	Eng    *sim.Engine
@@ -42,6 +54,12 @@ type Machine struct {
 	crashAt sim.Cycles
 	Crashed bool
 
+	// wbbPreds caches per-core ReleaseIf predicates so the sampler does not
+	// close over the loop variable every interval.
+	wbbPreds []func(mem.Line) bool
+	// tlVals is the timeline row scratch, reused across ticks.
+	tlVals []uint64
+
 	trc        obs.Tracer // nil unless tracing; every use must be nil-guarded
 	coreTracks []obs.TrackID
 	engTrack   obs.TrackID
@@ -59,6 +77,19 @@ type coreState struct {
 	done    bool
 
 	waitingLock bool // a "lock wait" trace span is open for this core
+
+	// stepFn and dfenceDoneFn are the core's resume callbacks, built once at
+	// construction and passed to the model as done-callbacks so the per-op
+	// path allocates no closures. Each core has at most one op in flight, so
+	// a single callback per core suffices.
+	stepFn       func()
+	dfenceDoneFn func()
+
+	// pendLine/pendToken stage the persistent store issued when the pending
+	// mEvPStore event fires. Valid because the core is serial: no second
+	// store can be staged before the event dispatches.
+	pendLine  mem.Line
+	pendToken mem.Token
 }
 
 type lockState struct {
@@ -106,11 +137,47 @@ func New(cfg config.Config, modelName string, tr *trace.Trace) (*Machine, error)
 	m.Model = mdl
 	m.cores = make([]*coreState, tr.NumThreads())
 	m.wbbs = make([]*persist.WBB, tr.NumThreads())
+	m.wbbPreds = make([]func(mem.Line) bool, tr.NumThreads())
 	for i := range m.cores {
-		m.cores[i] = &coreState{id: i, ops: tr.Threads[i]}
+		c := &coreState{id: i, ops: tr.Threads[i]}
+		c.stepFn = func() { m.step(c) }
+		c.dfenceDoneFn = func() {
+			if m.trc != nil {
+				m.trc.End(m.coreTracks[c.id])
+			}
+			m.step(c)
+		}
+		m.cores[i] = c
 		m.wbbs[i] = persist.NewWBB(16)
+		i := i
+		m.wbbPreds[i] = func(l mem.Line) bool { return !m.Model.PBHasLine(i, l) }
 	}
 	return m, nil
+}
+
+// RunEvent dispatches the machine's typed events.
+func (m *Machine) RunEvent(kind int, arg uint64) {
+	switch kind {
+	case mEvStep:
+		m.step(m.cores[arg])
+	case mEvPStore:
+		c := m.cores[arg]
+		m.Model.Store(c.id, c.pendLine, c.pendToken, c.stepFn)
+	case mEvOfence:
+		m.Model.Ofence(int(arg), m.cores[arg].stepFn)
+	case mEvDfence:
+		c := m.cores[arg]
+		if m.trc != nil {
+			m.trc.Begin(m.coreTracks[c.id], "dfence")
+		}
+		m.Model.Dfence(c.id, c.dfenceDoneFn)
+	case mEvSample:
+		m.sample()
+	case mEvTimeline:
+		m.timelineTick()
+	default:
+		panic(fmt.Sprintf("machine: unknown event kind %d", kind))
+	}
 }
 
 // WBB returns the core's write-back buffer (§V-F), which parks LLC
@@ -177,7 +244,7 @@ func (m *Machine) timelineTick() {
 	if m.allDone() || m.Eng.Halted() {
 		return
 	}
-	vals := make([]uint64, 0, 2*len(m.cores)+2*len(m.MCs))
+	vals := m.tlVals[:0]
 	for _, c := range m.cores {
 		vals = append(vals, uint64(m.Model.PBOccupancy(c.id)))
 	}
@@ -195,14 +262,16 @@ func (m *Machine) timelineTick() {
 			vals = append(vals, uint64(mc.RT.Occupancy()))
 		}
 	}
+	m.tlVals = vals
 	m.timeline.Append(m.Eng.Now(), vals...)
-	m.Eng.After(m.timeline.Interval(), m.timelineTick)
+	m.Eng.AfterOp(m.timeline.Interval(), m, mEvTimeline, 0)
 }
 
 // ScheduleCrash arranges a power failure at the given cycle: the ADR logic
 // runs (WPQ drain plus undo-record write-back) and the simulation halts.
 func (m *Machine) ScheduleCrash(at sim.Cycles) {
 	m.crashAt = at
+	//asaplint:ignore schedcheck one crash event per experiment, cold
 	m.Eng.At(at, func() {
 		m.Crashed = true
 		if m.trc != nil {
@@ -233,12 +302,11 @@ type Result struct {
 // (0 = no limit). It returns the run summary.
 func (m *Machine) Run(limit sim.Cycles) Result {
 	for _, c := range m.cores {
-		c := c
-		m.Eng.After(0, func() { m.step(c) })
+		m.Eng.AfterOp(0, m, mEvStep, uint64(c.id))
 	}
-	m.Eng.After(SampleInterval, m.sample)
+	m.Eng.AfterOp(SampleInterval, m, mEvSample, 0)
 	if m.timeline != nil {
-		m.Eng.After(m.timeline.Interval(), m.timelineTick)
+		m.Eng.AfterOp(m.timeline.Interval(), m, mEvTimeline, 0)
 	}
 	m.Eng.Run(limit)
 	return m.result()
@@ -291,16 +359,16 @@ func (m *Machine) step(c *coreState) {
 	}
 	op := c.ops[c.pc]
 	c.pc++
-	next := func() { m.step(c) }
+	core := uint64(c.id)
 
 	switch op.Kind {
 	case trace.OpCompute:
-		m.Eng.After(sim.Cycles(op.N), next)
+		m.Eng.AfterOp(sim.Cycles(op.N), m, mEvStep, core)
 
 	case trace.OpLoad:
 		line := mem.LineOf(op.Addr)
 		res := m.access(c.id, line, false, false)
-		m.Eng.After(res.Latency+m.Cfg.LoadCost, next)
+		m.Eng.AfterOp(res.Latency+m.Cfg.LoadCost, m, mEvStep, core)
 
 	case trace.OpStore:
 		line := mem.LineOf(op.Addr)
@@ -314,31 +382,19 @@ func (m *Machine) step(c *coreState) {
 		if op.Persistent {
 			m.pmLines[line] = true
 			m.tokenSeq++
-			token := m.tokenSeq
-			m.Ledger.SetOrigin(token, Origin{Thread: c.id, Seq: c.pstores})
+			m.Ledger.SetOrigin(m.tokenSeq, Origin{Thread: c.id, Seq: c.pstores})
 			c.pstores++
-			m.Eng.After(lat, func() {
-				m.Model.Store(c.id, line, token, next)
-			})
+			c.pendLine, c.pendToken = line, m.tokenSeq
+			m.Eng.AfterOp(lat, m, mEvPStore, core)
 		} else {
-			m.Eng.After(lat, next)
+			m.Eng.AfterOp(lat, m, mEvStep, core)
 		}
 
 	case trace.OpOfence:
-		m.Eng.After(m.Cfg.FenceCost, func() { m.Model.Ofence(c.id, next) })
+		m.Eng.AfterOp(m.Cfg.FenceCost, m, mEvOfence, core)
 
 	case trace.OpDfence:
-		m.Eng.After(m.Cfg.FenceCost, func() {
-			if m.trc != nil {
-				m.trc.Begin(m.coreTracks[c.id], "dfence")
-			}
-			m.Model.Dfence(c.id, func() {
-				if m.trc != nil {
-					m.trc.End(m.coreTracks[c.id])
-				}
-				next()
-			})
-		})
+		m.Eng.AfterOp(m.Cfg.FenceCost, m, mEvDfence, core)
 
 	case trace.OpAcquire:
 		m.acquire(c, mem.LineOf(op.Addr))
@@ -352,7 +408,7 @@ func (m *Machine) step(c *coreState) {
 		if sm, ok := m.Model.(model.StrandModel); ok {
 			sm.Strand(c.id)
 		}
-		m.Eng.After(1, next)
+		m.Eng.AfterOp(1, m, mEvStep, core)
 
 	default:
 		panic(fmt.Sprintf("machine: unknown op kind %v", op.Kind))
@@ -427,7 +483,7 @@ func (m *Machine) finishAcquire(c *coreState, line mem.Line) {
 	}
 	res := m.access(c.id, line, false, true)
 	m.Model.Acquire(c.id, line)
-	m.Eng.After(res.Latency+m.Cfg.LoadCost, func() { m.step(c) })
+	m.Eng.AfterOp(res.Latency+m.Cfg.LoadCost, m, mEvStep, uint64(c.id))
 }
 
 // release runs the model's release work (epoch close, or flush+fence on the
@@ -435,6 +491,7 @@ func (m *Machine) finishAcquire(c *coreState, line mem.Line) {
 // the directory, and hands the lock to the next waiter.
 func (m *Machine) release(c *coreState, line mem.Line) {
 	relTS := m.Model.CurrentTS(c.id)
+	//asaplint:ignore schedcheck lock release is contention-only, cold next to the per-access path
 	m.Eng.After(m.Cfg.FenceCost, func() {
 		m.Model.Release(c.id, line, func() {
 			res := m.access(c.id, line, true, false)
@@ -448,11 +505,12 @@ func (m *Machine) release(c *coreState, line mem.Line) {
 				next := lk.waiters[0]
 				lk.waiters = lk.waiters[1:]
 				lk.holder = next.id
+				//asaplint:ignore schedcheck lock handoff fires only under contention
 				m.Eng.After(m.Cfg.RemoteXfer, func() { m.finishAcquire(next, line) })
 			} else {
 				lk.held = false
 			}
-			m.Eng.After(res.Latency+m.Cfg.StoreCost, func() { m.step(c) })
+			m.Eng.AfterOp(res.Latency+m.Cfg.StoreCost, m, mEvStep, uint64(c.id))
 		})
 	})
 }
@@ -497,9 +555,8 @@ func (m *Machine) sample() {
 	// buffer entries have since flushed.
 	for i, wbb := range m.wbbs {
 		if wbb.Len() > 0 {
-			i := i
-			wbb.ReleaseIf(func(l mem.Line) bool { return !m.Model.PBHasLine(i, l) })
+			wbb.ReleaseIf(m.wbbPreds[i])
 		}
 	}
-	m.Eng.After(SampleInterval, m.sample)
+	m.Eng.AfterOp(SampleInterval, m, mEvSample, 0)
 }

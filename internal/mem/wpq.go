@@ -9,8 +9,12 @@ import "asap/internal/obs"
 // paper observes reduces PM write traffic for concurrent workloads (§VII-A,
 // "Coalescing in the WPQ").
 type WPQ struct {
-	capacity  int
-	order     []Line // FIFO of distinct lines
+	capacity int
+	// order is the FIFO of distinct lines; head indexes the oldest entry.
+	// Popping advances head instead of reslicing so the backing array is
+	// reused once the queue empties, keeping the drain path allocation-free.
+	order     []Line
+	head      int
 	pending   map[Line]Token
 	coalesced uint64
 	maxOcc    int
@@ -38,10 +42,10 @@ func (w *WPQ) AttachTracer(tr obs.Tracer, track obs.TrackID) {
 }
 
 // Full reports whether a new distinct line cannot currently be accepted.
-func (w *WPQ) Full() bool { return len(w.order) >= w.capacity }
+func (w *WPQ) Full() bool { return w.Len() >= w.capacity }
 
 // Len returns the number of distinct queued lines.
-func (w *WPQ) Len() int { return len(w.order) }
+func (w *WPQ) Len() int { return len(w.order) - w.head }
 
 // MaxOccupancy returns the high-water mark of Len.
 func (w *WPQ) MaxOccupancy() int { return w.maxOcc }
@@ -72,11 +76,11 @@ func (w *WPQ) Insert(l Line, t Token) bool {
 	}
 	w.order = append(w.order, l)
 	w.pending[l] = t
-	if len(w.order) > w.maxOcc {
-		w.maxOcc = len(w.order)
+	if w.Len() > w.maxOcc {
+		w.maxOcc = w.Len()
 	}
 	if w.trc != nil {
-		w.trc.Counter(w.track, "wpq", int64(len(w.order)))
+		w.trc.Counter(w.track, "wpq", int64(w.Len()))
 	}
 	return true
 }
@@ -84,22 +88,26 @@ func (w *WPQ) Insert(l Line, t Token) bool {
 // Pop removes and returns the oldest pending write. It panics on an empty
 // queue; callers gate on Len.
 func (w *WPQ) Pop() (Line, Token) {
-	if len(w.order) == 0 {
+	if w.Len() == 0 {
 		panic("mem: Pop on empty WPQ")
 	}
-	l := w.order[0]
-	w.order = w.order[1:]
+	l := w.order[w.head]
+	w.head++
+	if w.head == len(w.order) {
+		w.order = w.order[:0]
+		w.head = 0
+	}
 	t := w.pending[l]
 	delete(w.pending, l)
 	if w.trc != nil {
-		w.trc.Counter(w.track, "wpq", int64(len(w.order)))
+		w.trc.Counter(w.track, "wpq", int64(w.Len()))
 	}
 	return l, t
 }
 
 // Drain empties the queue into nvm, as the ADR logic does on power failure.
 func (w *WPQ) Drain(nvm *NVM) {
-	for len(w.order) > 0 {
+	for w.Len() > 0 {
 		l, t := w.Pop()
 		nvm.Write(l, t)
 	}

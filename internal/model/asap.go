@@ -2,7 +2,6 @@ package model
 
 import (
 	"fmt"
-	"sort"
 
 	"asap/internal/cache"
 	"asap/internal/mem"
@@ -20,11 +19,33 @@ import (
 // messages to the controllers that saw early flushes, then CDR messages to
 // dependent threads. A NACK (full recovery table) drops the buffer into
 // conservative flushing until the NACKed epoch commits (§V-D).
+// Typed-event kinds dispatched through ASAP.RunEvent, covering the
+// per-write flusher hot path (kick, pace, and the FlushLat send).
+const (
+	asapEvKick = iota // flusher wake-up for core arg (clears flushScheduled)
+	asapEvPace        // next paced flush issue for core arg
+	asapEvSend        // deliver the oldest queued flush packet to its MC
+)
+
+// asapSend is one in-flight PB→MC flush message. All sends travel at the
+// same FlushLat delay, so a FIFO ring dispatched by typed events preserves
+// the exact delivery order the per-send closures produced.
+type asapSend struct {
+	pkt     persist.FlushPacket
+	mc      *persist.MC
+	id      uint64 // persist buffer entry ID, echoed back in the reply
+	core    int
+	retried bool // NACK retry: clears the MC's Bloom filter entry on arrival
+}
+
 type ASAP struct {
 	env Env
 	rp  bool // release persistency (vs epoch persistency)
 
 	cores []*asapCore
+
+	sendQ    []asapSend // in-flight flush messages; sendHead indexes oldest
+	sendHead int
 
 	trc      obs.Tracer // nil unless tracing; every use must be nil-guarded
 	pbTracks []obs.TrackID
@@ -32,6 +53,7 @@ type ASAP struct {
 
 type asapCore struct {
 	id int
+	m  *ASAP // back-pointer for the FlushReplier implementation
 	pb *persist.PersistBuffer
 	et *persist.EpochTable
 
@@ -54,11 +76,47 @@ func newASAP(env Env, rp bool) *ASAP {
 	for i := range m.cores {
 		m.cores[i] = &asapCore{
 			id: i,
+			m:  m,
 			pb: persist.NewPersistBuffer(env.Cfg.PBEntries),
 			et: persist.NewEpochTable(i, env.Cfg.ETEntries),
 		}
 	}
 	return m
+}
+
+// RunEvent dispatches the model's typed events.
+func (m *ASAP) RunEvent(kind int, arg uint64) {
+	switch kind {
+	case asapEvKick:
+		c := m.cores[arg]
+		c.flushScheduled = false
+		m.flushOne(c)
+	case asapEvPace:
+		m.flushOne(m.cores[arg])
+	case asapEvSend:
+		s := m.sendQ[m.sendHead]
+		m.sendQ[m.sendHead] = asapSend{}
+		m.sendHead++
+		if m.sendHead == len(m.sendQ) {
+			m.sendQ = m.sendQ[:0]
+			m.sendHead = 0
+		}
+		if s.retried && s.mc.Bloom != nil {
+			// The retried flush clears the NACK Bloom filter entry,
+			// releasing any delayed LLC eviction (§V-F).
+			s.mc.Bloom.Remove(s.pkt.Line)
+		}
+		s.mc.ReceiveOp(s.pkt, m.cores[s.core], s.id)
+	default:
+		panic("asap: unknown event kind")
+	}
+}
+
+// FlushReply receives the controller's ACK/NACK for the persist buffer
+// entry identified by arg (the typed analogue of the per-flush reply
+// closure).
+func (c *asapCore) FlushReply(arg uint64, res persist.FlushResult) {
+	c.m.onFlushReply(c, arg, res)
 }
 
 // Name returns asap_ep or asap_rp.
@@ -320,10 +378,7 @@ func (m *ASAP) kickFlusher(c *asapCore) {
 		return
 	}
 	c.flushScheduled = true
-	m.env.Eng.After(1, func() {
-		c.flushScheduled = false
-		m.flushOne(c)
-	})
+	m.env.Eng.AfterOp(1, m, asapEvKick, uint64(c.id))
 }
 
 // flushOne issues at most one flush, then reschedules itself while work
@@ -346,7 +401,7 @@ func (m *ASAP) flushOne(c *asapCore) {
 			m.trc.Instant(m.pbTracks[c.id], "early flush")
 		}
 		if ent, ok := c.et.Get(e.TS); ok {
-			ent.EarlyMCs[mcID] = struct{}{}
+			ent.AddEarlyMC(mcID)
 		}
 	}
 	pkt := persist.FlushPacket{
@@ -355,20 +410,12 @@ func (m *ASAP) flushOne(c *asapCore) {
 		Epoch: persist.EpochID{Thread: c.id, TS: e.TS},
 		Early: early,
 	}
-	id := e.ID
-	mc := m.env.MCs[mcID]
-	m.env.Eng.After(m.env.Cfg.FlushLat, func() {
-		if retried && mc.Bloom != nil {
-			// The retried flush clears the NACK Bloom filter entry,
-			// releasing any delayed LLC eviction (§V-F).
-			mc.Bloom.Remove(pkt.Line)
-		}
-		mc.Receive(pkt, func(res persist.FlushResult) {
-			m.onFlushReply(c, id, res)
-		})
+	m.sendQ = append(m.sendQ, asapSend{
+		pkt: pkt, mc: m.env.MCs[mcID], id: e.ID, core: c.id, retried: retried,
 	})
+	m.env.Eng.AfterOp(m.env.Cfg.FlushLat, m, asapEvSend, 0)
 	if c.pb.Inflight() < m.env.Cfg.PBMaxInflight {
-		m.env.Eng.After(flushIssuePace, func() { m.flushOne(c) })
+		m.env.Eng.AfterOp(flushIssuePace, m, asapEvPace, uint64(c.id))
 	}
 }
 
@@ -397,8 +444,8 @@ func (m *ASAP) onFlushReply(c *asapCore, id uint64, res persist.FlushResult) {
 		m.kickFlusher(c)
 		return
 	}
-	e := c.pb.Ack(id)
-	if e == nil {
+	e, ok := c.pb.Ack(id)
+	if !ok {
 		panic("asap: ACK for unknown persist buffer entry")
 	}
 	if ent, ok := c.et.Get(e.TS); ok {
@@ -432,20 +479,15 @@ func (m *ASAP) tryCommit(c *asapCore, ts uint64) {
 		return
 	}
 	ent.CommitSent = true
-	if len(ent.EarlyMCs) == 0 {
+	if ent.EarlyMCs == 0 {
 		m.finishCommit(c, ent)
 		return
 	}
-	ent.CommitAcks = len(ent.EarlyMCs)
+	ent.CommitAcks = ent.EarlyMCCount()
 	epoch := persist.EpochID{Thread: c.id, TS: ts}
 	// Commit messages are scheduled in ascending controller order so the
 	// event sequence (and hence every downstream tie-break) is reproducible.
-	mcIDs := make([]int, 0, len(ent.EarlyMCs))
-	for mcID := range ent.EarlyMCs {
-		mcIDs = append(mcIDs, mcID)
-	}
-	sort.Ints(mcIDs)
-	for _, mcID := range mcIDs {
+	ent.ForEachEarlyMC(func(mcID int) {
 		mc := m.env.MCs[mcID]
 		m.env.Eng.After(m.env.Cfg.MsgLat, func() {
 			mc.Commit(epoch, func() {
@@ -455,7 +497,7 @@ func (m *ASAP) tryCommit(c *asapCore, ts uint64) {
 				}
 			})
 		})
-	}
+	})
 }
 
 func (m *ASAP) finishCommit(c *asapCore, ent *persist.ETEntry) {

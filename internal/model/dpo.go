@@ -255,8 +255,8 @@ func (m *DPO) flushOne(c *dpoCore) {
 }
 
 func (m *DPO) onAck(c *dpoCore, id uint64) {
-	e := c.pb.Ack(id)
-	if e == nil {
+	e, ok := c.pb.Ack(id)
+	if !ok {
 		panic("dpo: ACK for unknown persist buffer entry")
 	}
 	if ent, ok := c.et.Get(e.TS); ok {

@@ -275,8 +275,8 @@ func (m *HOPS) flushOne(c *hopsCore) {
 }
 
 func (m *HOPS) onAck(c *hopsCore, id uint64) {
-	e := c.pb.Ack(id)
-	if e == nil {
+	e, ok := c.pb.Ack(id)
+	if !ok {
 		panic("hops: ACK for unknown persist buffer entry")
 	}
 	if ent, ok := c.et.Get(e.TS); ok {

@@ -254,8 +254,8 @@ func (m *LBPP) flushOne(c *lbppCore) {
 }
 
 func (m *LBPP) onAck(c *lbppCore, id uint64) {
-	e := c.pb.Ack(id)
-	if e == nil {
+	e, ok := c.pb.Ack(id)
+	if !ok {
 		panic("lbpp: ACK for unknown persist buffer entry")
 	}
 	if ent, ok := c.et.Get(e.TS); ok {

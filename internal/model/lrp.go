@@ -274,8 +274,8 @@ func (m *LRP) flushOne(c *lrpCore) {
 }
 
 func (m *LRP) onAck(c *lrpCore, id uint64) {
-	e := c.pb.Ack(id)
-	if e == nil {
+	e, ok := c.pb.Ack(id)
+	if !ok {
 		panic("lrp: ACK for unknown persist buffer entry")
 	}
 	if ent, ok := c.et.Get(e.TS); ok {

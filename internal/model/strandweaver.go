@@ -328,8 +328,8 @@ func (m *StrandWeaver) flushOne(c *swCore) {
 }
 
 func (m *StrandWeaver) onAck(c *swCore, id uint64) {
-	e := c.pb.Ack(id)
-	if e == nil {
+	e, ok := c.pb.Ack(id)
+	if !ok {
 		panic("strandweaver: ACK for unknown persist buffer entry")
 	}
 	if _, ep := c.epochByTS(e.TS); ep != nil {

@@ -304,8 +304,8 @@ func (m *Vorpal) persistNow(mcID int, fl vorpalFlush) {
 
 func (m *Vorpal) onPersisted(mcID int, fl vorpalFlush) {
 	c := m.cores[fl.core]
-	e := c.pb.Ack(fl.pbID)
-	if e == nil {
+	e, ok := c.pb.Ack(fl.pbID)
+	if !ok {
 		panic("vorpal: ACK for unknown persist buffer entry")
 	}
 	if ent, ok := c.et.Get(e.TS); ok {

@@ -22,8 +22,10 @@ type ETEntry struct {
 	Dependents []EpochID
 
 	// EarlyMCs records controllers that received early flushes from this
-	// epoch, so commit messages go only where needed (§V-C).
-	EarlyMCs map[int]struct{}
+	// epoch, so commit messages go only where needed (§V-C). It is a
+	// bitmask over controller IDs (config caps MCs at 64), which keeps
+	// epoch bookkeeping allocation-free.
+	EarlyMCs uint64
 
 	// Closed: the thread has started a later epoch; no new writes will
 	// join this one.
@@ -43,6 +45,29 @@ type ETEntry struct {
 // cleared by a CDR message.
 func (e *ETEntry) DepsResolved() bool { return e.Resolved >= len(e.Deps) }
 
+// AddEarlyMC records that controller mc received an early flush.
+func (e *ETEntry) AddEarlyMC(mc int) { e.EarlyMCs |= 1 << uint(mc) }
+
+// EarlyMCCount returns the number of controllers that saw early flushes.
+func (e *ETEntry) EarlyMCCount() int {
+	n := 0
+	for m := e.EarlyMCs; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// ForEachEarlyMC calls fn for each controller in ascending ID order — the
+// same order the previous sorted-slice implementation produced, so commit
+// message scheduling (and every downstream tie-break) is unchanged.
+func (e *ETEntry) ForEachEarlyMC(fn func(mc int)) {
+	for id, m := 0, e.EarlyMCs; m != 0; id, m = id+1, m>>1 {
+		if m&1 != 0 {
+			fn(id)
+		}
+	}
+}
+
 // EpochTable tracks the in-flight epochs of one core. Entries are ordered by
 // TS; capacity bounds the number of uncommitted epochs, and an ofence that
 // would exceed it stalls the core (§VI-A).
@@ -53,6 +78,7 @@ type EpochTable struct {
 	entries  map[uint64]*ETEntry
 	oldest   uint64 // lowest TS not yet retired
 	maxOcc   int
+	free     []*ETEntry // retired entries, recycled by Advance
 }
 
 // NewEpochTable returns a table for the given hardware thread. Epoch 1 is
@@ -68,7 +94,7 @@ func NewEpochTable(thread, capacity int) *EpochTable {
 		oldest:   1,
 		entries:  make(map[uint64]*ETEntry),
 	}
-	et.entries[1] = &ETEntry{TS: 1, EarlyMCs: make(map[int]struct{})}
+	et.entries[1] = &ETEntry{TS: 1}
 	et.maxOcc = 1
 	return et
 }
@@ -110,7 +136,16 @@ func (et *EpochTable) OldestTS() uint64 { return et.oldest }
 func (et *EpochTable) Advance() *ETEntry {
 	et.entries[et.current].Closed = true
 	et.current++
-	e := &ETEntry{TS: et.current, EarlyMCs: make(map[int]struct{})}
+	var e *ETEntry
+	if n := len(et.free); n > 0 {
+		e = et.free[n-1]
+		et.free[n-1] = nil
+		et.free = et.free[:n-1]
+		deps, dependents := e.Deps[:0], e.Dependents[:0]
+		*e = ETEntry{TS: et.current, Deps: deps, Dependents: dependents}
+	} else {
+		e = &ETEntry{TS: et.current}
+	}
 	et.entries[et.current] = e
 	if len(et.entries) > et.maxOcc {
 		et.maxOcc = len(et.entries)
@@ -128,6 +163,10 @@ func (et *EpochTable) Retire(ts uint64) {
 		panic("persist: retiring uncommitted epoch")
 	}
 	delete(et.entries, ts)
+	// Recycle the entry; Advance reuses it (and its Deps/Dependents
+	// backing arrays) for a future epoch. Callers must not retain
+	// *ETEntry pointers across Retire.
+	et.free = append(et.free, e)
 	for {
 		if _, ok := et.entries[et.oldest]; ok || et.oldest > et.current {
 			break

@@ -14,13 +14,50 @@ import (
 type mcJob struct {
 	isCommit bool
 
-	// flush fields
-	pkt   FlushPacket
-	reply func(FlushResult)
+	// flush fields. Exactly one of reply (legacy closure form) or replier
+	// (typed form, arg passed back verbatim) is set.
+	pkt      FlushPacket
+	reply    func(FlushResult)
+	replier  FlushReplier
+	replyArg uint64
 
 	// commit fields
 	epoch      EpochID
 	commitDone func()
+}
+
+// FlushReplier receives the controller's ACK/NACK for a flush submitted via
+// ReceiveOp. arg is the caller's value from ReceiveOp, typically a persist
+// buffer entry ID — the typed analogue of Receive's reply closure, letting
+// hot callers avoid a per-flush allocation.
+type FlushReplier interface {
+	FlushReply(arg uint64, res FlushResult)
+}
+
+// Typed-event kinds dispatched through MC.RunEvent.
+const (
+	mcEvServe     = iota // front-end picks up mc.cur after mcServeCost
+	mcEvReply            // deliver the oldest queued reply (MsgLat later)
+	mcEvXPRead           // XPBuffer read completes; arg carries the token
+	mcEvMediaRead        // NVM media read completes for mc.cur's line
+	mcEvDrain            // retire one WPQ entry to media
+)
+
+// Continuation codes for insertWrite: what runs once the write is accepted.
+const (
+	contAck        = iota // ACK the job in service
+	contCommitNext        // continue the commit job's delay replay
+)
+
+// mcReply is one queued ACK/NACK/commit-done delivery. All replies travel
+// at the same MsgLat delay, so a FIFO ring dispatched by typed events
+// preserves the exact delivery order the per-reply closures produced.
+type mcReply struct {
+	replier FlushReplier
+	legacy  func(FlushResult)
+	commit  func()
+	arg     uint64
+	res     FlushResult
 }
 
 // MC is a memory controller front-end. It owns a WPQ (in the ADR persistence
@@ -32,6 +69,10 @@ type mcJob struct {
 // entries to NVM at the media write latency. A full WPQ back-pressures the
 // front-end: the job being served waits for a drain before inserting, and
 // jobs behind it queue up.
+//
+// All steady-state work is scheduled through the engine's typed-event form
+// with the controller itself as receiver, and the job/reply queues are
+// head-indexed rings, so serving traffic does not allocate.
 type MC struct {
 	ID  int
 	eng *sim.Engine
@@ -43,10 +84,26 @@ type MC struct {
 	NVM   *mem.NVM
 	Bloom *CountingBloom
 
-	queue      []mcJob
-	serving    bool
-	draining   bool
-	wpqWaiters []func()
+	queue   []mcJob // pending jobs; qhead indexes the oldest
+	qhead   int
+	serving bool
+	cur     mcJob // job in service (valid while serving)
+
+	replies []mcReply // in-flight MsgLat replies; rhead indexes the oldest
+	rhead   int
+
+	// commit replay progress (valid while serving a commit job)
+	delays   []*DelayRecord
+	delayIdx int
+
+	// wpq-full retry state. The controller is single-served, so at most one
+	// insert can be waiting for drain space at a time.
+	wpqWait     bool
+	wpqWaitLine mem.Line
+	wpqWaitTok  mem.Token
+	wpqWaitCont int
+
+	draining bool
 
 	st *stats.Set
 
@@ -100,12 +157,22 @@ func (mc *MC) AttachTracer(tr obs.Tracer) {
 // message latency) with ACK or NACK. Callers model the PB→MC flush latency
 // before calling Receive.
 func (mc *MC) Receive(pkt FlushPacket, reply func(FlushResult)) {
-	if pkt.Early {
+	mc.enqueueFlush(mcJob{pkt: pkt, reply: reply})
+}
+
+// ReceiveOp is the typed form of Receive: the result is delivered through
+// rp.FlushReply(arg, res) instead of a per-flush closure.
+func (mc *MC) ReceiveOp(pkt FlushPacket, rp FlushReplier, arg uint64) {
+	mc.enqueueFlush(mcJob{pkt: pkt, replier: rp, replyArg: arg})
+}
+
+func (mc *MC) enqueueFlush(j mcJob) {
+	if j.pkt.Early {
 		mc.st.Inc("mcEarlyFlushes")
 	} else {
 		mc.st.Inc("mcSafeFlushes")
 	}
-	mc.queue = append(mc.queue, mcJob{pkt: pkt, reply: reply})
+	mc.queue = append(mc.queue, j)
 	mc.serve()
 }
 
@@ -118,38 +185,105 @@ func (mc *MC) Commit(e EpochID, done func()) {
 }
 
 // QueueLen reports front-end jobs waiting to be served (for tests).
-func (mc *MC) QueueLen() int { return len(mc.queue) }
+func (mc *MC) QueueLen() int { return len(mc.queue) - mc.qhead }
 
 // Idle reports whether the controller has no queued work, no job in
 // service, and an empty WPQ.
 func (mc *MC) Idle() bool {
-	return !mc.serving && len(mc.queue) == 0 && mc.WPQ.Len() == 0
+	return !mc.serving && mc.QueueLen() == 0 && mc.WPQ.Len() == 0
 }
 
 func (mc *MC) serve() {
-	if mc.serving || len(mc.queue) == 0 {
+	if mc.serving || mc.qhead == len(mc.queue) {
 		return
 	}
 	mc.serving = true
-	j := mc.queue[0]
-	mc.queue = mc.queue[1:]
-	done := func() {
-		if mc.trc != nil {
-			mc.trc.End(mc.track)
-		}
-		mc.serving = false
-		mc.serve()
+	mc.cur = mc.queue[mc.qhead]
+	mc.queue[mc.qhead] = mcJob{} // release the closures for collection
+	mc.qhead++
+	if mc.qhead == len(mc.queue) {
+		mc.queue = mc.queue[:0]
+		mc.qhead = 0
 	}
-	mc.eng.After(mcServeCost, func() {
+	mc.eng.AfterOp(mcServeCost, mc, mcEvServe, 0)
+}
+
+// RunEvent dispatches the controller's typed events.
+func (mc *MC) RunEvent(kind int, arg uint64) {
+	switch kind {
+	case mcEvServe:
 		if mc.trc != nil {
-			mc.trc.Begin(mc.track, jobName(j))
+			mc.trc.Begin(mc.track, jobName(mc.cur))
 		}
-		if j.isCommit {
-			mc.processCommit(j, done)
+		if mc.cur.isCommit {
+			mc.processCommit()
 		} else {
-			mc.processFlush(j, done)
+			mc.processFlush()
 		}
-	})
+	case mcEvReply:
+		r := mc.replies[mc.rhead]
+		mc.replies[mc.rhead] = mcReply{}
+		mc.rhead++
+		if mc.rhead == len(mc.replies) {
+			mc.replies = mc.replies[:0]
+			mc.rhead = 0
+		}
+		switch {
+		case r.commit != nil:
+			r.commit()
+		case r.replier != nil:
+			r.replier.FlushReply(r.arg, r.res)
+		default:
+			r.legacy(r.res)
+		}
+	case mcEvXPRead:
+		mc.readDone(mem.Token(arg))
+	case mcEvMediaRead:
+		l := mc.cur.pkt.Line
+		t := mc.NVM.Read(l)
+		mc.XP.Insert(l, t)
+		mc.readDone(t)
+	case mcEvDrain:
+		mc.drainOne()
+	default:
+		panic("persist: unknown MC event kind")
+	}
+}
+
+// finishJob ends the service span of mc.cur and picks up the next job.
+func (mc *MC) finishJob() {
+	if mc.trc != nil {
+		mc.trc.End(mc.track)
+	}
+	mc.serving = false
+	mc.serve()
+}
+
+// sendReply queues r for delivery MsgLat cycles from now.
+func (mc *MC) sendReply(r mcReply) {
+	mc.replies = append(mc.replies, r)
+	mc.eng.AfterOp(mc.cfg.MsgLat, mc, mcEvReply, 0)
+}
+
+// ack ACKs the flush in service and moves on.
+func (mc *MC) ack() {
+	j := &mc.cur
+	mc.sendReply(mcReply{replier: j.replier, legacy: j.reply, arg: j.replyArg, res: FlushAck})
+	mc.finishJob()
+}
+
+// nack NACKs the flush in service and moves on.
+func (mc *MC) nack() {
+	j := &mc.cur
+	mc.st.Inc("mcNacks")
+	if mc.trc != nil {
+		mc.trc.Instant(mc.track, "nack")
+	}
+	if mc.Bloom != nil {
+		mc.Bloom.Add(j.pkt.Line)
+	}
+	mc.sendReply(mcReply{replier: j.replier, legacy: j.reply, arg: j.replyArg, res: FlushNack})
+	mc.finishJob()
 }
 
 // jobName labels a controller job's service span in the trace.
@@ -164,33 +298,18 @@ func jobName(j mcJob) string {
 	}
 }
 
-// processFlush applies Table I.
-func (mc *MC) processFlush(j mcJob, done func()) {
-	pkt := j.pkt
+// processFlush applies Table I to the flush in service.
+func (mc *MC) processFlush() {
+	pkt := mc.cur.pkt
 	if DebugLine != 0 && pkt.Line == DebugLine && mc.RT != nil {
 		u, hu := mc.RT.Undo(pkt.Line)
 		fmt.Printf("[%d] MC%d flush tok=%d epoch=%v early=%v hasUndo=%v undo=%+v mem=%d\n",
 			mc.eng.Now(), mc.ID, pkt.Token, pkt.Epoch, pkt.Early, hu, u, mc.NVM.Peek(pkt.Line))
 	}
-	ack := func() {
-		mc.eng.After(mc.cfg.MsgLat, func() { j.reply(FlushAck) })
-		done()
-	}
-	nack := func() {
-		mc.st.Inc("mcNacks")
-		if mc.trc != nil {
-			mc.trc.Instant(mc.track, "nack")
-		}
-		if mc.Bloom != nil {
-			mc.Bloom.Add(pkt.Line)
-		}
-		mc.eng.After(mc.cfg.MsgLat, func() { j.reply(FlushNack) })
-		done()
-	}
 
 	if mc.RT == nil {
 		// Plain ADR controller: every flush is a memory write.
-		mc.insertWrite(pkt.Line, pkt.Token, ack)
+		mc.insertWrite(pkt.Line, pkt.Token, contAck)
 		return
 	}
 
@@ -204,7 +323,7 @@ func (mc *MC) processFlush(j mcJob, done func()) {
 	if mc.RT.HasDelay(pkt.Line, pkt.Epoch) {
 		mc.RT.CreateDelay(pkt.Line, pkt.Token, pkt.Epoch)
 		mc.st.Inc("mcDelayCoalesced")
-		ack()
+		mc.ack()
 		return
 	}
 
@@ -212,7 +331,7 @@ func (mc *MC) processFlush(j mcJob, done func()) {
 	switch {
 	case !pkt.Early && !hasUndo:
 		// Safe flush, no record: the normal path.
-		mc.insertWrite(pkt.Line, pkt.Token, ack)
+		mc.insertWrite(pkt.Line, pkt.Token, contAck)
 
 	case !pkt.Early && hasUndo && undo.Creator == pkt.Epoch:
 		// Safe flush finding an undo record its *own epoch* created:
@@ -223,7 +342,7 @@ func (mc *MC) processFlush(j mcJob, done func()) {
 		// the pre-epoch safe state for rollback. Without this case the
 		// newer write would be stashed in the undo record and deleted
 		// at commit.
-		mc.insertWrite(pkt.Line, pkt.Token, ack)
+		mc.insertWrite(pkt.Line, pkt.Token, contAck)
 
 	case !pkt.Early && hasUndo:
 		// Safe flush, record from another epoch: memory already holds
@@ -233,80 +352,104 @@ func (mc *MC) processFlush(j mcJob, done func()) {
 		// the memory write is suppressed.
 		mc.RT.UpdateUndo(pkt.Line, pkt.Token)
 		mc.st.Inc("mcWritesSuppressed")
-		ack()
+		mc.ack()
 
 	case pkt.Early && hasUndo:
 		// Early flush, record present: delay it until its epoch commits.
 		if mc.RT.CreateDelay(pkt.Line, pkt.Token, pkt.Epoch) {
-			ack()
+			mc.ack()
 		} else {
-			nack()
+			mc.nack()
 		}
 
 	default: // early, no undo record
 		if mc.RT.Full() {
-			nack()
+			mc.nack()
 			return
 		}
 		// Create the undo record by reading the current value, then
 		// speculatively update memory (§V-A). The read hits the WPQ or
 		// the XPBuffer most of the time; otherwise it pays the NVM read
 		// latency — the source of ASAP's ~5% PM read increase (§VII-A).
-		mc.readCurrent(pkt.Line, func(old mem.Token) {
-			if !mc.RT.CreateUndo(pkt.Line, old, pkt.Epoch) {
-				// A racing job cannot exist (single-served), but a
-				// commit between scheduling and execution cannot
-				// either; guard anyway.
-				nack()
-				return
-			}
-			mc.st.Inc("totalUndo")
-			mc.insertWrite(pkt.Line, pkt.Token, ack)
-		})
+		mc.readCurrent(pkt.Line)
 	}
+}
+
+// readDone resumes the early-no-undo flush path once the line's current
+// durable value is known.
+func (mc *MC) readDone(old mem.Token) {
+	pkt := mc.cur.pkt
+	if !mc.RT.CreateUndo(pkt.Line, old, pkt.Epoch) {
+		// A racing job cannot exist (single-served), but a
+		// commit between scheduling and execution cannot
+		// either; guard anyway.
+		mc.nack()
+		return
+	}
+	mc.st.Inc("totalUndo")
+	mc.insertWrite(pkt.Line, pkt.Token, contAck)
 }
 
 // processCommit deletes the epoch's undo records and replays its delay
 // records as freshly arrived flushes (§V-B rules 1 and 2).
-func (mc *MC) processCommit(j mcJob, done func()) {
-	delays := mc.RT.Commit(j.epoch)
+func (mc *MC) processCommit() {
+	mc.delays = mc.RT.Commit(mc.cur.epoch)
+	mc.delayIdx = 0
 	if DebugLine != 0 {
-		for _, d := range delays {
+		for _, d := range mc.delays {
 			if d.Line == DebugLine {
-				fmt.Printf("[%d] MC%d commit %v replays delay tok=%d mem=%d\n", mc.eng.Now(), mc.ID, j.epoch, d.Token, mc.NVM.Peek(d.Line))
+				fmt.Printf("[%d] MC%d commit %v replays delay tok=%d mem=%d\n", mc.eng.Now(), mc.ID, mc.cur.epoch, d.Token, mc.NVM.Peek(d.Line))
 			}
 		}
 	}
 	mc.st.Inc("mcCommits")
+	mc.commitNext()
+}
 
-	var next func(i int)
-	next = func(i int) {
-		if i >= len(delays) {
-			mc.eng.After(mc.cfg.MsgLat, j.commitDone)
-			done()
+// commitNext replays delay records one WPQ insert at a time; suppressed
+// replays (line has a newer undo record) are absorbed in place.
+func (mc *MC) commitNext() {
+	for {
+		if mc.delayIdx >= len(mc.delays) {
+			mc.delays = nil
+			mc.sendReply(mcReply{commit: mc.cur.commitDone})
+			mc.finishJob()
 			return
 		}
-		d := delays[i]
+		d := mc.delays[mc.delayIdx]
+		mc.delayIdx++
 		if _, hasUndo := mc.RT.Undo(d.Line); hasUndo {
 			mc.RT.UpdateUndo(d.Line, d.Token)
 			mc.st.Inc("mcWritesSuppressed")
-			next(i + 1)
-			return
+			continue
 		}
-		mc.insertWrite(d.Line, d.Token, func() { next(i + 1) })
+		mc.insertWrite(d.Line, d.Token, contCommitNext)
+		return
 	}
-	next(0)
 }
 
-// readCurrent obtains the newest durable value of a line: a pending WPQ
-// write wins, then the XPBuffer, then the NVM media.
-func (mc *MC) readCurrent(l mem.Line, k func(mem.Token)) {
+// runCont resumes the job in service after an accepted WPQ insert.
+func (mc *MC) runCont(cont int) {
+	switch cont {
+	case contAck:
+		mc.ack()
+	case contCommitNext:
+		mc.commitNext()
+	default:
+		panic("persist: unknown MC insert continuation")
+	}
+}
+
+// readCurrent obtains the newest durable value of the serving flush's line:
+// a pending WPQ write wins, then the XPBuffer, then the NVM media. The
+// result arrives at readDone.
+func (mc *MC) readCurrent(l mem.Line) {
 	if t, ok := mc.WPQ.Contains(l); ok {
-		k(t)
+		mc.readDone(t)
 		return
 	}
 	if t, ok := mc.XP.Lookup(l); ok {
-		mc.eng.After(mc.cfg.XPBufHit, func() { k(t) })
+		mc.eng.AfterOp(mc.cfg.XPBufHit, mc, mcEvXPRead, uint64(t))
 		return
 	}
 	mc.st.Inc("mcUndoMediaReads")
@@ -319,26 +462,28 @@ func (mc *MC) readCurrent(l mem.Line, k func(mem.Token)) {
 	if gap == 0 {
 		gap = mc.cfg.NVMRead
 	}
-	mc.eng.After(gap, func() {
-		t := mc.NVM.Read(l)
-		mc.XP.Insert(l, t)
-		k(t)
-	})
+	mc.eng.AfterOp(gap, mc, mcEvMediaRead, 0)
 }
 
 // insertWrite places a write in the WPQ, waiting for drain space if full,
-// then invokes k. The write is durable (ADR domain) once inserted.
-func (mc *MC) insertWrite(l mem.Line, t mem.Token, k func()) {
+// then resumes via cont. The write is durable (ADR domain) once inserted.
+func (mc *MC) insertWrite(l mem.Line, t mem.Token, cont int) {
 	if mc.WPQ.Insert(l, t) {
 		mc.pumpDrain()
-		k()
+		mc.runCont(cont)
 		return
 	}
 	mc.st.Inc("mcWpqFullStalls")
 	if mc.trc != nil {
 		mc.trc.Instant(mc.track, "wpq full")
 	}
-	mc.wpqWaiters = append(mc.wpqWaiters, func() { mc.insertWrite(l, t, k) })
+	if mc.wpqWait {
+		panic("persist: overlapping WPQ waits on a single-served controller")
+	}
+	mc.wpqWait = true
+	mc.wpqWaitLine = l
+	mc.wpqWaitTok = t
+	mc.wpqWaitCont = cont
 }
 
 // pumpDrain retires one WPQ entry to NVM every media drain interval (the
@@ -353,20 +498,23 @@ func (mc *MC) pumpDrain() {
 		gap = mc.cfg.NVMWrite
 	}
 	mc.draining = true
-	mc.eng.After(gap, func() {
-		mc.draining = false
-		if mc.WPQ.Len() > 0 {
-			l, t := mc.WPQ.Pop()
-			mc.NVM.Write(l, t)
-			mc.XP.Insert(l, t)
-		}
-		if len(mc.wpqWaiters) > 0 {
-			w := mc.wpqWaiters[0]
-			mc.wpqWaiters = mc.wpqWaiters[1:]
-			w()
-		}
-		mc.pumpDrain()
-	})
+	mc.eng.AfterOp(gap, mc, mcEvDrain, 0)
+}
+
+// drainOne is the mcEvDrain handler: retire one entry, wake a stalled
+// insert, and re-arm.
+func (mc *MC) drainOne() {
+	mc.draining = false
+	if mc.WPQ.Len() > 0 {
+		l, t := mc.WPQ.Pop()
+		mc.NVM.Write(l, t)
+		mc.XP.Insert(l, t)
+	}
+	if mc.wpqWait {
+		mc.wpqWait = false
+		mc.insertWrite(mc.wpqWaitLine, mc.wpqWaitTok, mc.wpqWaitCont)
+	}
+	mc.pumpDrain()
 }
 
 // CrashFlush performs the ADR power-fail sequence (§V-E): drain the WPQ to

@@ -38,6 +38,7 @@ type PersistBuffer struct {
 	capacity int
 	nextID   uint64
 	entries  []*PBEntry // FIFO order, arbitrary removal on ACK
+	free     []*PBEntry // recycled entries, reused by Enqueue
 	inflight int
 
 	inserted  uint64
@@ -110,13 +111,22 @@ func (pb *PersistBuffer) Enqueue(line mem.Line, token mem.Token, ts uint64) (boo
 		return false, false
 	}
 	pb.nextID++
-	pb.entries = append(pb.entries, &PBEntry{
+	var e *PBEntry
+	if n := len(pb.free); n > 0 {
+		e = pb.free[n-1]
+		pb.free[n-1] = nil
+		pb.free = pb.free[:n-1]
+	} else {
+		e = new(PBEntry)
+	}
+	*e = PBEntry{
 		ID:    pb.nextID,
 		Line:  line,
 		Token: token,
 		TS:    ts,
 		State: PBWaiting,
-	})
+	}
+	pb.entries = append(pb.entries, e)
 	pb.inserted++
 	if len(pb.entries) > pb.maxOcc {
 		pb.maxOcc = len(pb.entries)
@@ -151,23 +161,31 @@ func (pb *PersistBuffer) MarkInflight(e *PBEntry, early bool) {
 	pb.inflight++
 }
 
-// Ack removes the entry with the given ID, returning it (nil if the ID is
-// unknown, which indicates a protocol bug upstream).
-func (pb *PersistBuffer) Ack(id uint64) *PBEntry {
+// Ack removes the entry with the given ID, returning a copy of it and true
+// (false if the ID is unknown, which indicates a protocol bug upstream).
+// The slot itself is recycled onto the free list — returning by value means
+// no caller can hold a pointer into a slot a later Enqueue reuses.
+func (pb *PersistBuffer) Ack(id uint64) (PBEntry, bool) {
 	for i, e := range pb.entries {
 		if e.ID == id {
 			if e.State != PBInflight {
 				panic("persist: ACK for entry that was not inflight")
 			}
 			pb.inflight--
-			pb.entries = append(pb.entries[:i], pb.entries[i+1:]...)
+			out := *e
+			n := len(pb.entries) - 1
+			copy(pb.entries[i:], pb.entries[i+1:])
+			pb.entries[n] = nil // drop the duplicate tail reference
+			pb.entries = pb.entries[:n]
+			*e = PBEntry{}
+			pb.free = append(pb.free, e)
 			if pb.trc != nil {
 				pb.trc.Counter(pb.track, "pb", int64(len(pb.entries)))
 			}
-			return e
+			return out, true
 		}
 	}
-	return nil
+	return PBEntry{}, false
 }
 
 // Nack returns the entry with the given ID to the waiting state and marks it

@@ -59,8 +59,8 @@ func TestPBFullAndAck(t *testing.T) {
 	if pb.Inflight() != 1 {
 		t.Fatal("inflight count wrong")
 	}
-	got := pb.Ack(e.ID)
-	if got == nil || got.Line != 1 || !got.Early {
+	got, ok := pb.Ack(e.ID)
+	if !ok || got.Line != 1 || !got.Early {
 		t.Fatalf("ack returned %+v", got)
 	}
 	if pb.Len() != 1 || pb.Inflight() != 0 {

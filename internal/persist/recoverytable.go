@@ -40,6 +40,11 @@ type RecoveryTable struct {
 	delayMade uint64
 	coalesced uint64
 
+	// undoFree recycles records deleted at commit. Callers only hold Undo()
+	// pointers within one controller job, so a record freed by Commit has no
+	// live references; reusing it keeps the early-flush path allocation-free.
+	undoFree []*UndoRecord
+
 	trc   obs.Tracer // nil unless tracing; every use must be nil-guarded
 	track obs.TrackID
 }
@@ -98,7 +103,16 @@ func (rt *RecoveryTable) CreateUndo(l mem.Line, safe mem.Token, e EpochID) bool 
 	if rt.Full() {
 		return false
 	}
-	rt.undo[l] = &UndoRecord{Line: l, Safe: safe, Creator: e}
+	var r *UndoRecord
+	if n := len(rt.undoFree); n > 0 {
+		r = rt.undoFree[n-1]
+		rt.undoFree[n-1] = nil
+		rt.undoFree = rt.undoFree[:n-1]
+	} else {
+		r = new(UndoRecord)
+	}
+	*r = UndoRecord{Line: l, Safe: safe, Creator: e}
+	rt.undo[l] = r
 	rt.undoMade++
 	rt.bumpOcc()
 	if rt.trc != nil {
@@ -164,6 +178,7 @@ func (rt *RecoveryTable) Commit(e EpochID) []*DelayRecord {
 	for l, r := range rt.undo {
 		if r.Creator == e {
 			delete(rt.undo, l)
+			rt.undoFree = append(rt.undoFree, r)
 		}
 	}
 	ds := rt.delay[e]

@@ -44,6 +44,31 @@ func BenchmarkEventThroughputHooked(b *testing.B) {
 	}
 }
 
+// benchTickOp is the typed-event receiver for BenchmarkEventThroughputTyped.
+type benchTickOp struct {
+	e *Engine
+	n int
+	N int
+}
+
+func (t *benchTickOp) RunEvent(kind int, arg uint64) {
+	t.n++
+	if t.n < t.N {
+		t.e.AfterOp(3, t, 0, 0)
+	}
+}
+
+// BenchmarkEventThroughputTyped is BenchmarkEventThroughput on the typed
+// ScheduleOp/AfterOp path the converted hot layers use — no closure even at
+// schedule time. Gated at 0 allocs/op through benchdiff.
+func BenchmarkEventThroughputTyped(b *testing.B) {
+	e := NewEngine()
+	op := &benchTickOp{e: e, N: b.N}
+	e.AfterOp(1, op, 0, 0)
+	b.ResetTimer()
+	e.Run(0)
+}
+
 // BenchmarkEventFanout measures dispatch with a deep, wide queue (the
 // pattern MC drain + per-core flushers produce).
 func BenchmarkEventFanout(b *testing.B) {

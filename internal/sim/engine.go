@@ -4,8 +4,6 @@
 // ASAP paper.
 package sim
 
-import "container/heap"
-
 // Cycles is the simulation time unit: one cycle of the 2 GHz core clock.
 type Cycles = uint64
 
@@ -15,41 +13,47 @@ const CyclesPerNS = 2
 // NS converts nanoseconds to cycles.
 func NS(ns uint64) Cycles { return ns * CyclesPerNS }
 
+// EventOp is the typed-event form of a scheduled callback: a long-lived
+// component (machine, model, memory controller) implements RunEvent and
+// dispatches on kind, with arg carrying a small payload such as a core
+// index. Scheduling through ScheduleOp/AfterOp stores the receiver in the
+// event slot directly, so the hot paths schedule without allocating the
+// per-event closure the fn form costs. kind values are private to each
+// receiver; the engine never interprets them.
+type EventOp interface {
+	RunEvent(kind int, arg uint64)
+}
+
 // event is a scheduled callback. seq breaks ties deterministically so that
-// two events scheduled for the same cycle fire in schedule order.
+// two events scheduled for the same cycle fire in schedule order. Exactly
+// one of fn (closure form) and op (typed form) is set.
 type event struct {
 	when Cycles
 	seq  uint64
 	fn   func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	op   EventOp
+	kind int
+	arg  uint64
 }
 
 // Engine is a single-threaded discrete-event simulator. Components schedule
 // callbacks at future cycles; Run dispatches them in time order. Engine is
 // not safe for concurrent use: the whole simulated machine runs on one
 // goroutine, which keeps the model deterministic.
+//
+// The pending-event queue is an inlined 4-ary min-heap over a typed event
+// slice, ordered by (when, seq). Compared to container/heap's binary heap
+// of interface{} values this removes the per-event boxing allocation, the
+// Push/Pop interface-call overhead, and (being 4-ary) roughly halves the
+// sift-down depth, trading it for cheaper, cache-resident sibling scans.
+// Because (when, seq) is a total order, dispatch order is independent of
+// heap shape: every pop removes the unique global minimum, so this heap
+// dispatches byte-identically to the container/heap implementation it
+// replaced (pinned by TestDifferentialDeterminism).
 type Engine struct {
 	now        Cycles
 	seq        uint64
-	events     eventHeap
+	events     []event // 4-ary min-heap by (when, seq)
 	halted     bool
 	onDispatch func(when Cycles)
 }
@@ -68,13 +72,30 @@ func (e *Engine) At(when Cycles, fn func()) {
 	if when < e.now {
 		panic("sim: event scheduled in the past")
 	}
-	heap.Push(&e.events, event{when: when, seq: e.seq, fn: fn})
+	e.push(event{when: when, seq: e.seq, fn: fn})
 	e.seq++
 }
 
 // After schedules fn to run delay cycles from now.
 func (e *Engine) After(delay Cycles, fn func()) {
 	e.At(e.now+delay, fn)
+}
+
+// ScheduleOp schedules the typed event (op, kind, arg) at absolute cycle
+// when. It is the allocation-free counterpart of At: op is stored in the
+// event slot as an interface over an existing pointer, so no closure is
+// created. Scheduling in the past panics, as with At.
+func (e *Engine) ScheduleOp(when Cycles, op EventOp, kind int, arg uint64) {
+	if when < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.push(event{when: when, seq: e.seq, op: op, kind: kind, arg: arg})
+	e.seq++
+}
+
+// AfterOp schedules the typed event (op, kind, arg) delay cycles from now.
+func (e *Engine) AfterOp(delay Cycles, op EventOp, kind int, arg uint64) {
+	e.ScheduleOp(e.now+delay, op, kind, arg)
 }
 
 // Pending reports the number of scheduled events not yet dispatched.
@@ -97,17 +118,11 @@ func (e *Engine) Halted() bool { return e.halted }
 // the cycle at which it stopped.
 func (e *Engine) Run(limit Cycles) Cycles {
 	for len(e.events) > 0 && !e.halted {
-		next := e.events[0]
-		if limit != 0 && next.when > limit {
+		if limit != 0 && e.events[0].when > limit {
 			e.now = limit
 			return e.now
 		}
-		heap.Pop(&e.events)
-		e.now = next.when
-		if e.onDispatch != nil {
-			e.onDispatch(next.when)
-		}
-		next.fn()
+		e.dispatch()
 	}
 	return e.now
 }
@@ -117,11 +132,82 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 || e.halted {
 		return false
 	}
-	next := heap.Pop(&e.events).(event)
+	e.dispatch()
+	return true
+}
+
+// dispatch pops the minimum event, advances the clock, and runs the
+// callback. It is the single dispatch path shared by Run and Step.
+func (e *Engine) dispatch() {
+	next := e.events[0]
+	e.popMin()
 	e.now = next.when
 	if e.onDispatch != nil {
 		e.onDispatch(next.when)
 	}
-	next.fn()
-	return true
+	if next.fn != nil {
+		next.fn()
+	} else {
+		next.op.RunEvent(next.kind, next.arg)
+	}
+}
+
+// less orders heap slots by (when, seq).
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.events[i], &e.events[j]
+	return a.when < b.when || (a.when == b.when && a.seq < b.seq)
+}
+
+// push appends ev and restores the heap property by sifting it up.
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(i, parent) {
+			break
+		}
+		e.events[i], e.events[parent] = e.events[parent], e.events[i]
+		i = parent
+	}
+}
+
+// popMin removes the root. The vacated tail slot is zeroed so the slice's
+// spare capacity does not keep the event's closure (and everything it
+// captures) reachable after dispatch.
+func (e *Engine) popMin() {
+	n := len(e.events) - 1
+	e.events[0] = e.events[n]
+	e.events[n] = event{}
+	e.events = e.events[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+}
+
+// siftDown restores the heap property below slot i: swap with the smallest
+// of up to four children until neither child is smaller.
+func (e *Engine) siftDown(i int) {
+	n := len(e.events)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(c, min) {
+				min = c
+			}
+		}
+		if !e.less(min, i) {
+			return
+		}
+		e.events[i], e.events[min] = e.events[min], e.events[i]
+		i = min
+	}
 }

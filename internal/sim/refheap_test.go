@@ -1,0 +1,60 @@
+package sim
+
+import "container/heap"
+
+// refEvent and refEngine are a reference implementation of the scheduler
+// built on container/heap, kept test-only: the shipped Engine replaced it
+// with an inlined 4-ary typed heap, and TestDifferentialDeterminism drives
+// both with identical randomized workloads to prove the dispatch order —
+// the only observable the simulator depends on — is unchanged.
+type refEvent struct {
+	when Cycles
+	seq  uint64
+	fn   func()
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// refEngine mirrors Engine's scheduling semantics over the reference heap.
+type refEngine struct {
+	now    Cycles
+	seq    uint64
+	events refHeap
+}
+
+func (e *refEngine) Now() Cycles { return e.now }
+
+func (e *refEngine) At(when Cycles, fn func()) {
+	if when < e.now {
+		panic("refEngine: event scheduled in the past")
+	}
+	heap.Push(&e.events, refEvent{when: when, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+func (e *refEngine) After(delay Cycles, fn func()) { e.At(e.now+delay, fn) }
+
+func (e *refEngine) Run() {
+	for len(e.events) > 0 {
+		next := heap.Pop(&e.events).(refEvent)
+		e.now = next.when
+		next.fn()
+	}
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// recordingOp is a typed-event receiver that logs (kind, arg, cycle).
+type recordingOp struct {
+	eng *Engine
+	got [][3]uint64
+}
+
+func (r *recordingOp) RunEvent(kind int, arg uint64) {
+	r.got = append(r.got, [3]uint64{uint64(kind), arg, r.eng.Now()})
+}
+
+// TestTypedEvents checks that ScheduleOp/AfterOp dispatch in (when, seq)
+// order interleaved with closure-form events, carrying kind and arg intact.
+func TestTypedEvents(t *testing.T) {
+	e := NewEngine()
+	r := &recordingOp{eng: e}
+	e.ScheduleOp(20, r, 2, 200)
+	e.AfterOp(10, r, 1, 100)
+	closureRan := false
+	e.At(15, func() { closureRan = true })
+	e.AfterOp(20, r, 3, 300)
+	e.Run(0)
+	want := [][3]uint64{{1, 100, 10}, {2, 200, 20}, {3, 300, 20}}
+	if len(r.got) != len(want) {
+		t.Fatalf("dispatched %d typed events, want %d", len(r.got), len(want))
+	}
+	for i, w := range want {
+		if r.got[i] != w {
+			t.Fatalf("typed event %d = %v, want %v", i, r.got[i], w)
+		}
+	}
+	if !closureRan {
+		t.Fatal("closure event interleaved with typed events did not run")
+	}
+}
+
+// TestTypedTieBreakWithClosures: typed and closure events scheduled for the
+// same cycle fire in schedule order, regardless of form.
+func TestTypedTieBreakWithClosures(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	r := &funcOp{fn: func(kind int, _ uint64) { order = append(order, kind) }}
+	e.ScheduleOp(5, r, 0, 0)
+	e.At(5, func() { order = append(order, 1) })
+	e.ScheduleOp(5, r, 2, 0)
+	e.At(5, func() { order = append(order, 3) })
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-cycle mixed-form events out of schedule order: %v", order)
+		}
+	}
+}
+
+type funcOp struct {
+	fn func(kind int, arg uint64)
+}
+
+func (f *funcOp) RunEvent(kind int, arg uint64) { f.fn(kind, arg) }
+
+// TestScheduleOpPastPanics mirrors TestSchedulePastPanics for the typed form.
+func TestScheduleOpPastPanics(t *testing.T) {
+	e := NewEngine()
+	r := &recordingOp{eng: e}
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleOp in the past did not panic")
+			}
+		}()
+		e.ScheduleOp(5, r, 0, 0)
+	})
+	e.Run(0)
+}
+
+// TestTypedEventZeroAlloc pins the zero-allocation contract of the typed
+// scheduling path: a steady-state AfterOp reschedule chain must not
+// allocate at all.
+func TestTypedEventZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	var op *funcOp
+	n := 0
+	op = &funcOp{fn: func(int, uint64) {
+		n++
+		if n < 1000 {
+			e.AfterOp(3, op, 0, 0)
+		}
+	}}
+	// Warm up so the event slice reaches steady-state capacity.
+	e.AfterOp(1, op, 0, 0)
+	e.Run(0)
+	n = 0
+	allocs := testing.AllocsPerRun(10, func() {
+		n = 0
+		e.AfterOp(1, op, 0, 0)
+		e.Run(0)
+	})
+	if allocs > 0 {
+		t.Fatalf("typed event chain allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestPopReleasesEventMemory: after dispatch, the queue must not keep the
+// event's closure reachable through the slice's spare capacity. The closure
+// captures a large buffer and sets a finalizer canary on it; if popMin
+// failed to clear the vacated slot, the buffer would survive collection.
+func TestPopReleasesEventMemory(t *testing.T) {
+	e := NewEngine()
+	collected := make(chan struct{})
+	func() {
+		buf := make([]byte, 1<<20)
+		runtime.SetFinalizer(&buf[0], func(*byte) { close(collected) })
+		e.After(1, func() { buf[0] = 1 })
+	}()
+	// Keep the engine alive (and with it the events slice's spare capacity)
+	// while forcing collection of the dispatched event's closure.
+	e.Run(0)
+	for i := 0; i < 10; i++ {
+		runtime.GC()
+		select {
+		case <-collected:
+			if e.Pending() != 0 {
+				t.Fatal("queue not empty")
+			}
+			return
+		default:
+		}
+	}
+	t.Fatal("dispatched event's closure still reachable: popMin did not clear the vacated slot")
+}
