@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-baseline golden golden-check ci
+.PHONY: all build test race vet lint bench bench-baseline golden golden-check profile ci
 
 all: build test
 
@@ -17,8 +17,8 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the repo's own static-analysis suite (cmd/asaplint): donecheck,
-# detcheck, unitcheck, ledgercheck and obscheck over every package in the
-# module.
+# detcheck, unitcheck, ledgercheck, obscheck, schedcheck and statcheck
+# over every package in the module.
 lint:
 	$(GO) run ./cmd/asaplint ./...
 
@@ -26,13 +26,14 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # bench-baseline regenerates the committed benchmark baseline the CI
-# bench job gates against (25% time regression, 10% allocs/op regression;
-# zero-alloc benchmarks fail on any allocation). Run it on the same class
-# of machine CI uses, or refresh from CI's BENCH_ci.json artifact.
+# bench job gates against (25% time regression, 10% allocs/op and B/op
+# regression; zero-alloc benchmarks fail on any allocation). Run it on
+# the same class of machine CI uses, or refresh from CI's BENCH_ci.json
+# artifact.
 bench-baseline:
 	$(GO) test -bench 'Fig8|Tab4|RunASAP' -benchtime 1x -count 3 -benchmem -run '^$$' . > /tmp/bench_baseline.txt
 	$(GO) test -bench 'EventThroughput' -benchtime 1000000x -count 3 -benchmem -run '^$$' ./internal/sim >> /tmp/bench_baseline.txt
-	$(GO) test -bench 'HierarchyAccess' -benchtime 1000000x -count 3 -benchmem -run '^$$' ./internal/cache >> /tmp/bench_baseline.txt
+	$(GO) test -bench 'HierarchyAccess|DirectoryAccess|SetAssocLookup' -benchtime 1000000x -count 8 -benchmem -run '^$$' ./internal/cache >> /tmp/bench_baseline.txt
 	$(GO) test -bench 'PBFlushCycle|MCFlushCommit' -benchtime 200000x -count 3 -benchmem -run '^$$' ./internal/persist >> /tmp/bench_baseline.txt
 	$(GO) test -bench 'MachineOps' -benchtime 10000x -count 3 -benchmem -run '^$$' ./internal/machine >> /tmp/bench_baseline.txt
 	$(GO) run ./cmd/benchdiff -tojson /tmp/bench_baseline.txt > BENCH_baseline.json
@@ -55,6 +56,14 @@ golden-check:
 	diff -ru -x '*.json' testdata/golden /tmp/asap-golden-serial
 	$(GO) run ./cmd/asapfig -ops 80 -csv -parallel 8 -outdir /tmp/asap-golden-parallel all
 	diff -ru -x '*.json' testdata/golden /tmp/asap-golden-parallel
+
+# profile captures cpu+heap pprof of the Fig8 sweep — the run whose
+# per-access memory-system path the perf work targets. Inspect with
+# `go tool pprof /tmp/asap-profile/cpu.pprof`. CI's bench job uploads
+# the same profiles as an artifact.
+profile:
+	$(GO) run ./cmd/asapfig -profile /tmp/asap-profile fig8
+	@ls -l /tmp/asap-profile
 
 # ci mirrors .github/workflows/ci.yml.
 ci: build vet test race lint golden-check

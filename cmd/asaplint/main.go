@@ -1,6 +1,6 @@
 // Command asaplint runs the repository's static-analysis suite
 // (internal/analysis): donecheck, detcheck, unitcheck, ledgercheck,
-// obscheck and schedcheck.
+// obscheck, schedcheck and statcheck.
 // It loads every package of the module from source using only the
 // standard library — no go/packages, no external tools — and exits
 // non-zero if any finding survives //asaplint:ignore filtering.
@@ -26,6 +26,7 @@ import (
 	"asap/internal/analysis/ledgercheck"
 	"asap/internal/analysis/obscheck"
 	"asap/internal/analysis/schedcheck"
+	"asap/internal/analysis/statcheck"
 	"asap/internal/analysis/unitcheck"
 )
 
@@ -37,6 +38,7 @@ func analyzers() []analysis.Analyzer {
 		ledgercheck.New(),
 		obscheck.New(),
 		schedcheck.New(),
+		statcheck.New(),
 	}
 }
 

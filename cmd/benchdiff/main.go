@@ -7,9 +7,10 @@
 //	benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 0.25
 //
 // The comparison is asymmetric by design: regressions fail — current
-// slower than baseline by more than -threshold, or allocating more than
-// -alloc-threshold over baseline allocs/op (any allocation fails a
-// zero-alloc baseline) — while improvements and benchmarks present on
+// slower than baseline by more than -threshold, allocating more than
+// -alloc-threshold over baseline allocs/op, or using more than
+// -bytes-threshold over baseline B/op (any allocation or byte fails a
+// zero baseline) — while improvements and benchmarks present on
 // only one side are reported but never fail, so adding or retiring
 // benchmarks does not break the gate. Refresh the committed
 // baseline with `make bench-baseline` (or from CI's uploaded BENCH_ci.json
@@ -113,9 +114,11 @@ func load(path string) (*Summary, error) {
 // compare reports each benchmark's delta and returns the regressed names.
 // Time regresses past threshold; allocations regress past allocThreshold,
 // and a zero-alloc baseline fails on any allocation at all — a benchmark
-// that earned 0 allocs/op must keep it. Benchmarks missing an alloc figure
-// on either side (pre-benchmem baselines) skip the alloc gate.
-func compare(base, cur *Summary, threshold, allocThreshold float64, w io.Writer) []string {
+// that earned 0 allocs/op must keep it. Bytes/op regress past
+// bytesThreshold under the same zero-baseline rule. Benchmarks missing an
+// alloc or byte figure on either side (pre-benchmem baselines) skip that
+// gate.
+func compare(base, cur *Summary, threshold, allocThreshold, bytesThreshold float64, w io.Writer) []string {
 	names := make([]string, 0, len(base.Benchmarks))
 	for n := range base.Benchmarks {
 		names = append(names, n)
@@ -140,6 +143,12 @@ func compare(base, cur *Summary, threshold, allocThreshold float64, w io.Writer)
 				fmt.Fprintf(w, "%-32s baseline %12.0f  current %12.0f  allocs/op\n", n, ab, ac)
 			}
 		}
+		if bb, bok := base.Bytes[n]; bok {
+			if bc, bok := cur.Bytes[n]; bok && allocRegressed(bb, bc, bytesThreshold) {
+				verdict = "REGRESSED (bytes)"
+				fmt.Fprintf(w, "%-32s baseline %12.0f  current %12.0f  B/op\n", n, bb, bc)
+			}
+		}
 		if verdict != "ok" {
 			regressed = append(regressed, n)
 		}
@@ -159,8 +168,9 @@ func compare(base, cur *Summary, threshold, allocThreshold float64, w io.Writer)
 	return regressed
 }
 
-// allocRegressed applies the alloc gate: any increase from a zero-alloc
-// baseline fails, otherwise an increase beyond the fractional threshold.
+// allocRegressed applies the alloc (and bytes) gate: any increase from a
+// zero baseline fails, otherwise an increase beyond the fractional
+// threshold.
 func allocRegressed(base, cur, threshold float64) bool {
 	if base == 0 {
 		return cur > 0
@@ -181,6 +191,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		current   = fs.String("current", "", "current JSON summary to compare against the baseline")
 		threshold = fs.Float64("threshold", 0.25, "fail when current exceeds baseline by more than this fraction")
 		allocTh   = fs.Float64("alloc-threshold", 0.10, "fail when allocs/op exceeds baseline by more than this fraction (a 0 allocs/op baseline fails on any allocation)")
+		bytesTh   = fs.Float64("bytes-threshold", 0.10, "fail when B/op exceeds baseline by more than this fraction (a 0 B/op baseline fails on any byte)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -221,12 +232,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		if regressed := compare(b, c, *threshold, *allocTh, stdout); len(regressed) > 0 {
-			fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed (time >%g%% or allocs >%g%%): %v\n",
-				len(regressed), *threshold*100, *allocTh*100, regressed)
+		if regressed := compare(b, c, *threshold, *allocTh, *bytesTh, stdout); len(regressed) > 0 {
+			fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed (time >%g%%, allocs >%g%%, or bytes >%g%%): %v\n",
+				len(regressed), *threshold*100, *allocTh*100, *bytesTh*100, regressed)
 			return 1
 		}
-		fmt.Fprintf(stdout, "benchdiff: no benchmark regressed (time >%g%%, allocs >%g%%)\n", *threshold*100, *allocTh*100)
+		fmt.Fprintf(stdout, "benchdiff: no benchmark regressed (time >%g%%, allocs >%g%%, bytes >%g%%)\n", *threshold*100, *allocTh*100, *bytesTh*100)
 		return 0
 
 	default:

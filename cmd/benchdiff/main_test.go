@@ -141,6 +141,48 @@ func TestAllocGate(t *testing.T) {
 	}
 }
 
+// TestBytesGate: B/op regressions fail independently of time and allocs,
+// a zero-byte baseline fails on any bytes, and benchmarks without byte
+// figures (old baselines) skip the bytes gate.
+func TestBytesGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSummaryFull(t, dir, "base.json", Summary{
+		Benchmarks: map[string]float64{"Fig8": 100, "Throughput": 20, "Legacy": 50},
+		Bytes:      map[string]float64{"Fig8": 4000, "Throughput": 0},
+	})
+
+	// Time flat everywhere; Fig8 bytes creep 5% (within 10%), Throughput
+	// stays at zero, Legacy has no byte figure — all pass.
+	ok := writeSummaryFull(t, dir, "ok.json", Summary{
+		Benchmarks: map[string]float64{"Fig8": 100, "Throughput": 20, "Legacy": 500},
+		Bytes:      map[string]float64{"Fig8": 4200, "Throughput": 0},
+	})
+	var out, errb strings.Builder
+	if code := run([]string{"-baseline", base, "-current", ok, "-threshold", "20"}, &out, &errb); code != 0 {
+		t.Fatalf("within-bytes-threshold run failed (code %d): %s%s", code, out.String(), errb.String())
+	}
+
+	// Fig8 bytes up 20% and Throughput gains its first byte — both fail
+	// even though every time delta is zero and no alloc data exists.
+	bad := writeSummaryFull(t, dir, "bad.json", Summary{
+		Benchmarks: map[string]float64{"Fig8": 100, "Throughput": 20, "Legacy": 50},
+		Bytes:      map[string]float64{"Fig8": 4800, "Throughput": 1},
+	})
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", base, "-current", bad, "-threshold", "20"}, &out, &errb); code != 1 {
+		t.Fatalf("bytes regression not caught (code %d): %s", code, out.String())
+	}
+	for _, n := range []string{"Fig8", "Throughput"} {
+		if !strings.Contains(errb.String(), n) {
+			t.Errorf("bytes regression message does not name %s: %q", n, errb.String())
+		}
+	}
+	if !strings.Contains(out.String(), "REGRESSED (bytes)") {
+		t.Errorf("report does not label the bytes verdict:\n%s", out.String())
+	}
+}
+
 // TestToJSONRoundTrip: -tojson output loads back as a valid summary.
 func TestToJSONRoundTrip(t *testing.T) {
 	dir := t.TempDir()

@@ -1,0 +1,22 @@
+package statcheck_test
+
+import (
+	"testing"
+
+	"asap/internal/analysis/analysistest"
+	"asap/internal/analysis/statcheck"
+)
+
+// TestStatcheckHot: in a converted package, string-literal Inc/Add/SetMax
+// on a stats Set inside a hot function are flagged — including inside
+// nested function literals — while handle writes, Observe, non-literal
+// keys, cold functions and //asaplint:ignore'd sites pass.
+func TestStatcheckHot(t *testing.T) {
+	analysistest.Run(t, statcheck.New(), "asap/internal/model", "testdata/hot")
+}
+
+// TestStatcheckUnconverted: packages outside machine/model/persist keep
+// string-keyed writes even in hot-named functions.
+func TestStatcheckUnconverted(t *testing.T) {
+	analysistest.Run(t, statcheck.New(), "asap/internal/harness", "testdata/cold")
+}

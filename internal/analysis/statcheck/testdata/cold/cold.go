@@ -1,0 +1,20 @@
+// Fixture for statcheck under an unconverted package path
+// (asap/internal/harness): string-keyed writes stay legal everywhere,
+// even in functions whose names match the hot list.
+package harness
+
+type Set struct {
+	counters map[string]uint64
+}
+
+func (s *Set) Inc(name string) {}
+
+type runner struct{ st *Set }
+
+func (r *runner) tryEnqueue() {
+	r.st.Inc("entriesInserted") // unconverted package: ok
+}
+
+func (r *runner) access() {
+	r.st.Inc("pmLinesDropped") // unconverted package: ok
+}

@@ -1,0 +1,68 @@
+// Fixture for statcheck under a converted package path
+// (asap/internal/model): string-keyed counter writes inside hot functions
+// are flagged unless annotated; handle writes, distribution observes,
+// non-literal keys, and cold functions pass.
+package model
+
+type Set struct {
+	counters map[string]uint64
+}
+
+func (s *Set) Inc(name string)               {}
+func (s *Set) Add(name string, d uint64)     {}
+func (s *Set) SetMax(name string, v uint64)  {}
+func (s *Set) Observe(name string, v uint64) {}
+
+type Counter struct{ s *Set }
+
+func (c Counter) Inc()         {}
+func (c Counter) Add(d uint64) {}
+
+type model struct {
+	st              *Set
+	entriesInserted Counter
+}
+
+func (m *model) tryEnqueue() {
+	m.st.Inc("entriesInserted")    // want `string-keyed m\.st\.Inc\("entriesInserted"\) in hot function tryEnqueue`
+	m.st.Add("cyclesStalled", 5)   // want `string-keyed m\.st\.Add\("cyclesStalled"\) in hot function tryEnqueue`
+	m.st.SetMax("highWater", 9)    // want `string-keyed m\.st\.SetMax\("highWater"\) in hot function tryEnqueue`
+	m.entriesInserted.Inc()        // handle form: ok
+	m.entriesInserted.Add(3)       // handle form: ok
+	m.st.Observe("pbOccupancy", 1) // distributions feed the cold sampler: ok
+}
+
+func (m *model) flushOne() {
+	// The stall closure runs on the hot path too: nesting inside a
+	// function literal does not launder the write.
+	retry := func() {
+		m.st.Inc("pbNacks") // want `string-keyed m\.st\.Inc\("pbNacks"\) in hot function flushOne`
+	}
+	retry()
+}
+
+func (m *model) coldReport() {
+	// Not a hot function: reporting code may use string keys freely.
+	m.st.Inc("entriesInserted")
+	m.st.Add("cyclesStalled", 1)
+}
+
+func (m *model) access() {
+	//asaplint:ignore statcheck crash-only accounting, one write per experiment
+	m.st.Inc("llcEvictionsDelayed")
+	name := pick()
+	m.st.Inc(name) // non-literal key: cannot be handle-resolved statically, ok
+}
+
+func pick() string { return "dynamic" }
+
+type journal struct{}
+
+func (j *journal) Inc(name string) {}
+
+type other struct{ st *journal }
+
+// A non-stats Inc-taking type is someone else's business.
+func (o *other) step() {
+	o.st.Inc("entriesInserted")
+}

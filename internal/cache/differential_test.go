@@ -1,0 +1,232 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"asap/internal/config"
+	"asap/internal/mem"
+)
+
+// broadcastHierarchy is the pre-optimization reference: the same
+// L1/L2/LLC/directory model, but every write invalidates every other
+// core's private caches (a broadcast) and private evictions never trim
+// the directory's sharer vector. The sharer-directed Hierarchy must be
+// observationally identical — the sharer vector it consults is always a
+// superset of the true holders, so directing invalidations at it can
+// never miss a copy the broadcast would have caught.
+type broadcastHierarchy struct {
+	cfg config.Config
+	l1  []*SetAssoc
+	l2  []*SetAssoc
+	llc *SetAssoc
+	dir *Directory
+
+	evScratch []mem.Line
+}
+
+func newBroadcastHierarchy(cfg config.Config) *broadcastHierarchy {
+	h := &broadcastHierarchy{
+		cfg: cfg,
+		l1:  make([]*SetAssoc, cfg.Cores),
+		l2:  make([]*SetAssoc, cfg.Cores),
+		llc: NewSetAssoc(cfg.LLCSize, cfg.LLCWays),
+		dir: NewDirectory(),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1[i] = NewSetAssoc(cfg.L1Size, cfg.L1Ways)
+		h.l2[i] = NewSetAssoc(cfg.L2Size, cfg.L2Ways)
+	}
+	return h
+}
+
+func (h *broadcastHierarchy) Access(core int, l mem.Line, write, acquire bool, ts uint64) AccessResult {
+	var res AccessResult
+	var remote bool
+	h.evScratch = h.evScratch[:0]
+	if write {
+		res.Conflict, remote, _ = h.dir.Write(core, l, ts) // mask ignored: broadcast below
+	} else {
+		res.Conflict, remote = h.dir.Read(core, l, acquire)
+	}
+
+	switch {
+	case h.l1[core].Lookup(l) && !remote:
+		res.Latency = h.cfg.L1Hit
+		res.Level = LevelL1
+	case h.l2[core].Lookup(l) && !remote:
+		res.Latency = h.cfg.L1Hit + h.cfg.L2Hit
+		res.Level = LevelL2
+		h.fillPrivate(core, l)
+	case remote:
+		res.Latency = h.cfg.RemoteXfer
+		res.Level = LevelRemote
+		h.fillPrivate(core, l)
+		h.fillLLC(l)
+	case h.llc.Lookup(l):
+		res.Latency = h.cfg.LLCHit
+		res.Level = LevelLLC
+		h.fillPrivate(core, l)
+	default:
+		res.Latency = h.cfg.LLCHit + h.cfg.NVMRead
+		res.Level = LevelMem
+		h.fillPrivate(core, l)
+		h.fillLLC(l)
+	}
+	res.LLCEvicted = h.evScratch
+
+	if write {
+		for c := 0; c < h.cfg.Cores; c++ {
+			if c != core {
+				h.l1[c].Invalidate(l)
+				h.l2[c].Invalidate(l)
+			}
+		}
+	}
+	return res
+}
+
+func (h *broadcastHierarchy) fillPrivate(core int, l mem.Line) {
+	h.l1[core].Insert(l)
+	h.l2[core].Insert(l)
+}
+
+func (h *broadcastHierarchy) fillLLC(l mem.Line) {
+	if v, had := h.llc.Insert(l); had {
+		h.evScratch = append(h.evScratch, v)
+	}
+}
+
+// conflictCopy is a value snapshot of the scratch-aliased *Conflict.
+type conflictCopy struct {
+	ok bool
+	cf Conflict
+}
+
+func snapConflict(cf *Conflict) conflictCopy {
+	if cf == nil {
+		return conflictCopy{}
+	}
+	return conflictCopy{ok: true, cf: *cf}
+}
+
+// TestDifferentialCoherence replays random multi-core access streams
+// through the broadcast reference and the sharer-directed hierarchy,
+// asserting identical latencies, levels, conflicts, LLC evictions, and
+// final per-cache contents. Geometry is shrunk so private and shared
+// evictions are frequent and the line universe is small enough for heavy
+// cross-core sharing.
+func TestDifferentialCoherence(t *testing.T) {
+	cfg := config.Default()
+	cfg.Cores = 4
+	cfg.L1Size = 64 * 8 // 4 sets x 2 ways
+	cfg.L1Ways = 2
+	cfg.L2Size = 64 * 16 // 4 sets x 4 ways
+	cfg.L2Ways = 4
+	cfg.LLCSize = 64 * 64 // 8 sets x 8 ways
+	cfg.LLCWays = 8
+
+	const lines = 96   // > LLC capacity, dense sharing
+	const steps = 8000 // enough to churn every set repeatedly
+
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ref := newBroadcastHierarchy(cfg)
+		opt := NewHierarchy(cfg)
+		ts := uint64(1)
+
+		for i := 0; i < steps; i++ {
+			core := rng.Intn(cfg.Cores)
+			l := mem.Line(rng.Intn(lines))
+			write := rng.Intn(100) < 40
+			acquire := !write && rng.Intn(100) < 5
+			if rng.Intn(100) < 3 {
+				ts++ // occasional epoch advance so WriterTS varies
+			}
+
+			a := ref.Access(core, l, write, acquire, ts)
+			// Snapshot before the second hierarchy overwrites nothing —
+			// each hierarchy has its own scratch, but copy for clarity.
+			aEv := append([]mem.Line(nil), a.LLCEvicted...)
+			aCf := snapConflict(a.Conflict)
+
+			b := opt.Access(core, l, write, acquire, ts)
+
+			if a.Latency != b.Latency || a.Level != b.Level {
+				t.Fatalf("seed %d step %d (core %d line %d write %v): ref (%v,%s) vs opt (%v,%s)",
+					seed, i, core, l, write, a.Latency, a.Level, b.Latency, b.Level)
+			}
+			bCf := snapConflict(b.Conflict)
+			if aCf != bCf {
+				t.Fatalf("seed %d step %d: conflict mismatch ref %+v vs opt %+v", seed, i, aCf, bCf)
+			}
+			if len(aEv) != len(b.LLCEvicted) {
+				t.Fatalf("seed %d step %d: eviction count %d vs %d", seed, i, len(aEv), len(b.LLCEvicted))
+			}
+			for j := range aEv {
+				if aEv[j] != b.LLCEvicted[j] {
+					t.Fatalf("seed %d step %d: eviction %d is %d vs %d", seed, i, j, aEv[j], b.LLCEvicted[j])
+				}
+			}
+		}
+
+		// Final state: every cache level holds exactly the same lines.
+		for l := mem.Line(0); l < lines; l++ {
+			for c := 0; c < cfg.Cores; c++ {
+				if ref.l1[c].Contains(l) != opt.L1(c).Contains(l) {
+					t.Fatalf("seed %d: L1[%d] diverges on line %d", seed, c, l)
+				}
+				if ref.l2[c].Contains(l) != opt.L2(c).Contains(l) {
+					t.Fatalf("seed %d: L2[%d] diverges on line %d", seed, c, l)
+				}
+			}
+			if ref.llc.Contains(l) != opt.LLC().Contains(l) {
+				t.Fatalf("seed %d: LLC diverges on line %d", seed, l)
+			}
+		}
+
+		// The point of the exercise: the directed hierarchy must not have
+		// probed more caches than the broadcast (it should probe far fewer,
+		// but the directional claim is what correctness rests on).
+		if opt.Directory().Invalidations() > ref.dir.Invalidations() {
+			t.Fatalf("seed %d: directed invalidations (%d) exceed broadcast accounting (%d)",
+				seed, opt.Directory().Invalidations(), ref.dir.Invalidations())
+		}
+	}
+}
+
+// TestDifferentialSharerSuperset checks the invariant the directed scheme
+// rests on: at every step, any core holding a line in L1 or L2 appears in
+// the directory's sharer vector.
+func TestDifferentialSharerSuperset(t *testing.T) {
+	cfg := config.Default()
+	cfg.Cores = 4
+	cfg.L1Size = 64 * 8
+	cfg.L1Ways = 2
+	cfg.L2Size = 64 * 16
+	cfg.L2Ways = 4
+	cfg.LLCSize = 64 * 64
+	cfg.LLCWays = 8
+
+	const lines = 64
+	rng := rand.New(rand.NewSource(7))
+	h := NewHierarchy(cfg)
+	for i := 0; i < 4000; i++ {
+		core := rng.Intn(cfg.Cores)
+		l := mem.Line(rng.Intn(lines))
+		h.Access(core, l, rng.Intn(100) < 40, false, 1)
+
+		if i%97 != 0 {
+			continue // full sweep is O(lines*cores); sample it
+		}
+		for ll := mem.Line(0); ll < lines; ll++ {
+			e, ok := h.Directory().Peek(ll)
+			for c := 0; c < cfg.Cores; c++ {
+				holds := h.L1(c).Contains(ll) || h.L2(c).Contains(ll)
+				if holds && (!ok || e.Sharers&(1<<uint(c)) == 0) {
+					t.Fatalf("step %d: core %d holds line %d but is not a sharer", i, c, ll)
+				}
+			}
+		}
+	}
+}

@@ -7,33 +7,57 @@ import "asap/internal/mem"
 // epoch timestamp of that write — the information ASAP piggybacks on
 // coherence replies to build cross-thread dependencies (§IV-E) — and, for
 // release persistency, whether the line was last written by a release.
+// Core-ID fields are int32 and the layout is ordered widest-first so a
+// table slot (line key + entry) packs into 56 bytes — under one hardware
+// cache line, where the naive int-everywhere layout straddled two and
+// cost every directory probe a second miss.
 type DirEntry struct {
-	Owner        int    // core holding the line modified, -1 if none
 	Sharers      uint64 // bitmask of cores with a (possibly clean) copy
-	Dirty        bool
-	LastWriter   int    // -1 if never written
 	LastWriterTS uint64 // writer's epoch timestamp at the time of the write
+	ReleaseTS    uint64 // epoch TS of the releasing write
+	Owner        int32  // core holding the line modified, -1 if none
+	LastWriter   int32  // -1 if never written
+	ReleasedBy   int32
+	Dirty        bool
 	// Released marks a line last written by a release operation; with
 	// release persistency only an acquire of such a line creates a
 	// dependency (§IV-A).
-	Released   bool
-	ReleaseTS  uint64 // epoch TS of the releasing write
-	ReleasedBy int
+	Released bool
 }
 
-// dirSlabSize is the number of DirEntry values allocated per slab block.
-const dirSlabSize = 512
+// dirSlot is one open-addressed table slot with its entry stored INLINE:
+// a successful probe lands directly on the coherence state instead of
+// chasing a pointer into a separate slab — on a multi-megabyte simulated
+// hierarchy that pointer hop is a second hardware cache miss on every
+// single access. The used flag marks occupancy (line 0 is a valid key, so
+// it cannot ride on the key).
+type dirSlot struct {
+	line mem.Line
+	used bool
+	e    DirEntry
+}
+
+// dirInitSlots is the initial table size; must be a power of two.
+const dirInitSlots = 1024
 
 // Directory tracks coherence state for every line touched by the machine.
+//
+// The line → entry index is a power-of-two open-addressed table with
+// linear probing. Entries are never deleted (a line's coherence history
+// is kept for the whole run), so the table needs no tombstones and a
+// probe sequence ends at the first empty slot. Compared to the previous
+// Go map this removes the hash-interface and bucket overhead from the
+// two probes every access pays (the Write/Read at the front and the
+// eviction peek at the back).
+//
+// Entry and Peek return pointers INTO the table: they stay valid only
+// until an Entry call on a previously unseen line grows the table. Every
+// caller uses the entry transiently, within one hierarchy operation, so
+// the hot path never re-finds an entry it is already holding.
 type Directory struct {
-	entries map[mem.Line]*DirEntry
-
-	// slab is the current DirEntry allocation block. Entries are handed out
-	// from it until it fills, then a fresh block is started; a block with
-	// free capacity never reallocates, so the handed-out pointers stay
-	// valid. This turns one heap allocation per first-touched line into one
-	// per dirSlabSize lines.
-	slab []DirEntry
+	slots []dirSlot // len is a power of two
+	mask  uint64    // len(slots) - 1
+	count int       // occupied slots; grows at 3/4 load
 
 	// scratch backs the *Conflict returned by Read and Write; it is valid
 	// only until the next directory operation, which keeps the conflict
@@ -46,28 +70,81 @@ type Directory struct {
 
 // NewDirectory returns an empty directory.
 func NewDirectory() *Directory {
-	return &Directory{entries: make(map[mem.Line]*DirEntry)}
-}
-
-// Entry returns the entry for line l, creating it on first touch.
-func (d *Directory) Entry(l mem.Line) *DirEntry {
-	e, ok := d.entries[l]
-	if !ok {
-		if len(d.slab) == cap(d.slab) {
-			d.slab = make([]DirEntry, 0, dirSlabSize)
-		}
-		d.slab = append(d.slab, DirEntry{Owner: -1, LastWriter: -1, ReleasedBy: -1})
-		e = &d.slab[len(d.slab)-1]
-		d.entries[l] = e
+	return &Directory{
+		slots: make([]dirSlot, dirInitSlots),
+		mask:  dirInitSlots - 1,
 	}
-	return e
 }
 
-// Peek returns the entry without creating one.
-func (d *Directory) Peek(l mem.Line) (*DirEntry, bool) {
-	e, ok := d.entries[l]
-	return e, ok
+// dirHash spreads line numbers across the table (Fibonacci hashing).
+// Workload lines are sequential within a structure, so the low bits alone
+// would cluster whole regions onto neighbouring probe chains.
+func dirHash(l mem.Line) uint64 {
+	return uint64(l) * 0x9E3779B97F4A7C15
 }
+
+// find returns the slot index holding l, or the empty slot where l would
+// be inserted.
+func (d *Directory) find(l mem.Line) int {
+	i := (dirHash(l) >> 32) & d.mask
+	for {
+		s := &d.slots[i]
+		if !s.used || s.line == l {
+			return int(i)
+		}
+		i = (i + 1) & d.mask
+	}
+}
+
+// Entry returns the entry for line l, creating it on first touch. The
+// pointer aliases the table and is invalidated by a later first-touch
+// Entry that grows the table — use it within the current operation only.
+func (d *Directory) Entry(l mem.Line) *DirEntry {
+	i := d.find(l)
+	if d.slots[i].used {
+		return &d.slots[i].e
+	}
+	// Grow BEFORE inserting so the returned pointer is not immediately
+	// invalidated by this call's own rehash.
+	if uint64(d.count+1)*4 >= uint64(len(d.slots))*3 {
+		d.grow()
+		i = d.find(l)
+	}
+	d.slots[i] = dirSlot{line: l, used: true, e: DirEntry{Owner: -1, LastWriter: -1, ReleasedBy: -1}}
+	d.count++
+	return &d.slots[i].e
+}
+
+// grow doubles the table and re-places every occupied slot, entries and
+// all. Outstanding entry pointers are invalidated; see the Directory
+// contract.
+func (d *Directory) grow() {
+	old := d.slots
+	d.slots = make([]dirSlot, len(old)*2)
+	d.mask = uint64(len(d.slots)) - 1
+	for _, s := range old {
+		if !s.used {
+			continue
+		}
+		i := (dirHash(s.line) >> 32) & d.mask
+		for d.slots[i].used {
+			i = (i + 1) & d.mask
+		}
+		d.slots[i] = s
+	}
+}
+
+// Peek returns the entry without creating one. The pointer aliases the
+// table; the same transient-use contract as Entry applies.
+func (d *Directory) Peek(l mem.Line) (*DirEntry, bool) {
+	if s := &d.slots[d.find(l)]; s.used {
+		return &s.e, true
+	}
+	return nil, false
+}
+
+// Len reports the number of lines with directory state (tests).
+func (d *Directory) Len() int { return d.count }
 
 // Conflict describes a remote access that hit a line modified by another
 // core — the raw material for a cross-thread dependency. Pointers returned
@@ -86,33 +163,37 @@ type Conflict struct {
 	AcquireOnRelease bool
 }
 
-// Write records a store by core to line l within epoch ts, invalidating
-// remote copies. It returns a Conflict when the line was last modified by a
-// different core (strong persist atomicity, §II-A), along with whether a
-// remote cache-to-cache transfer was required.
-func (d *Directory) Write(core int, l mem.Line, ts uint64) (conflict *Conflict, remote bool) {
+// Write records a store by core to line l within epoch ts. It returns a
+// Conflict when the line was last modified by a different core (strong
+// persist atomicity, §II-A), whether a remote cache-to-cache transfer was
+// required, and the bitmask of other cores that may hold a copy — the
+// sharers the hierarchy must invalidate. The directory's own sharer state
+// is reset to the writer alone.
+func (d *Directory) Write(core int, l mem.Line, ts uint64) (conflict *Conflict, remote bool, invalidate uint64) {
 	e := d.Entry(l)
-	if e.LastWriter >= 0 && e.LastWriter != core {
-		d.scratch = Conflict{Line: l, Writer: e.LastWriter, WriterTS: e.LastWriterTS}
+	c32 := int32(core)
+	if e.LastWriter >= 0 && e.LastWriter != c32 {
+		d.scratch = Conflict{Line: l, Writer: int(e.LastWriter), WriterTS: e.LastWriterTS}
 		conflict = &d.scratch
 	}
-	if e.Owner >= 0 && e.Owner != core {
+	if e.Owner >= 0 && e.Owner != c32 {
 		remote = true
 		d.remoteTransfers++
 		if conflict != nil {
 			conflict.Remote = true
 		}
 	}
-	if e.Sharers&^(1<<uint(core)) != 0 {
+	invalidate = e.Sharers &^ (1 << uint(core))
+	if invalidate != 0 {
 		d.invalidations++
 	}
-	e.Owner = core
+	e.Owner = c32
 	e.Sharers = 1 << uint(core)
 	e.Dirty = true
-	e.LastWriter = core
+	e.LastWriter = c32
 	e.LastWriterTS = ts
 	e.Released = false
-	return conflict, remote
+	return conflict, remote, invalidate
 }
 
 // Read records a load by core of line l. A dirty remote copy is downgraded
@@ -120,16 +201,17 @@ func (d *Directory) Write(core int, l mem.Line, ts uint64) (conflict *Conflict, 
 // non-nil when the line's last writer is a different core.
 func (d *Directory) Read(core int, l mem.Line, acquire bool) (conflict *Conflict, remote bool) {
 	e := d.Entry(l)
-	if e.LastWriter >= 0 && e.LastWriter != core {
-		d.scratch = Conflict{Line: l, Writer: e.LastWriter, WriterTS: e.LastWriterTS}
+	c32 := int32(core)
+	if e.LastWriter >= 0 && e.LastWriter != c32 {
+		d.scratch = Conflict{Line: l, Writer: int(e.LastWriter), WriterTS: e.LastWriterTS}
 		if acquire && e.Released {
 			d.scratch.AcquireOnRelease = true
-			d.scratch.Writer = e.ReleasedBy
+			d.scratch.Writer = int(e.ReleasedBy)
 			d.scratch.WriterTS = e.ReleaseTS
 		}
 		conflict = &d.scratch
 	}
-	if e.Dirty && e.Owner != core && e.Owner >= 0 {
+	if e.Dirty && e.Owner != c32 && e.Owner >= 0 {
 		remote = true
 		d.remoteTransfers++
 		if conflict != nil {
@@ -142,12 +224,22 @@ func (d *Directory) Read(core int, l mem.Line, acquire bool) (conflict *Conflict
 	return conflict, remote
 }
 
+// ClearSharer drops core from line l's sharer vector. The hierarchy calls
+// this when the core's last private copy of the line is evicted, keeping
+// the vector precise so stores invalidate only caches that can actually
+// hold the line.
+func (d *Directory) ClearSharer(core int, l mem.Line) {
+	if s := &d.slots[d.find(l)]; s.used {
+		s.e.Sharers &^= 1 << uint(core)
+	}
+}
+
 // MarkRelease tags line l as last written by a release from core within
 // epoch ts. The machine calls this for the lock/flag line of a Release op.
 func (d *Directory) MarkRelease(core int, l mem.Line, ts uint64) {
 	e := d.Entry(l)
 	e.Released = true
-	e.ReleasedBy = core
+	e.ReleasedBy = int32(core)
 	e.ReleaseTS = ts
 }
 

@@ -15,20 +15,50 @@ import "asap/internal/mem"
 // for the chunks they touch.
 const setsPerChunk = 64
 
-// setChunk holds the slot state for setsPerChunk consecutive sets; a nil
-// lines slice marks a chunk no insert has reached yet.
+// invalidLine marks an empty way. Line keys are stored as uint32 (see
+// slot), and the all-ones value would be a byte address past 2^37 — the
+// address map keeps PM lines far below that (mem lines start at 2^26 for
+// megabyte-scale heaps), and key32 enforces the cap. Folding validity into
+// the key lets every set scan compare a single word per way.
+const invalidLine = ^uint32(0)
+
+// slot packs one way's entire state — line key, validity, and LRU recency
+// stamp — into eight bytes, so a set probe (the operation every access
+// repeats three to eight times) touches exactly one CPU cache line for an
+// 8-way set, and a hit's recency update lands in the line the scan already
+// loaded. The previous parallel lines/stamps arrays cost a second cache
+// miss per touch and doubled the state footprint; on a multi-megabyte
+// hierarchy those misses, not the compare loop, dominate the probe.
+type slot struct {
+	line uint32
+	// stamp is the cache-wide recency stamp of this way's last touch;
+	// higher = more recent. Stamps are unique while occupied, so the
+	// occupied way with the smallest stamp is exactly the set's LRU way.
+	stamp uint32
+}
+
+// setChunk holds the way state for setsPerChunk consecutive sets. A nil
+// slots slice marks a chunk no insert has reached yet.
 type setChunk struct {
-	lines []mem.Line
-	valid []bool
-	// lru[i] is the recency rank of slot i within its set: 0 = MRU.
-	lru []uint8
+	slots []slot
 }
 
 // SetAssoc is a set-associative cache of line presence with LRU replacement.
 type SetAssoc struct {
-	sets   int
-	ways   int
+	sets int
+	ways int
+	// mask indexes sets without a divide when sets is a power of two
+	// (pow2 true) — every Table II geometry. Other set counts fall back
+	// to the modulo path.
+	mask   uint64
+	pow2   bool
 	chunks []setChunk
+
+	// tick is the source of recency stamps: every touch assigns the next
+	// value, making LRU selection a single min-scan instead of the
+	// classic rank-shuffling walk. On the (rare) wrap the stamps are
+	// compacted per set, preserving relative order.
+	tick uint32
 
 	hits, misses, evictions uint64
 }
@@ -45,28 +75,70 @@ func NewSetAssoc(sizeBytes, ways int) *SetAssoc {
 	if sets == 0 {
 		sets = 1
 	}
-	return &SetAssoc{
+	c := &SetAssoc{
 		sets:   sets,
 		ways:   ways,
 		chunks: make([]setChunk, (sets+setsPerChunk-1)/setsPerChunk),
 	}
+	if sets&(sets-1) == 0 {
+		c.pow2 = true
+		c.mask = uint64(sets - 1)
+	}
+	return c
+}
+
+// key32 narrows a line to the packed key width, enforcing the
+// representation cap. The address map keeps every real line far below
+// 2^32 (PM begins at byte address 2^32, line 2^26); hitting this panic
+// means the layout changed and the slot key must widen with it. Only the
+// insert paths call it — probe paths (Lookup, Contains, Invalidate)
+// instead compare the stored key widened to 64 bits, which is exact
+// without any guard: every resident key passed this check on insert, so
+// an oversized probe line can never falsely match, it just misses.
+func key32(l mem.Line) uint32 {
+	if uint64(l) >= uint64(invalidLine) {
+		panic("cache: line number exceeds the packed-slot 2^32-1 cap")
+	}
+	return uint32(l)
+}
+
+// setOf maps line l to its set index.
+func (c *SetAssoc) setOf(l mem.Line) int {
+	if c.pow2 {
+		return int(uint64(l) & c.mask)
+	}
+	return int(uint64(l) % uint64(c.sets))
 }
 
 // slotBase locates the chunk holding line l's set and the set's base index
-// within that chunk.
+// within that chunk. The unsigned arithmetic matters: set is provably
+// non-negative, and telling the compiler so turns the /64 and %64 into a
+// shift and a mask instead of signed-division fix-up sequences — this
+// helper is inlined into every probe the simulator makes.
 func (c *SetAssoc) slotBase(l mem.Line) (*setChunk, int) {
-	set := int(uint64(l) % uint64(c.sets))
-	return &c.chunks[set/setsPerChunk], (set % setsPerChunk) * c.ways
+	set := uint(c.setOf(l))
+	return &c.chunks[set/setsPerChunk], int(set%setsPerChunk) * c.ways
 }
 
-// Lookup reports whether line l is present, updating recency on a hit.
+// materialize allocates a chunk's way state with every way empty.
+func (ch *setChunk) materialize(n int) {
+	ch.slots = make([]slot, n)
+	for i := range ch.slots {
+		ch.slots[i].line = invalidLine
+	}
+}
+
+// Lookup reports whether line l is present, updating recency and the
+// hit/miss counters. Use Contains for presence probes that are not real
+// cache accesses (invalidation filters, tests) so hit rates stay honest.
 func (c *SetAssoc) Lookup(l mem.Line) bool {
+	k := uint64(l)
 	ch, base := c.slotBase(l)
-	if ch.lines != nil {
-		for w := 0; w < c.ways; w++ {
-			i := base + w
-			if ch.valid[i] && ch.lines[i] == l {
-				ch.touch(base, i, c.ways)
+	if ch.slots != nil {
+		set := ch.slots[base : base+c.ways]
+		for w := range set {
+			if uint64(set[w].line) == k {
+				c.touch(&set[w])
 				c.hits++
 				return true
 			}
@@ -78,13 +150,14 @@ func (c *SetAssoc) Lookup(l mem.Line) bool {
 
 // Contains reports presence without updating recency or hit counters.
 func (c *SetAssoc) Contains(l mem.Line) bool {
+	k := uint64(l)
 	ch, base := c.slotBase(l)
-	if ch.lines == nil {
+	if ch.slots == nil {
 		return false
 	}
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if ch.valid[i] && ch.lines[i] == l {
+	set := ch.slots[base : base+c.ways]
+	for w := range set {
+		if uint64(set[w].line) == k {
 			return true
 		}
 	}
@@ -95,70 +168,139 @@ func (c *SetAssoc) Contains(l mem.Line) bool {
 // the evicted line and whether an eviction happened. Inserting a present
 // line only refreshes recency.
 func (c *SetAssoc) Insert(l mem.Line) (mem.Line, bool) {
+	k := key32(l)
 	ch, base := c.slotBase(l)
-	if ch.lines == nil {
-		n := setsPerChunk * c.ways
-		ch.lines = make([]mem.Line, n)
-		ch.valid = make([]bool, n)
-		ch.lru = make([]uint8, n)
+	if ch.slots == nil {
+		ch.materialize(setsPerChunk * c.ways)
 	}
-	victim := -1
-	var worst uint8
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if ch.valid[i] && ch.lines[i] == l {
-			ch.touch(base, i, c.ways)
+	set := ch.slots[base : base+c.ways]
+	// Hit scan first: refreshing a resident line is the common case on
+	// fill paths (the lower levels usually already hold it), and this
+	// loop is a single compare per way.
+	for w := range set {
+		if set[w].line == k {
+			c.touch(&set[w])
 			return 0, false
 		}
-		if !ch.valid[i] {
-			if victim == -1 || ch.valid[victim] {
-				victim = i
-			}
-		} else if victim == -1 || (ch.valid[victim] && ch.lru[i] > worst) {
-			victim = i
-			worst = ch.lru[i]
+	}
+	// Miss: fill the first empty way if there is one; otherwise evict the
+	// occupied way with the smallest stamp — the set's LRU.
+	victim := 0
+	oldest := ^uint32(0)
+	for w := range set {
+		if set[w].line == invalidLine {
+			set[w].line = k
+			c.touch(&set[w])
+			return 0, false
+		}
+		if s := set[w].stamp; s < oldest {
+			oldest = s
+			victim = w
 		}
 	}
-	evicted := ch.lines[victim]
-	hadEvict := ch.valid[victim]
-	ch.lines[victim] = l
-	ch.valid[victim] = true
-	// A freshly filled slot ranks as least-recent so that touch ages
-	// every other valid way exactly once.
-	ch.lru[victim] = uint8(c.ways)
-	ch.touch(base, victim, c.ways)
-	if hadEvict {
-		c.evictions++
+	evicted := mem.Line(set[victim].line)
+	set[victim].line = k
+	c.touch(&set[victim])
+	c.evictions++
+	return evicted, true
+}
+
+// InsertAbsent places line l, which the caller knows is NOT present —
+// either its Lookup just missed, or a coherence invariant rules the line
+// out (a remote transfer means every other holder was invalidated by the
+// owning core's write). Skipping Insert's hit scan halves the work of the
+// fill paths. Returns the evicted line and whether an eviction happened.
+func (c *SetAssoc) InsertAbsent(l mem.Line) (mem.Line, bool) {
+	k := key32(l)
+	ch, base := c.slotBase(l)
+	if ch.slots == nil {
+		ch.materialize(setsPerChunk * c.ways)
 	}
-	return evicted, hadEvict
+	set := ch.slots[base : base+c.ways]
+	victim := 0
+	oldest := ^uint32(0)
+	for w := range set {
+		if set[w].line == invalidLine {
+			set[w].line = k
+			c.touch(&set[w])
+			return 0, false
+		}
+		if s := set[w].stamp; s < oldest {
+			oldest = s
+			victim = w
+		}
+	}
+	evicted := mem.Line(set[victim].line)
+	set[victim].line = k
+	c.touch(&set[victim])
+	c.evictions++
+	return evicted, true
 }
 
 // Invalidate removes line l if present.
 func (c *SetAssoc) Invalidate(l mem.Line) {
+	k := uint64(l)
 	ch, base := c.slotBase(l)
-	if ch.lines == nil {
+	if ch.slots == nil {
 		return
 	}
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if ch.valid[i] && ch.lines[i] == l {
-			ch.valid[i] = false
+	set := ch.slots[base : base+c.ways]
+	for w := range set {
+		if uint64(set[w].line) == k {
+			set[w].line = invalidLine
 			return
 		}
 	}
 }
 
-// touch makes slot i the MRU of its set, aging the ways that were more
-// recent than it.
-func (ch *setChunk) touch(base, i, ways int) {
-	old := ch.lru[i]
-	for w := 0; w < ways; w++ {
-		j := base + w
-		if j != i && ch.valid[j] && ch.lru[j] < old {
-			ch.lru[j]++
+// touch makes a way the MRU of its set by assigning the next recency
+// stamp — O(1), where the classic rank-based LRU walks the whole set to
+// age more-recent ways. The recency ORDER the two schemes maintain is
+// identical, so every eviction decision (and with it every golden table)
+// is unchanged.
+func (c *SetAssoc) touch(s *slot) {
+	c.tick++
+	if c.tick == 0 {
+		// The 32-bit tick wrapped (once per ~4.3 billion touches on one
+		// cache). Compact every set's stamps down to small values,
+		// preserving their relative order, then resume above them.
+		c.tick = c.compact() + 1
+	}
+	s.stamp = c.tick
+}
+
+// compact renormalizes all stamps after a tick wrap: within each set,
+// occupied ways are re-stamped 1..k in their existing recency order
+// (stamps are unique within a set, so the order is total). Returns the
+// highest stamp assigned. Runs once per 2^32 touches; cost is
+// O(capacity · ways).
+func (c *SetAssoc) compact() uint32 {
+	ranks := make([]uint32, c.ways)
+	max := uint32(0)
+	for ci := range c.chunks {
+		ch := &c.chunks[ci]
+		for base := 0; base+c.ways <= len(ch.slots); base += c.ways {
+			set := ch.slots[base : base+c.ways]
+			for w := 0; w < c.ways; w++ {
+				r := uint32(1)
+				for v := 0; v < c.ways; v++ {
+					if v != w && set[v].line != invalidLine && set[v].stamp < set[w].stamp {
+						r++
+					}
+				}
+				ranks[w] = r
+			}
+			for w := 0; w < c.ways; w++ {
+				if set[w].line != invalidLine {
+					set[w].stamp = ranks[w]
+					if ranks[w] > max {
+						max = ranks[w]
+					}
+				}
+			}
 		}
 	}
-	ch.lru[i] = 0
+	return max
 }
 
 // Hits, Misses and Evictions report access outcomes.

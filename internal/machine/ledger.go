@@ -21,146 +21,314 @@ type Origin struct {
 	Seq    int
 }
 
-// Ledger is the machine's ground-truth log: for every line the ordered
-// sequence of persistent writes (coherence order), the cross-thread
-// dependency edges the model created, and the set of committed epochs.
-// The crash checker (package crash) verifies the post-crash NVM image
-// against it — implementing Theorem 2 of the paper as an executable check.
-type Ledger struct {
-	writes      map[mem.Line][]WriteRec
-	tokenPos    map[mem.Token]int // position of token within its line's order
-	tokenRec    map[mem.Token]WriteRec
-	tokenLine   map[mem.Token]mem.Line
-	epochWrites map[persist.EpochID][]EpochWrite
-	deps        map[persist.EpochID][]persist.EpochID // epoch -> predecessors
-	committed   map[persist.EpochID]bool
-	origins     map[mem.Token]Origin
-	nDeps       uint64
-}
-
 // EpochWrite is one write attributed to an epoch.
 type EpochWrite struct {
 	Line  mem.Line
 	Token mem.Token
 }
 
+type tokenFlags uint8
+
+const (
+	tokRecorded tokenFlags = 1 << iota // RecordWrite seen for this token
+	tokHasOrigin
+)
+
+// tokenRec is the per-token ground truth. The machine issues tokens as a
+// dense 1..N sequence, so everything previously spread over four
+// token-keyed maps (position, record, line, origin) lives in one slice
+// entry indexed by the token itself — RecordWrite on the persist hot path
+// touches one cache line here instead of hashing four maps.
+type tokenRec struct {
+	line   mem.Line
+	epoch  persist.EpochID
+	origin Origin
+	pos    int32
+	flags  tokenFlags
+}
+
+// lineSlot is one slot of the ledger's open-addressed line table (linear
+// probing, no deletes — the same shape as the cache directory's table).
+// ref is index+1 into lineWrites; 0 marks the slot empty, since line 0 is
+// a valid key.
+type lineSlot struct {
+	line mem.Line
+	ref  int32
+}
+
+// ledgerInitSlots is the line table's initial size; must be a power of two.
+const ledgerInitSlots = 1024
+
+// threadEpochs is one thread's epoch-keyed ground truth. Epoch timestamps
+// are small dense per-thread sequences, so TS indexes a slice directly —
+// no EpochID hashing on the write path.
+type threadEpochs struct {
+	writes    [][]EpochWrite
+	deps      [][]persist.EpochID
+	committed []bool
+}
+
+// Ledger is the machine's ground-truth log: for every line the ordered
+// sequence of persistent writes (coherence order), the cross-thread
+// dependency edges the model created, and the set of committed epochs.
+// The crash checker (package crash) verifies the post-crash NVM image
+// against it — implementing Theorem 2 of the paper as an executable check.
+//
+// RecordWrite is called once per persistent store, making it one of the
+// hottest functions of a full run; the representation is therefore flat:
+// a token-indexed slab, an open-addressed line table, and per-thread
+// TS-indexed epoch logs, rather than the seven maps a direct transcription
+// would use.
+type Ledger struct {
+	recs []tokenRec // indexed by token; index 0 unused (token 0 = "never written")
+
+	lineSlots  []lineSlot
+	lineMask   uint64
+	lineCount  int
+	lineWrites [][]WriteRec
+	lineKeys   []mem.Line // first-touch order; sorted on demand by Lines
+
+	byThread   []threadEpochs
+	nDeps      uint64
+	nCommitted int
+}
+
 // NewLedger returns an empty ledger.
 func NewLedger() *Ledger {
 	return &Ledger{
-		writes:      make(map[mem.Line][]WriteRec),
-		tokenPos:    make(map[mem.Token]int),
-		tokenRec:    make(map[mem.Token]WriteRec),
-		tokenLine:   make(map[mem.Token]mem.Line),
-		epochWrites: make(map[persist.EpochID][]EpochWrite),
-		deps:        make(map[persist.EpochID][]persist.EpochID),
-		committed:   make(map[persist.EpochID]bool),
-		origins:     make(map[mem.Token]Origin),
+		lineSlots: make([]lineSlot, ledgerInitSlots),
+		lineMask:  ledgerInitSlots - 1,
 	}
+}
+
+// lineHash spreads line numbers across the table (Fibonacci hashing);
+// workload lines are sequential within a structure, so the low bits alone
+// would cluster whole regions onto neighbouring probe chains.
+func lineHash(l mem.Line) uint64 {
+	return uint64(l) * 0x9E3779B97F4A7C15
+}
+
+// findLine returns the slot index holding l, or the empty slot where l
+// would be inserted.
+func (lg *Ledger) findLine(l mem.Line) int {
+	i := (lineHash(l) >> 32) & lg.lineMask
+	for {
+		s := &lg.lineSlots[i]
+		if s.ref == 0 || s.line == l {
+			return int(i)
+		}
+		i = (i + 1) & lg.lineMask
+	}
+}
+
+// lineRef returns the lineWrites index for l, creating the log on first
+// touch.
+func (lg *Ledger) lineRef(l mem.Line) int32 {
+	i := lg.findLine(l)
+	if r := lg.lineSlots[i].ref; r != 0 {
+		return r - 1
+	}
+	lg.lineWrites = append(lg.lineWrites, nil)
+	lg.lineKeys = append(lg.lineKeys, l)
+	ref := int32(len(lg.lineWrites))
+	lg.lineSlots[i] = lineSlot{line: l, ref: ref}
+	lg.lineCount++
+	if uint64(lg.lineCount)*4 >= uint64(len(lg.lineSlots))*3 {
+		lg.growLines()
+	}
+	return ref - 1
+}
+
+// growLines doubles the line table and re-places every occupied slot.
+func (lg *Ledger) growLines() {
+	old := lg.lineSlots
+	lg.lineSlots = make([]lineSlot, len(old)*2)
+	lg.lineMask = uint64(len(lg.lineSlots)) - 1
+	for _, s := range old {
+		if s.ref == 0 {
+			continue
+		}
+		i := (lineHash(s.line) >> 32) & lg.lineMask
+		for lg.lineSlots[i].ref != 0 {
+			i = (i + 1) & lg.lineMask
+		}
+		lg.lineSlots[i] = s
+	}
+}
+
+// rec returns the record for token, growing the slab to cover it. Tokens
+// are dense, so growth amortizes to one append per token.
+func (lg *Ledger) rec(token mem.Token) *tokenRec {
+	for uint64(len(lg.recs)) <= uint64(token) {
+		lg.recs = append(lg.recs, tokenRec{})
+	}
+	return &lg.recs[token]
+}
+
+// thread returns thread th's epoch log, growing the per-thread slice to
+// cover it.
+func (lg *Ledger) thread(th int) *threadEpochs {
+	for len(lg.byThread) <= th {
+		lg.byThread = append(lg.byThread, threadEpochs{})
+	}
+	return &lg.byThread[th]
 }
 
 // RecordWrite implements model.Ledger.
 func (lg *Ledger) RecordWrite(e persist.EpochID, line mem.Line, token mem.Token) {
-	rec := WriteRec{Token: token, Epoch: e}
-	lg.tokenPos[token] = len(lg.writes[line])
-	lg.tokenRec[token] = rec
-	lg.tokenLine[token] = line
-	lg.writes[line] = append(lg.writes[line], rec)
-	lg.epochWrites[e] = append(lg.epochWrites[e], EpochWrite{Line: line, Token: token})
+	ref := lg.lineRef(line)
+	r := lg.rec(token)
+	r.line = line
+	r.epoch = e
+	r.pos = int32(len(lg.lineWrites[ref]))
+	r.flags |= tokRecorded
+	lg.lineWrites[ref] = append(lg.lineWrites[ref], WriteRec{Token: token, Epoch: e})
+	te := lg.thread(e.Thread)
+	for uint64(len(te.writes)) <= e.TS {
+		te.writes = append(te.writes, nil)
+	}
+	te.writes[e.TS] = append(te.writes[e.TS], EpochWrite{Line: line, Token: token})
 }
 
 // DepCreated implements model.Ledger.
 func (lg *Ledger) DepCreated(src, dst persist.EpochID) {
-	lg.deps[dst] = append(lg.deps[dst], src)
+	te := lg.thread(dst.Thread)
+	for uint64(len(te.deps)) <= dst.TS {
+		te.deps = append(te.deps, nil)
+	}
+	te.deps[dst.TS] = append(te.deps[dst.TS], src)
 	lg.nDeps++
 }
 
 // EpochCommitted implements model.Ledger.
 func (lg *Ledger) EpochCommitted(e persist.EpochID) {
-	lg.committed[e] = true
+	te := lg.thread(e.Thread)
+	for uint64(len(te.committed)) <= e.TS {
+		te.committed = append(te.committed, false)
+	}
+	if !te.committed[e.TS] {
+		te.committed[e.TS] = true
+		lg.nCommitted++
+	}
 }
 
 // Writes returns the write order of a line.
-func (lg *Ledger) Writes(line mem.Line) []WriteRec { return lg.writes[line] }
+func (lg *Ledger) Writes(line mem.Line) []WriteRec {
+	if r := lg.lineSlots[lg.findLine(line)].ref; r != 0 {
+		return lg.lineWrites[r-1]
+	}
+	return nil
+}
 
 // Lines calls fn for every line with at least one persistent write, in
 // ascending line order so crash-check reports are reproducible.
 func (lg *Ledger) Lines(fn func(mem.Line, []WriteRec)) {
-	lines := make([]mem.Line, 0, len(lg.writes))
-	for l := range lg.writes {
-		lines = append(lines, l)
-	}
+	lines := make([]mem.Line, len(lg.lineKeys))
+	copy(lines, lg.lineKeys)
 	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
 	for _, l := range lines {
-		fn(l, lg.writes[l])
+		fn(l, lg.Writes(l))
 	}
 }
 
 // TokenPos returns the position of token in its line's write order.
 func (lg *Ledger) TokenPos(token mem.Token) (int, bool) {
-	p, ok := lg.tokenPos[token]
-	return p, ok
+	if uint64(token) < uint64(len(lg.recs)) && lg.recs[token].flags&tokRecorded != 0 {
+		return int(lg.recs[token].pos), true
+	}
+	return 0, false
 }
 
 // TokenRec returns the write record for a token.
 func (lg *Ledger) TokenRec(token mem.Token) (WriteRec, bool) {
-	r, ok := lg.tokenRec[token]
-	return r, ok
+	if uint64(token) < uint64(len(lg.recs)) && lg.recs[token].flags&tokRecorded != 0 {
+		return WriteRec{Token: token, Epoch: lg.recs[token].epoch}, true
+	}
+	return WriteRec{}, false
 }
 
 // IsCommitted reports whether epoch e committed before the crash. Epochs on
 // the same thread with a lower timestamp than any committed epoch are
 // committed transitively (models commit per-thread in order).
-func (lg *Ledger) IsCommitted(e persist.EpochID) bool { return lg.committed[e] }
+func (lg *Ledger) IsCommitted(e persist.EpochID) bool {
+	if e.Thread < 0 || e.Thread >= len(lg.byThread) {
+		return false
+	}
+	te := &lg.byThread[e.Thread]
+	return e.TS < uint64(len(te.committed)) && te.committed[e.TS]
+}
 
 // Predecessors returns the recorded dependency sources of epoch e; the
 // intra-thread predecessor (TS-1) is implicit and not included.
-func (lg *Ledger) Predecessors(e persist.EpochID) []persist.EpochID { return lg.deps[e] }
+func (lg *Ledger) Predecessors(e persist.EpochID) []persist.EpochID {
+	if e.Thread < 0 || e.Thread >= len(lg.byThread) {
+		return nil
+	}
+	te := &lg.byThread[e.Thread]
+	if e.TS >= uint64(len(te.deps)) {
+		return nil
+	}
+	return te.deps[e.TS]
+}
 
 // EpochWrites returns the writes attributed to epoch e (nil for an epoch
 // that issued none).
-func (lg *Ledger) EpochWrites(e persist.EpochID) []EpochWrite { return lg.epochWrites[e] }
+func (lg *Ledger) EpochWrites(e persist.EpochID) []EpochWrite {
+	if e.Thread < 0 || e.Thread >= len(lg.byThread) {
+		return nil
+	}
+	te := &lg.byThread[e.Thread]
+	if e.TS >= uint64(len(te.writes)) {
+		return nil
+	}
+	return te.writes[e.TS]
+}
 
 // TokenLine returns the line a token was written to.
 func (lg *Ledger) TokenLine(token mem.Token) (mem.Line, bool) {
-	l, ok := lg.tokenLine[token]
-	return l, ok
+	if uint64(token) < uint64(len(lg.recs)) && lg.recs[token].flags&tokRecorded != 0 {
+		return lg.recs[token].line, true
+	}
+	return 0, false
 }
 
 // CommittedEpochs calls fn for every committed epoch, ordered by thread
-// then timestamp so downstream reports are reproducible.
+// then timestamp so downstream reports are reproducible. The per-thread
+// logs store epochs in exactly that order, so no sort is needed.
 func (lg *Ledger) CommittedEpochs(fn func(persist.EpochID)) {
-	epochs := make([]persist.EpochID, 0, len(lg.committed))
-	for e := range lg.committed {
-		epochs = append(epochs, e)
-	}
-	sort.Slice(epochs, func(i, j int) bool {
-		if epochs[i].Thread != epochs[j].Thread {
-			return epochs[i].Thread < epochs[j].Thread
+	for th := range lg.byThread {
+		committed := lg.byThread[th].committed
+		for ts := range committed {
+			if committed[ts] {
+				fn(persist.EpochID{Thread: th, TS: uint64(ts)})
+			}
 		}
-		return epochs[i].TS < epochs[j].TS
-	})
-	for _, e := range epochs {
-		fn(e)
 	}
 }
 
 // SetOrigin records the trace origin of a token (set by the machine when
 // the store issues).
-func (lg *Ledger) SetOrigin(token mem.Token, o Origin) { lg.origins[token] = o }
+func (lg *Ledger) SetOrigin(token mem.Token, o Origin) {
+	r := lg.rec(token)
+	r.origin = o
+	r.flags |= tokHasOrigin
+}
 
 // Origin returns the trace origin of a token.
 func (lg *Ledger) Origin(token mem.Token) (Origin, bool) {
-	o, ok := lg.origins[token]
-	return o, ok
+	if uint64(token) < uint64(len(lg.recs)) && lg.recs[token].flags&tokHasOrigin != 0 {
+		return lg.recs[token].origin, true
+	}
+	return Origin{}, false
 }
 
 // TokenForOrigin finds the token issued for the given trace origin (0 if
-// that store never issued, e.g. the run crashed first).
+// that store never issued, e.g. the run crashed first). Tokens map to
+// unique origins, so the ascending scan finds at most one match.
 func (lg *Ledger) TokenForOrigin(o Origin) mem.Token {
-	//asaplint:ignore detcheck origins maps tokens to unique origins, so this scan finds at most one match regardless of order
-	for tok, org := range lg.origins {
-		if org == o {
-			return tok
+	for tok := 1; tok < len(lg.recs); tok++ {
+		if lg.recs[tok].flags&tokHasOrigin != 0 && lg.recs[tok].origin == o {
+			return mem.Token(tok)
 		}
 	}
 	return 0
@@ -171,4 +339,4 @@ func (lg *Ledger) TokenForOrigin(o Origin) mem.Token {
 func (lg *Ledger) NumDeps() uint64 { return lg.nDeps }
 
 // NumCommitted returns the number of committed epochs.
-func (lg *Ledger) NumCommitted() int { return len(lg.committed) }
+func (lg *Ledger) NumCommitted() int { return lg.nCommitted }

@@ -46,10 +46,17 @@ type Machine struct {
 
 	cores    []*coreState
 	locks    map[mem.Line]*lockState
-	pmLines  map[mem.Line]bool
+	pm       pmFilter
 	wbbs     []*persist.WBB
 	tokenSeq mem.Token
 	finished int
+
+	// Pre-resolved stat handles for the per-access and lock paths.
+	cWbbParked, cWbbFullStalls     stats.Counter
+	cLLCEvictionsDelayed           stats.Counter
+	cPMLinesDropped                stats.Counter
+	cLockContended                 stats.Counter
+	cCyclesBlocked, cSampledCycles stats.Counter
 
 	crashAt sim.Cycles
 	Crashed bool
@@ -108,14 +115,22 @@ func New(cfg config.Config, modelName string, tr *trace.Trace) (*Machine, error)
 	eng := sim.NewEngine()
 	st := stats.New()
 	m := &Machine{
-		Eng:     eng,
-		Cfg:     cfg,
-		Hier:    cache.NewHierarchy(cfg),
-		IL:      mem.NewInterleaver(cfg.MCs, cfg.InterleaveBytes),
-		St:      st,
-		Ledger:  NewLedger(),
-		locks:   make(map[mem.Line]*lockState),
-		pmLines: make(map[mem.Line]bool),
+		Eng:    eng,
+		Cfg:    cfg,
+		Hier:   cache.NewHierarchy(cfg),
+		IL:     mem.NewInterleaver(cfg.MCs, cfg.InterleaveBytes),
+		St:     st,
+		Ledger: NewLedger(),
+		locks:  make(map[mem.Line]*lockState),
+		pm:     newPMFilter(tr),
+
+		cWbbParked:           st.Counter(kWbbParked),
+		cWbbFullStalls:       st.Counter(kWbbFullStalls),
+		cLLCEvictionsDelayed: st.Counter(kLLCEvictionsDelayed),
+		cPMLinesDropped:      st.Counter(kPMLinesDropped),
+		cLockContended:       st.Counter(kLockContended),
+		cCyclesBlocked:       st.Counter(kCyclesBlocked),
+		cSampledCycles:       st.Counter(kCoreSampledCycles),
 	}
 	spec := model.Speculative(modelName)
 	m.MCs = make([]*persist.MC, cfg.MCs)
@@ -380,7 +395,7 @@ func (m *Machine) step(c *coreState) {
 		// path sees the write immediately.
 		lat := m.Cfg.L1Hit + m.Cfg.StoreCost
 		if op.Persistent {
-			m.pmLines[line] = true
+			m.pm.mark(line)
 			m.tokenSeq++
 			m.Ledger.SetOrigin(m.tokenSeq, Origin{Thread: c.id, Seq: c.pstores})
 			c.pstores++
@@ -416,10 +431,11 @@ func (m *Machine) step(c *coreState) {
 }
 
 // access runs one hierarchy access, reports conflicts to the model, and
-// handles LLC evictions of persistent lines.
-func (m *Machine) access(core int, line mem.Line, write, acq bool) cache.AccessResult {
+// handles LLC evictions of persistent lines. The result aliases hierarchy
+// scratch and is valid only until the next access.
+func (m *Machine) access(core int, line mem.Line, write, acq bool) *cache.AccessResult {
 	res := m.Hier.Access(core, line, write, acq, m.Model.CurrentTS(core))
-	if res.Level == "mem" {
+	if res.Level == cache.LevelMem {
 		// Demand fill from the media: account the PM read (Figure 9's
 		// read traffic baseline against which undo reads add ~5%).
 		m.MCs[m.IL.Home(line)].NVM.Read(line)
@@ -427,29 +443,31 @@ func (m *Machine) access(core int, line mem.Line, write, acq bool) cache.AccessR
 	if res.Conflict != nil {
 		m.Model.Conflict(core, res.Conflict)
 	}
-	for _, ev := range res.LLCEvicted {
-		if !m.pmLines[ev] {
+	for i, ev := range res.LLCEvicted {
+		if !m.pm.has(ev) {
 			continue // volatile line: ordinary DRAM write-back, not modelled
 		}
 		// Persistent lines are dropped on LLC eviction (the persist path
 		// owns durability, §V-A) — unless the line's writes are still
 		// queued in the owner's persist buffer, in which case the
 		// write-back buffer parks the eviction (§V-F), or the MC's Bloom
-		// filter says a NACKed flush still holds the newest value.
-		if e, ok := m.Hier.Directory().Peek(ev); ok && e.LastWriter >= 0 &&
-			e.LastWriter < len(m.wbbs) && m.Model.PBHasLine(e.LastWriter, ev) {
-			if m.wbbs[e.LastWriter].Park(ev, 0) {
-				m.St.Inc("wbbParked")
+		// filter says a NACKed flush still holds the newest value. The
+		// hierarchy captured the last writer during the eviction, so no
+		// second directory probe is needed here.
+		if w := res.LLCEvictedWriter[i]; w >= 0 && w < len(m.wbbs) &&
+			m.Model.PBHasLine(w, ev) {
+			if m.wbbs[w].Park(ev, 0) {
+				m.cWbbParked.Inc()
 			} else {
-				m.St.Inc("wbbFullStalls")
+				m.cWbbFullStalls.Inc()
 			}
 			continue
 		}
 		mc := m.MCs[m.IL.Home(ev)]
 		if mc.Bloom != nil && mc.Bloom.MaybeContains(ev) {
-			m.St.Inc("llcEvictionsDelayed")
+			m.cLLCEvictionsDelayed.Inc()
 		} else {
-			m.St.Inc("pmLinesDropped")
+			m.cPMLinesDropped.Inc()
 		}
 	}
 	return res
@@ -459,7 +477,7 @@ func (m *Machine) access(core int, line mem.Line, write, acq bool) cache.AccessR
 func (m *Machine) acquire(c *coreState, line mem.Line) {
 	lk := m.lock(line)
 	if lk.held {
-		m.St.Inc("lockContended")
+		m.cLockContended.Inc()
 		if m.trc != nil {
 			m.trc.Begin(m.coreTracks[c.id], "lock wait")
 			c.waitingLock = true
@@ -536,9 +554,9 @@ func (m *Machine) sample() {
 		}
 		m.St.Observe("pbOccupancy", uint64(m.Model.PBOccupancy(c.id)))
 		if m.Model.PBBlocked(c.id) {
-			m.St.Add("cyclesBlocked", uint64(SampleInterval))
+			m.cCyclesBlocked.Add(uint64(SampleInterval))
 		}
-		m.St.Add("coreSampledCycles", uint64(SampleInterval))
+		m.cSampledCycles.Add(uint64(SampleInterval))
 		if m.trc != nil {
 			m.trc.Counter(m.coreTracks[c.id], "pbOcc", int64(m.Model.PBOccupancy(c.id)))
 		}

@@ -1,0 +1,87 @@
+package machine
+
+import (
+	"asap/internal/mem"
+	"asap/internal/trace"
+)
+
+// pmFilterMaxSpan caps the dense-bitset representation of pmFilter at 2^27
+// lines (8 GiB of PM, a 16 MiB bitset). Real workloads allocate from a
+// contiguous PM heap well under this; a pathological trace spanning more
+// falls back to a map so correctness never depends on layout.
+const pmFilterMaxSpan = 1 << 27
+
+// pmFilter answers "is this line persistent memory?" on the LLC-eviction
+// path. The previous representation was a map[mem.Line]bool probed once per
+// evicted line; this is a bitset over the persistent address range observed
+// in the trace — two compares and a bit test. The range is fixed by a
+// pre-scan at construction, but membership is still marked at run time as
+// each persistent store issues, so stats that depend on when a line became
+// persistent are unchanged.
+type pmFilter struct {
+	base mem.Line
+	span uint64
+	bits []uint64
+	// over is the fallback when the trace's persistent footprint exceeds
+	// pmFilterMaxSpan lines; nil whenever bits is in use.
+	over map[mem.Line]bool
+}
+
+// newPMFilter sizes the filter from the trace's persistent-store footprint.
+func newPMFilter(tr *trace.Trace) pmFilter {
+	var lo, hi mem.Line
+	seen := false
+	for _, ops := range tr.Threads {
+		for i := range ops {
+			op := &ops[i]
+			if op.Kind != trace.OpStore || !op.Persistent {
+				continue
+			}
+			l := mem.LineOf(op.Addr)
+			if !seen {
+				lo, hi, seen = l, l, true
+			} else if l < lo {
+				lo = l
+			} else if l > hi {
+				hi = l
+			}
+		}
+	}
+	if !seen {
+		return pmFilter{}
+	}
+	span := uint64(hi-lo) + 1
+	if span > pmFilterMaxSpan {
+		return pmFilter{over: make(map[mem.Line]bool)}
+	}
+	return pmFilter{
+		base: lo,
+		span: span,
+		bits: make([]uint64, (span+63)/64),
+	}
+}
+
+// mark records line l as persistent. Only lines inside the pre-scanned
+// range are ever marked (marks come from the same trace ops the scan saw).
+func (f *pmFilter) mark(l mem.Line) {
+	if f.bits != nil {
+		off := uint64(l - f.base)
+		f.bits[off>>6] |= 1 << (off & 63)
+		return
+	}
+	if f.over != nil {
+		f.over[l] = true
+	}
+}
+
+// has reports whether line l has carried a persistent store.
+func (f *pmFilter) has(l mem.Line) bool {
+	if f.bits != nil {
+		if l < f.base {
+			return false
+		}
+		off := uint64(l - f.base)
+		return off < f.span && f.bits[off>>6]&(1<<(off&63)) != 0
+	}
+	return f.over != nil && f.over[l]
+}

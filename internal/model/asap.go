@@ -22,9 +22,11 @@ import (
 // Typed-event kinds dispatched through ASAP.RunEvent, covering the
 // per-write flusher hot path (kick, pace, and the FlushLat send).
 const (
-	asapEvKick = iota // flusher wake-up for core arg (clears flushScheduled)
-	asapEvPace        // next paced flush issue for core arg
-	asapEvSend        // deliver the oldest queued flush packet to its MC
+	asapEvKick       = iota // flusher wake-up for core arg (clears flushScheduled)
+	asapEvPace              // next paced flush issue for core arg
+	asapEvSend              // deliver the oldest queued flush packet to its MC
+	asapEvCommitSend        // deliver the oldest queued epoch-commit message to its MC
+	asapEvCDR               // deliver a CDR; arg is the packed dependent EpochID
 )
 
 // asapSend is one in-flight PB→MC flush message. All sends travel at the
@@ -40,6 +42,7 @@ type asapSend struct {
 
 type ASAP struct {
 	env Env
+	hc  hotCounters
 	rp  bool // release persistency (vs epoch persistency)
 
 	cores []*asapCore
@@ -47,8 +50,35 @@ type ASAP struct {
 	sendQ    []asapSend // in-flight flush messages; sendHead indexes oldest
 	sendHead int
 
+	// commitQ holds in-flight ET→MC epoch-commit messages, the same FIFO
+	// ring discipline as sendQ: all travel at MsgLat, so pop order equals
+	// schedule order and the per-message closures are gone.
+	commitQ    []asapCommitMsg
+	commitHead int
+
 	trc      obs.Tracer // nil unless tracing; every use must be nil-guarded
 	pbTracks []obs.TrackID
+}
+
+// asapCommitMsg is one in-flight epoch-commit message from an epoch table
+// to a controller that saw early flushes from the epoch.
+type asapCommitMsg struct {
+	epoch persist.EpochID
+	mc    *persist.MC
+}
+
+// packEpochArg squeezes an EpochID into a typed event's uint64 arg: thread
+// in the low byte (config caps cores at 64), timestamp above. The guard
+// trips long before a real run could reach 2^56 epochs.
+func packEpochArg(e persist.EpochID) uint64 {
+	if uint64(e.Thread) > 0xFF || e.TS >= 1<<56 {
+		panic("asap: epoch id does not fit a packed event arg")
+	}
+	return e.TS<<8 | uint64(e.Thread)
+}
+
+func unpackEpochArg(arg uint64) persist.EpochID {
+	return persist.EpochID{Thread: int(arg & 0xFF), TS: arg >> 8}
 }
 
 type asapCore struct {
@@ -71,7 +101,7 @@ type asapCore struct {
 }
 
 func newASAP(env Env, rp bool) *ASAP {
-	m := &ASAP{env: env, rp: rp}
+	m := &ASAP{env: env, hc: newHotCounters(env.St), rp: rp}
 	m.cores = make([]*asapCore, env.Cfg.Cores)
 	for i := range m.cores {
 		m.cores[i] = &asapCore{
@@ -107,8 +137,33 @@ func (m *ASAP) RunEvent(kind int, arg uint64) {
 			s.mc.Bloom.Remove(s.pkt.Line)
 		}
 		s.mc.ReceiveOp(s.pkt, m.cores[s.core], s.id)
+	case asapEvCommitSend:
+		s := m.commitQ[m.commitHead]
+		m.commitQ[m.commitHead] = asapCommitMsg{}
+		m.commitHead++
+		if m.commitHead == len(m.commitQ) {
+			m.commitQ = m.commitQ[:0]
+			m.commitHead = 0
+		}
+		s.mc.CommitOp(s.epoch, m)
+	case asapEvCDR:
+		m.deliverCDR(unpackEpochArg(arg))
 	default:
 		panic("asap: unknown event kind")
+	}
+}
+
+// CommitAck receives a controller's commit ACK for epoch e (the typed
+// analogue of the per-commit done closure).
+func (m *ASAP) CommitAck(e persist.EpochID) {
+	c := m.cores[e.Thread]
+	ent, ok := c.et.Get(e.TS)
+	if !ok {
+		panic("asap: commit ACK for retired epoch")
+	}
+	ent.CommitAcks--
+	if ent.CommitAcks == 0 {
+		m.finishCommit(c, ent)
 	}
 }
 
@@ -192,15 +247,15 @@ func (m *ASAP) tryEnqueue(c *asapCore, line mem.Line, token mem.Token, done func
 	if !ok {
 		began := m.env.Eng.Now()
 		c.storeWaiters = append(c.storeWaiters, func() {
-			m.env.St.Add("cyclesStalled", uint64(m.env.Eng.Now()-began))
+			m.hc.cyclesStalled.Add(uint64(m.env.Eng.Now()-began))
 			m.tryEnqueue(c, line, token, done)
 		})
 		m.kickFlusher(c)
 		return
 	}
-	m.env.St.Inc("entriesInserted")
+	m.hc.entriesInserted.Inc()
 	if coalesced {
-		m.env.St.Inc("pbCoalesced")
+		m.hc.pbCoalesced.Inc()
 	} else {
 		c.et.Current().Unacked++
 	}
@@ -216,7 +271,7 @@ func (m *ASAP) Ofence(core int, done func()) {
 	if c.et.Full() {
 		began := m.env.Eng.Now()
 		c.fenceWaiter = func() {
-			m.env.St.Add("ofenceStalled", uint64(m.env.Eng.Now()-began))
+			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now()-began))
 			m.Ofence(core, done)
 		}
 		return
@@ -234,7 +289,7 @@ func (m *ASAP) Dfence(core int, done func()) {
 	if c.et.Full() {
 		began := m.env.Eng.Now()
 		c.fenceWaiter = func() {
-			m.env.St.Add("ofenceStalled", uint64(m.env.Eng.Now()-began))
+			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now()-began))
 			m.Dfence(core, done)
 		}
 		return
@@ -316,7 +371,7 @@ func (m *ASAP) depSource(cf *cache.Conflict) (persist.EpochID, bool) {
 // addDependency records that the requesting core's next writes depend on
 // epoch src, splitting epochs on both sides per §IV-E.
 func (m *ASAP) addDependency(core int, src persist.EpochID) {
-	m.env.St.Inc("interTEpochConflict")
+	m.hc.interTEpochConflict.Inc()
 	w := m.cores[src.Thread]
 	// Source side: close the source epoch so it can commit. This split is
 	// unconditional — leaving the source epoch open could deadlock two
@@ -396,7 +451,7 @@ func (m *ASAP) flushOne(c *asapCore) {
 	c.pb.MarkInflight(e, early)
 	mcID := m.env.IL.Home(e.Line)
 	if early {
-		m.env.St.Inc("totSpecWrites")
+		m.hc.totSpecWrites.Inc()
 		if m.trc != nil {
 			m.trc.Instant(m.pbTracks[c.id], "early flush")
 		}
@@ -425,7 +480,7 @@ func (m *ASAP) onFlushReply(c *asapCore, id uint64, res persist.FlushResult) {
 		if e == nil {
 			panic("asap: NACK for unknown persist buffer entry")
 		}
-		m.env.St.Inc("pbNacks")
+		m.hc.pbNacks.Inc()
 		if m.trc != nil {
 			m.trc.Instant(m.pbTracks[c.id], "nack")
 		}
@@ -487,23 +542,21 @@ func (m *ASAP) tryCommit(c *asapCore, ts uint64) {
 	epoch := persist.EpochID{Thread: c.id, TS: ts}
 	// Commit messages are scheduled in ascending controller order so the
 	// event sequence (and hence every downstream tie-break) is reproducible.
-	ent.ForEachEarlyMC(func(mcID int) {
-		mc := m.env.MCs[mcID]
-		m.env.Eng.After(m.env.Cfg.MsgLat, func() {
-			mc.Commit(epoch, func() {
-				ent.CommitAcks--
-				if ent.CommitAcks == 0 {
-					m.finishCommit(c, ent)
-				}
-			})
-		})
-	})
+	// Each message rides the commitQ ring behind a typed event; the ACK
+	// comes back through CommitAck. No per-message closures.
+	for id, mask := 0, ent.EarlyMCs; mask != 0; id, mask = id+1, mask>>1 {
+		if mask&1 == 0 {
+			continue
+		}
+		m.commitQ = append(m.commitQ, asapCommitMsg{epoch: epoch, mc: m.env.MCs[id]})
+		m.env.Eng.AfterOp(m.env.Cfg.MsgLat, m, asapEvCommitSend, 0)
+	}
 }
 
 func (m *ASAP) finishCommit(c *asapCore, ent *persist.ETEntry) {
 	ent.Committed = true
 	ts := ent.TS
-	m.env.St.Inc("epochsCommitted")
+	m.hc.epochsCommitted.Inc()
 	m.env.Ledger.EpochCommitted(persist.EpochID{Thread: c.id, TS: ts})
 
 	// Leaving conservative mode: the NACKed epoch has committed, so its
@@ -515,10 +568,10 @@ func (m *ASAP) finishCommit(c *asapCore, ent *persist.ETEntry) {
 		}
 	}
 
-	// CDR messages to dependent threads.
+	// CDR messages to dependent threads (typed: the dependent EpochID is
+	// packed into the event arg, so no per-message closure).
 	for _, dep := range ent.Dependents {
-		dep := dep
-		m.env.Eng.After(m.env.Cfg.MsgLat, func() { m.deliverCDR(dep) })
+		m.env.Eng.AfterOp(m.env.Cfg.MsgLat, m, asapEvCDR, packEpochArg(dep))
 	}
 
 	c.et.Retire(ts)
@@ -535,7 +588,7 @@ func (m *ASAP) finishCommit(c *asapCore, ent *persist.ETEntry) {
 	if c.dfenceWaiter != nil && c.et.AllCommitted() {
 		w := c.dfenceWaiter
 		c.dfenceWaiter = nil
-		m.env.St.Add("dfenceStalled", uint64(m.env.Eng.Now()-c.dfenceStart))
+		m.hc.dfenceStalled.Add(uint64(m.env.Eng.Now()-c.dfenceStart))
 		w()
 	}
 	m.kickFlusher(c)

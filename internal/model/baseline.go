@@ -17,6 +17,7 @@ import (
 // paper's Figure 8 normalizes everything against.
 type Baseline struct {
 	env   Env
+	hc    hotCounters
 	cores []*baseCore
 }
 
@@ -37,7 +38,7 @@ type baseCore struct {
 }
 
 func newBaseline(env Env) *Baseline {
-	m := &Baseline{env: env}
+	m := &Baseline{env: env, hc: newHotCounters(env.St)}
 	m.cores = make([]*baseCore, env.Cfg.Cores)
 	for i := range m.cores {
 		m.cores[i] = &baseCore{id: i, ts: 1, writeset: make(map[mem.Line]mem.Token)}
@@ -108,7 +109,7 @@ func (m *Baseline) fence(core int, done func()) {
 		done()
 		return
 	}
-	m.env.St.Inc("fences")
+	m.hc.fences.Inc()
 	c.fenceStart = m.env.Eng.Now()
 	c.fenceDone = done
 	c.issueQ = append(c.issueQ, c.order...)
@@ -125,7 +126,7 @@ func (m *Baseline) issueFlushes(c *baseCore) {
 		tok := c.writeset[line]
 		delete(c.writeset, line)
 		c.outstanding++
-		m.env.St.Inc("clwbIssued")
+		m.hc.clwbIssued.Inc()
 		pkt := persist.FlushPacket{
 			Line:  line,
 			Token: tok,
@@ -152,7 +153,7 @@ func (m *Baseline) onAck(c *baseCore) {
 	if c.outstanding == 0 && c.fenceDone != nil {
 		done := c.fenceDone
 		c.fenceDone = nil
-		m.env.St.Add("dfenceStalled", uint64(m.env.Eng.Now()-c.fenceStart))
+		m.hc.dfenceStalled.Add(uint64(m.env.Eng.Now()-c.fenceStart))
 		m.commitEpoch(c)
 		done()
 	}

@@ -20,6 +20,7 @@ import (
 // than ASAP".
 type DPO struct {
 	env   Env
+	hc    hotCounters
 	cores []*dpoCore
 	// waiters[src] lists dependent epochs to notify when src commits —
 	// the snooped broadcast.
@@ -43,6 +44,7 @@ type dpoCore struct {
 func newDPO(env Env) *DPO {
 	m := &DPO{
 		env:         env,
+		hc:          newHotCounters(env.St),
 		waiters:     make(map[persist.EpochID][]persist.EpochID),
 		committedTS: make([]uint64, env.Cfg.Cores),
 	}
@@ -83,15 +85,15 @@ func (m *DPO) tryEnqueue(c *dpoCore, line mem.Line, token mem.Token, done func()
 	if !ok {
 		began := m.env.Eng.Now()
 		c.storeWaiters = append(c.storeWaiters, func() {
-			m.env.St.Add("cyclesStalled", uint64(m.env.Eng.Now()-began))
+			m.hc.cyclesStalled.Add(uint64(m.env.Eng.Now()-began))
 			m.tryEnqueue(c, line, token, done)
 		})
 		m.kickFlusher(c)
 		return
 	}
-	m.env.St.Inc("entriesInserted")
+	m.hc.entriesInserted.Inc()
 	if coalesced {
-		m.env.St.Inc("pbCoalesced")
+		m.hc.pbCoalesced.Inc()
 	} else {
 		c.et.Current().Unacked++
 	}
@@ -106,7 +108,7 @@ func (m *DPO) Ofence(core int, done func()) {
 	if c.et.Full() {
 		began := m.env.Eng.Now()
 		c.fenceWaiter = func() {
-			m.env.St.Add("ofenceStalled", uint64(m.env.Eng.Now()-began))
+			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now()-began))
 			m.Ofence(core, done)
 		}
 		return
@@ -123,7 +125,7 @@ func (m *DPO) Dfence(core int, done func()) {
 	if c.et.Full() {
 		began := m.env.Eng.Now()
 		c.fenceWaiter = func() {
-			m.env.St.Add("ofenceStalled", uint64(m.env.Eng.Now()-began))
+			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now()-began))
 			m.Dfence(core, done)
 		}
 		return
@@ -167,7 +169,7 @@ func (m *DPO) Conflict(core int, cf *cache.Conflict) {
 	if m.EpochCommitted(src) {
 		return
 	}
-	m.env.St.Inc("interTEpochConflict")
+	m.hc.interTEpochConflict.Inc()
 	w := m.cores[src.Thread]
 	if w.et.CurrentTS() == src.TS {
 		w.et.Advance()
@@ -281,7 +283,7 @@ func (m *DPO) tryCommit(c *dpoCore, ts uint64) {
 	}
 	ent.Committed = true
 	m.committedTS[c.id] = ts
-	m.env.St.Inc("epochsCommitted")
+	m.hc.epochsCommitted.Inc()
 	epoch := persist.EpochID{Thread: c.id, TS: ts}
 	m.env.Ledger.EpochCommitted(epoch)
 	c.et.Retire(ts)
@@ -290,7 +292,7 @@ func (m *DPO) tryCommit(c *dpoCore, ts uint64) {
 	// interconnect hop. The broadcast itself is DPO's scaling cost.
 	if deps := m.waiters[epoch]; len(deps) > 0 {
 		delete(m.waiters, epoch)
-		m.env.St.Inc("dpoBroadcasts")
+		m.hc.dpoBroadcasts.Inc()
 		for _, dst := range deps {
 			dst := dst
 			m.env.Eng.After(m.env.Cfg.MsgLat, func() { m.resolve(dst) })
@@ -306,7 +308,7 @@ func (m *DPO) tryCommit(c *dpoCore, ts uint64) {
 	if c.dfenceWaiter != nil && c.et.AllCommitted() {
 		w := c.dfenceWaiter
 		c.dfenceWaiter = nil
-		m.env.St.Add("dfenceStalled", uint64(m.env.Eng.Now()-c.dfenceStart))
+		m.hc.dfenceStalled.Add(uint64(m.env.Eng.Now()-c.dfenceStart))
 		w()
 	}
 	m.kickFlusher(c)

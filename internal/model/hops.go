@@ -18,6 +18,7 @@ import (
 // no recovery table.
 type HOPS struct {
 	env Env
+	hc  hotCounters
 	rp  bool
 
 	cores []*hopsCore
@@ -42,7 +43,7 @@ type hopsCore struct {
 }
 
 func newHOPS(env Env, rp bool) *HOPS {
-	m := &HOPS{env: env, rp: rp, globalTS: make([]uint64, env.Cfg.Cores)}
+	m := &HOPS{env: env, hc: newHotCounters(env.St), rp: rp, globalTS: make([]uint64, env.Cfg.Cores)}
 	m.cores = make([]*hopsCore, env.Cfg.Cores)
 	for i := range m.cores {
 		m.cores[i] = &hopsCore{
@@ -85,15 +86,15 @@ func (m *HOPS) tryEnqueue(c *hopsCore, line mem.Line, token mem.Token, done func
 	if !ok {
 		began := m.env.Eng.Now()
 		c.storeWaiters = append(c.storeWaiters, func() {
-			m.env.St.Add("cyclesStalled", uint64(m.env.Eng.Now()-began))
+			m.hc.cyclesStalled.Add(uint64(m.env.Eng.Now()-began))
 			m.tryEnqueue(c, line, token, done)
 		})
 		m.kickFlusher(c)
 		return
 	}
-	m.env.St.Inc("entriesInserted")
+	m.hc.entriesInserted.Inc()
 	if coalesced {
-		m.env.St.Inc("pbCoalesced")
+		m.hc.pbCoalesced.Inc()
 	} else {
 		c.et.Current().Unacked++
 	}
@@ -108,7 +109,7 @@ func (m *HOPS) Ofence(core int, done func()) {
 	if c.et.Full() {
 		began := m.env.Eng.Now()
 		c.fenceWaiter = func() {
-			m.env.St.Add("ofenceStalled", uint64(m.env.Eng.Now()-began))
+			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now()-began))
 			m.Ofence(core, done)
 		}
 		return
@@ -125,7 +126,7 @@ func (m *HOPS) Dfence(core int, done func()) {
 	if c.et.Full() {
 		began := m.env.Eng.Now()
 		c.fenceWaiter = func() {
-			m.env.St.Add("ofenceStalled", uint64(m.env.Eng.Now()-began))
+			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now()-began))
 			m.Dfence(core, done)
 		}
 		return
@@ -179,7 +180,7 @@ func (m *HOPS) Conflict(core int, cf *cache.Conflict) {
 		w := m.cores[cf.Writer]
 		src = persist.EpochID{Thread: cf.Writer, TS: w.et.CurrentTS()}
 	}
-	m.env.St.Inc("interTEpochConflict")
+	m.hc.interTEpochConflict.Inc()
 
 	// Both sides split unconditionally (see ASAP.addDependency): the
 	// dependency source must be a closed epoch or mutual blocking can
@@ -304,7 +305,7 @@ func (m *HOPS) tryCommit(c *hopsCore, ts uint64) {
 	}
 	ent.Committed = true
 	m.globalTS[c.id] = ts
-	m.env.St.Inc("epochsCommitted")
+	m.hc.epochsCommitted.Inc()
 	m.env.Ledger.EpochCommitted(persist.EpochID{Thread: c.id, TS: ts})
 	c.et.Retire(ts)
 	m.tryCommit(c, ts+1)
@@ -316,7 +317,7 @@ func (m *HOPS) tryCommit(c *hopsCore, ts uint64) {
 	if c.dfenceWaiter != nil && c.et.AllCommitted() {
 		w := c.dfenceWaiter
 		c.dfenceWaiter = nil
-		m.env.St.Add("dfenceStalled", uint64(m.env.Eng.Now()-c.dfenceStart))
+		m.hc.dfenceStalled.Add(uint64(m.env.Eng.Now()-c.dfenceStart))
 		w()
 	}
 	m.kickFlusher(c)
@@ -333,7 +334,7 @@ func (m *HOPS) schedulePoll(c *hopsCore) {
 	m.env.Eng.After(m.env.Cfg.HOPSPollInterval, func() {
 		m.env.Eng.After(m.env.Cfg.HOPSPollCost, func() {
 			c.pollScheduled = false
-			m.env.St.Inc("hopsPolls")
+			m.hc.hopsPolls.Inc()
 			m.pollOnce(c)
 		})
 	})

@@ -20,6 +20,7 @@ import (
 // expects LB++ below HOPS and ASAP.
 type LBPP struct {
 	env   Env
+	hc    hotCounters
 	cores []*lbppCore
 	// waiters[src] lists dependent epochs released when src persists.
 	waiters     map[persist.EpochID][]persist.EpochID
@@ -41,6 +42,7 @@ type lbppCore struct {
 func newLBPP(env Env) *LBPP {
 	m := &LBPP{
 		env:         env,
+		hc:          newHotCounters(env.St),
 		waiters:     make(map[persist.EpochID][]persist.EpochID),
 		committedTS: make([]uint64, env.Cfg.Cores),
 	}
@@ -82,15 +84,15 @@ func (m *LBPP) tryEnqueue(c *lbppCore, line mem.Line, token mem.Token, done func
 	if !ok {
 		began := m.env.Eng.Now()
 		c.storeWaiters = append(c.storeWaiters, func() {
-			m.env.St.Add("cyclesStalled", uint64(m.env.Eng.Now()-began))
+			m.hc.cyclesStalled.Add(uint64(m.env.Eng.Now()-began))
 			m.tryEnqueue(c, line, token, done)
 		})
 		m.kickFlusher(c)
 		return
 	}
-	m.env.St.Inc("entriesInserted")
+	m.hc.entriesInserted.Inc()
 	if coalesced {
-		m.env.St.Inc("pbCoalesced")
+		m.hc.pbCoalesced.Inc()
 	} else {
 		c.et.Current().Unacked++
 	}
@@ -105,7 +107,7 @@ func (m *LBPP) Ofence(core int, done func()) {
 	if c.et.Full() {
 		began := m.env.Eng.Now()
 		c.fenceWaiter = func() {
-			m.env.St.Add("ofenceStalled", uint64(m.env.Eng.Now()-began))
+			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now()-began))
 			m.Ofence(core, done)
 		}
 		return
@@ -125,7 +127,7 @@ func (m *LBPP) Dfence(core int, done func()) {
 	if c.et.Full() {
 		began := m.env.Eng.Now()
 		c.fenceWaiter = func() {
-			m.env.St.Add("ofenceStalled", uint64(m.env.Eng.Now()-began))
+			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now()-began))
 			m.Dfence(core, done)
 		}
 		return
@@ -162,7 +164,7 @@ func (m *LBPP) Conflict(core int, cf *cache.Conflict) {
 	}
 	w := m.cores[cf.Writer]
 	src := persist.EpochID{Thread: cf.Writer, TS: w.et.CurrentTS()}
-	m.env.St.Inc("interTEpochConflict")
+	m.hc.interTEpochConflict.Inc()
 	if w.et.CurrentTS() == src.TS {
 		w.et.Advance()
 		m.tryCommit(w, src.TS)
@@ -280,7 +282,7 @@ func (m *LBPP) tryCommit(c *lbppCore, ts uint64) {
 	}
 	ent.Committed = true
 	m.committedTS[c.id] = ts
-	m.env.St.Inc("epochsCommitted")
+	m.hc.epochsCommitted.Inc()
 	epoch := persist.EpochID{Thread: c.id, TS: ts}
 	m.env.Ledger.EpochCommitted(epoch)
 	c.et.Retire(ts)
@@ -302,7 +304,7 @@ func (m *LBPP) tryCommit(c *lbppCore, ts uint64) {
 	if c.dfenceWaiter != nil && c.et.AllCommitted() {
 		w := c.dfenceWaiter
 		c.dfenceWaiter = nil
-		m.env.St.Add("dfenceStalled", uint64(m.env.Eng.Now()-c.dfenceStart))
+		m.hc.dfenceStalled.Add(uint64(m.env.Eng.Now()-c.dfenceStart))
 		w()
 	}
 	m.kickFlusher(c)

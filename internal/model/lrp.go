@@ -20,6 +20,7 @@ import (
 // LRP."
 type LRP struct {
 	env   Env
+	hc    hotCounters
 	cores []*lrpCore
 	// stallees[src] lists cores whose acquire is blocked until src
 	// persists.
@@ -48,6 +49,7 @@ type lrpCore struct {
 func newLRP(env Env) *LRP {
 	m := &LRP{
 		env:         env,
+		hc:          newHotCounters(env.St),
 		stallees:    make(map[persist.EpochID][]int),
 		committedTS: make([]uint64, env.Cfg.Cores),
 	}
@@ -97,15 +99,15 @@ func (m *LRP) tryEnqueue(c *lrpCore, line mem.Line, token mem.Token, done func()
 	if !ok {
 		began := m.env.Eng.Now()
 		c.storeWaiters = append(c.storeWaiters, func() {
-			m.env.St.Add("cyclesStalled", uint64(m.env.Eng.Now()-began))
+			m.hc.cyclesStalled.Add(uint64(m.env.Eng.Now()-began))
 			m.tryEnqueue(c, line, token, done)
 		})
 		m.kickFlusher(c)
 		return
 	}
-	m.env.St.Inc("entriesInserted")
+	m.hc.entriesInserted.Inc()
 	if coalesced {
-		m.env.St.Inc("pbCoalesced")
+		m.hc.pbCoalesced.Inc()
 	} else {
 		c.et.Current().Unacked++
 	}
@@ -124,7 +126,7 @@ func (m *LRP) ofence(c *lrpCore, done func()) {
 	if c.et.Full() {
 		began := m.env.Eng.Now()
 		c.fenceWaiter = func() {
-			m.env.St.Add("ofenceStalled", uint64(m.env.Eng.Now()-began))
+			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now()-began))
 			m.ofence(c, done)
 		}
 		return
@@ -145,7 +147,7 @@ func (m *LRP) dfence(c *lrpCore, done func()) {
 	if c.et.Full() {
 		began := m.env.Eng.Now()
 		c.fenceWaiter = func() {
-			m.env.St.Add("ofenceStalled", uint64(m.env.Eng.Now()-began))
+			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now()-began))
 			m.dfence(c, done)
 		}
 		return
@@ -191,8 +193,8 @@ func (m *LRP) Conflict(core int, cf *cache.Conflict) {
 	if m.EpochCommitted(src) {
 		return
 	}
-	m.env.St.Inc("interTEpochConflict")
-	m.env.St.Inc("lrpForwardStalls")
+	m.hc.interTEpochConflict.Inc()
+	m.hc.lrpForwardStalls.Inc()
 	c := m.cores[core]
 	if c.acquireStall == nil {
 		s := src
@@ -300,7 +302,7 @@ func (m *LRP) tryCommit(c *lrpCore, ts uint64) {
 	}
 	ent.Committed = true
 	m.committedTS[c.id] = ts
-	m.env.St.Inc("epochsCommitted")
+	m.hc.epochsCommitted.Inc()
 	epoch := persist.EpochID{Thread: c.id, TS: ts}
 	m.env.Ledger.EpochCommitted(epoch)
 	c.et.Retire(ts)
@@ -323,7 +325,7 @@ func (m *LRP) tryCommit(c *lrpCore, ts uint64) {
 	if c.dfenceWaiter != nil && c.et.AllCommitted() {
 		w := c.dfenceWaiter
 		c.dfenceWaiter = nil
-		m.env.St.Add("dfenceStalled", uint64(m.env.Eng.Now()-c.dfenceStart))
+		m.hc.dfenceStalled.Add(uint64(m.env.Eng.Now()-c.dfenceStart))
 		w()
 	}
 	m.kickFlusher(c)
@@ -334,7 +336,7 @@ func (m *LRP) unstall(core int) {
 	if c.acquireStall == nil {
 		return
 	}
-	m.env.St.Add("lrpStallCycles", uint64(m.env.Eng.Now()-c.stallBegan))
+	m.hc.lrpStallCycles.Add(uint64(m.env.Eng.Now()-c.stallBegan))
 	c.acquireStall = nil
 	pend := c.stalled
 	c.stalled = nil

@@ -23,6 +23,7 @@ import (
 // MC-side undo machinery instead.
 type PMEMSpec struct {
 	env   Env
+	hc    hotCounters
 	cores []*specCore
 }
 
@@ -52,7 +53,7 @@ type specEpoch struct {
 }
 
 func newPMEMSpec(env Env) *PMEMSpec {
-	m := &PMEMSpec{env: env}
+	m := &PMEMSpec{env: env, hc: newHotCounters(env.St)}
 	m.cores = make([]*specCore, env.Cfg.Cores)
 	for i := range m.cores {
 		m.cores[i] = &specCore{id: i, ts: 1, outstanding: make(map[uint64]*specEpoch)}
@@ -94,7 +95,7 @@ func (m *PMEMSpec) Store(core int, line mem.Line, token mem.Token, done func()) 
 	c := m.cores[core]
 	ts := c.ts
 	m.env.Ledger.RecordWrite(persist.EpochID{Thread: core, TS: ts}, line, token)
-	m.env.St.Inc("entriesInserted")
+	m.hc.entriesInserted.Inc()
 
 	mcID := m.env.IL.Home(line)
 	ep := c.outstanding[ts]
@@ -114,7 +115,7 @@ func (m *PMEMSpec) Store(core int, line mem.Line, token mem.Token, done func()) 
 		}
 		for mc, n := range oep.perMC {
 			if mc != mcID && n > 0 {
-				m.env.St.Inc("specMisspeculations")
+				m.hc.specMisspeculations.Inc()
 				if m.env.Eng.Now()+specRecoveryCost > c.recoverUntil {
 					c.recoverUntil = m.env.Eng.Now() + specRecoveryCost
 				}
@@ -152,7 +153,7 @@ func (m *PMEMSpec) retire(c *specCore) {
 	if c.dfenceWaiter != nil && m.drained(c) {
 		w := c.dfenceWaiter
 		c.dfenceWaiter = nil
-		m.env.St.Add("dfenceStalled", uint64(m.env.Eng.Now()-c.dfenceStart))
+		m.hc.dfenceStalled.Add(uint64(m.env.Eng.Now()-c.dfenceStart))
 		w()
 	}
 }

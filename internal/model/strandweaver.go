@@ -28,6 +28,7 @@ type StrandModel interface {
 // baseline for that comparison (experiment abl_strands).
 type StrandWeaver struct {
 	env   Env
+	hc    hotCounters
 	cores []*swCore
 	// waiters[src] lists dependent epochs notified when src commits.
 	waiters   map[persist.EpochID][]persist.EpochID
@@ -65,6 +66,7 @@ func (e *swEpoch) depsResolved() bool { return e.resolved >= len(e.deps) }
 func newStrandWeaver(env Env) *StrandWeaver {
 	m := &StrandWeaver{
 		env:       env,
+		hc:        newHotCounters(env.St),
 		waiters:   make(map[persist.EpochID][]persist.EpochID),
 		committed: make(map[persist.EpochID]bool),
 	}
@@ -97,7 +99,7 @@ func (m *StrandWeaver) Strand(core int) {
 	c.strands = append(c.strands, &swStrand{epochs: []*swEpoch{{ts: c.nextTS}}})
 	c.nextTS++
 	c.cur = len(c.strands) - 1
-	m.env.St.Inc("swStrands")
+	m.hc.swStrands.Inc()
 	m.tryCommitAll(c)
 }
 
@@ -138,15 +140,15 @@ func (m *StrandWeaver) tryEnqueue(c *swCore, line mem.Line, token mem.Token, don
 	if !ok {
 		began := m.env.Eng.Now()
 		c.storeWaiters = append(c.storeWaiters, func() {
-			m.env.St.Add("cyclesStalled", uint64(m.env.Eng.Now()-began))
+			m.hc.cyclesStalled.Add(uint64(m.env.Eng.Now()-began))
 			m.tryEnqueue(c, line, token, done)
 		})
 		m.kickFlusher(c)
 		return
 	}
-	m.env.St.Inc("entriesInserted")
+	m.hc.entriesInserted.Inc()
 	if coalesced {
-		m.env.St.Inc("pbCoalesced")
+		m.hc.pbCoalesced.Inc()
 	} else {
 		e.unacked++
 	}
@@ -227,7 +229,7 @@ func (m *StrandWeaver) Conflict(core int, cf *cache.Conflict) {
 	if m.committed[src] {
 		return
 	}
-	m.env.St.Inc("interTEpochConflict")
+	m.hc.interTEpochConflict.Inc()
 	w := m.cores[src.Thread]
 	if _, we := w.epochByTS(src.TS); we != nil && !we.closed {
 		m.closeOpen(w, mustStrand(w, src.TS))
@@ -360,7 +362,7 @@ func (m *StrandWeaver) tryCommitAll(c *swCore) {
 				s.epochs = s.epochs[1:]
 				epoch := persist.EpochID{Thread: c.id, TS: head.ts}
 				m.committed[epoch] = true
-				m.env.St.Inc("epochsCommitted")
+				m.hc.epochsCommitted.Inc()
 				m.env.Ledger.EpochCommitted(epoch)
 				if deps := m.waiters[epoch]; len(deps) > 0 {
 					delete(m.waiters, epoch)
@@ -397,7 +399,7 @@ func (m *StrandWeaver) tryCommitAll(c *swCore) {
 	if c.dfenceWaiter != nil && m.drained(c) {
 		w := c.dfenceWaiter
 		c.dfenceWaiter = nil
-		m.env.St.Add("dfenceStalled", uint64(m.env.Eng.Now()-c.dfenceStart))
+		m.hc.dfenceStalled.Add(uint64(m.env.Eng.Now()-c.dfenceStart))
 		w()
 	}
 	m.kickFlusher(c)

@@ -20,6 +20,7 @@ import (
 // epochs persisted everywhere.
 type Vorpal struct {
 	env   Env
+	hc    hotCounters
 	cores []*vorpalCore
 
 	// persisted[t][mc] = highest epoch of thread t fully persisted at mc.
@@ -64,7 +65,7 @@ type vorpalCore struct {
 const vorpalBroadcastInterval sim.Cycles = 500
 
 func newVorpal(env Env) *Vorpal {
-	m := &Vorpal{env: env}
+	m := &Vorpal{env: env, hc: newHotCounters(env.St)}
 	m.cores = make([]*vorpalCore, env.Cfg.Cores)
 	m.persisted = make([][]uint64, env.Cfg.Cores)
 	m.visible = make([]uint64, env.Cfg.Cores)
@@ -115,16 +116,16 @@ func (m *Vorpal) tryEnqueue(c *vorpalCore, line mem.Line, token mem.Token, done 
 	if !ok {
 		began := m.env.Eng.Now()
 		c.storeWaiters = append(c.storeWaiters, func() {
-			m.env.St.Add("cyclesStalled", uint64(m.env.Eng.Now()-began))
+			m.hc.cyclesStalled.Add(uint64(m.env.Eng.Now()-began))
 			m.tryEnqueue(c, line, token, done)
 		})
 		m.kickFlusher(c)
 		return
 	}
-	m.env.St.Inc("entriesInserted")
-	m.env.St.Add("vorpalTagBytes", uint64(m.env.Cfg.Cores*2)) // vector timestamp per store
+	m.hc.entriesInserted.Inc()
+	m.hc.vorpalTagBytes.Add(uint64(m.env.Cfg.Cores*2)) // vector timestamp per store
 	if coalesced {
-		m.env.St.Inc("pbCoalesced")
+		m.hc.pbCoalesced.Inc()
 	} else {
 		c.et.Current().Unacked++
 	}
@@ -139,7 +140,7 @@ func (m *Vorpal) Ofence(core int, done func()) {
 	if c.et.Full() {
 		began := m.env.Eng.Now()
 		c.fenceWaiter = func() {
-			m.env.St.Add("ofenceStalled", uint64(m.env.Eng.Now()-began))
+			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now()-began))
 			m.Ofence(core, done)
 		}
 		return
@@ -156,7 +157,7 @@ func (m *Vorpal) Dfence(core int, done func()) {
 	if c.et.Full() {
 		began := m.env.Eng.Now()
 		c.fenceWaiter = func() {
-			m.env.St.Add("ofenceStalled", uint64(m.env.Eng.Now()-began))
+			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now()-began))
 			m.Dfence(core, done)
 		}
 		return
@@ -201,7 +202,7 @@ func (m *Vorpal) Conflict(core int, cf *cache.Conflict) {
 	if m.EpochCommitted(src) {
 		return
 	}
-	m.env.St.Inc("interTEpochConflict")
+	m.hc.interTEpochConflict.Inc()
 	w := m.cores[src.Thread]
 	if w.et.CurrentTS() == src.TS {
 		w.et.Advance()
@@ -273,7 +274,7 @@ func (m *Vorpal) arrive(mcID int, fl vorpalFlush) {
 	}
 	fl.parked = m.env.Eng.Now()
 	m.pending[mcID] = append(m.pending[mcID], fl)
-	m.env.St.Inc("vorpalParked")
+	m.hc.vorpalParked.Inc()
 }
 
 // safeToPersist: all earlier epochs of the thread — and every recorded
@@ -333,7 +334,7 @@ func (m *Vorpal) tryRetire(c *vorpalCore, ts uint64) {
 	for mcID := range m.persisted[c.id] {
 		m.persisted[c.id][mcID] = ts
 	}
-	m.env.St.Inc("epochsCommitted")
+	m.hc.epochsCommitted.Inc()
 	m.env.Ledger.EpochCommitted(persist.EpochID{Thread: c.id, TS: ts})
 	c.et.Retire(ts)
 	m.tryRetire(c, ts+1)
@@ -345,7 +346,7 @@ func (m *Vorpal) tryRetire(c *vorpalCore, ts uint64) {
 	if c.dfenceWaiter != nil && c.et.AllCommitted() {
 		w := c.dfenceWaiter
 		c.dfenceWaiter = nil
-		m.env.St.Add("dfenceStalled", uint64(m.env.Eng.Now()-c.dfenceStart))
+		m.hc.dfenceStalled.Add(uint64(m.env.Eng.Now()-c.dfenceStart))
 		w()
 	}
 }
@@ -358,7 +359,7 @@ func (m *Vorpal) ensureBroadcast() {
 	m.broadcastOn = true
 	var tick func()
 	tick = func() {
-		m.env.St.Inc("vorpalBroadcasts")
+		m.hc.vorpalBroadcasts.Inc()
 		// Update every thread's globally visible clock.
 		for t := range m.visible {
 			min := ^uint64(0)
@@ -374,7 +375,7 @@ func (m *Vorpal) ensureBroadcast() {
 			var rest []vorpalFlush
 			for _, fl := range m.pending[mcID] {
 				if m.safeToPersist(fl.epoch) {
-					m.env.St.Add("vorpalParkCycles", uint64(m.env.Eng.Now()-fl.parked))
+					m.hc.vorpalParkCycles.Add(uint64(m.env.Eng.Now()-fl.parked))
 					m.persistNow(mcID, fl)
 				} else {
 					rest = append(rest, fl)

@@ -71,14 +71,35 @@ func (e *ETEntry) ForEachEarlyMC(fn func(mc int)) {
 // EpochTable tracks the in-flight epochs of one core. Entries are ordered by
 // TS; capacity bounds the number of uncommitted epochs, and an ofence that
 // would exceed it stalls the core (§VI-A).
+//
+// Tracked timestamps always lie in the window [oldest, current], whose span
+// is bounded by the table's occupancy, so the TS → entry index is a
+// power-of-two ring addressed by ts&mask rather than a map: the Get on
+// every flush ACK, commit attempt and CDR is two compares and an indexed
+// load. The ring doubles in the rare case a burst of coherence-triggered
+// splits pushes the window past its length (Advance may exceed nominal
+// capacity; hardware reserves entries for this).
 type EpochTable struct {
 	capacity int
 	thread   int
 	current  uint64 // TS of the open epoch
-	entries  map[uint64]*ETEntry
 	oldest   uint64 // lowest TS not yet retired
+	ring     []*ETEntry
+	mask     uint64 // len(ring) - 1
+	count    int    // tracked (unretired) epochs
 	maxOcc   int
 	free     []*ETEntry // retired entries, recycled by Advance
+}
+
+// etRingSize returns the initial ring length: a power of two comfortably
+// above the nominal capacity so transient over-capacity windows rarely
+// force a grow.
+func etRingSize(capacity int) int {
+	n := 16
+	for n < 2*capacity {
+		n *= 2
+	}
+	return n
 }
 
 // NewEpochTable returns a table for the given hardware thread. Epoch 1 is
@@ -87,14 +108,17 @@ func NewEpochTable(thread, capacity int) *EpochTable {
 	if capacity <= 0 {
 		panic("persist: epoch table capacity must be positive")
 	}
+	n := etRingSize(capacity)
 	et := &EpochTable{
 		capacity: capacity,
 		thread:   thread,
 		current:  1,
 		oldest:   1,
-		entries:  make(map[uint64]*ETEntry),
+		ring:     make([]*ETEntry, n),
+		mask:     uint64(n) - 1,
 	}
-	et.entries[1] = &ETEntry{TS: 1}
+	et.ring[1&et.mask] = &ETEntry{TS: 1}
+	et.count = 1
 	et.maxOcc = 1
 	return et
 }
@@ -106,25 +130,44 @@ func (et *EpochTable) Thread() int { return et.thread }
 func (et *EpochTable) CurrentTS() uint64 { return et.current }
 
 // Current returns the open epoch's entry.
-func (et *EpochTable) Current() *ETEntry { return et.entries[et.current] }
+func (et *EpochTable) Current() *ETEntry { return et.ring[et.current&et.mask] }
 
-// Get returns the entry for epoch ts, if still tracked.
+// Get returns the entry for epoch ts, if still tracked. Within the window
+// [oldest, current] ring slots are collision-free (the window never exceeds
+// the ring length), so a slot holds either ts's entry or nil (retired).
 func (et *EpochTable) Get(ts uint64) (*ETEntry, bool) {
-	e, ok := et.entries[ts]
-	return e, ok
+	if ts < et.oldest || ts > et.current {
+		return nil, false
+	}
+	e := et.ring[ts&et.mask]
+	if e == nil {
+		return nil, false
+	}
+	return e, true
 }
 
 // Len returns the number of tracked (unretired) epochs.
-func (et *EpochTable) Len() int { return len(et.entries) }
+func (et *EpochTable) Len() int { return et.count }
 
 // MaxOccupancy returns the high-water mark of Len.
 func (et *EpochTable) MaxOccupancy() int { return et.maxOcc }
 
 // Full reports whether opening another epoch would exceed capacity.
-func (et *EpochTable) Full() bool { return len(et.entries) >= et.capacity }
+func (et *EpochTable) Full() bool { return et.count >= et.capacity }
 
 // OldestTS returns the lowest unretired epoch timestamp.
 func (et *EpochTable) OldestTS() uint64 { return et.oldest }
+
+// grow doubles the ring and re-places the tracked window.
+func (et *EpochTable) grow() {
+	old := et.ring
+	oldMask := et.mask
+	et.ring = make([]*ETEntry, 2*len(old))
+	et.mask = uint64(len(et.ring)) - 1
+	for ts := et.oldest; ts <= et.current; ts++ {
+		et.ring[ts&et.mask] = old[ts&oldMask]
+	}
+}
 
 // Advance closes the current epoch and opens a new one, returning its entry.
 // Fence instructions must stall on Full before advancing; coherence-
@@ -134,8 +177,11 @@ func (et *EpochTable) OldestTS() uint64 { return et.oldest }
 // this). Lemma 0.1's acyclicity argument requires that the dependency
 // source epoch is always closed at creation.
 func (et *EpochTable) Advance() *ETEntry {
-	et.entries[et.current].Closed = true
+	et.ring[et.current&et.mask].Closed = true
 	et.current++
+	if et.current-et.oldest+1 > uint64(len(et.ring)) {
+		et.grow()
+	}
 	var e *ETEntry
 	if n := len(et.free); n > 0 {
 		e = et.free[n-1]
@@ -146,31 +192,30 @@ func (et *EpochTable) Advance() *ETEntry {
 	} else {
 		e = &ETEntry{TS: et.current}
 	}
-	et.entries[et.current] = e
-	if len(et.entries) > et.maxOcc {
-		et.maxOcc = len(et.entries)
+	et.ring[et.current&et.mask] = e
+	et.count++
+	if et.count > et.maxOcc {
+		et.maxOcc = et.count
 	}
 	return e
 }
 
 // Retire removes a committed epoch from the table, freeing an entry.
 func (et *EpochTable) Retire(ts uint64) {
-	e, ok := et.entries[ts]
+	e, ok := et.Get(ts)
 	if !ok {
 		return
 	}
 	if !e.Committed {
 		panic("persist: retiring uncommitted epoch")
 	}
-	delete(et.entries, ts)
+	et.ring[ts&et.mask] = nil
+	et.count--
 	// Recycle the entry; Advance reuses it (and its Deps/Dependents
 	// backing arrays) for a future epoch. Callers must not retain
 	// *ETEntry pointers across Retire.
 	et.free = append(et.free, e)
-	for {
-		if _, ok := et.entries[et.oldest]; ok || et.oldest > et.current {
-			break
-		}
+	for et.oldest <= et.current && et.ring[et.oldest&et.mask] == nil {
 		et.oldest++
 	}
 }
@@ -181,7 +226,7 @@ func (et *EpochTable) PrevCommitted(ts uint64) bool {
 	if ts <= 1 {
 		return true
 	}
-	prev, ok := et.entries[ts-1]
+	prev, ok := et.Get(ts - 1)
 	if !ok {
 		return true // already retired, hence committed
 	}
@@ -191,9 +236,9 @@ func (et *EpochTable) PrevCommitted(ts uint64) bool {
 // AllCommitted reports whether no uncommitted epoch remains except possibly
 // an empty open epoch with no writes. This is the dfence condition (§V-A).
 func (et *EpochTable) AllCommitted() bool {
-	//asaplint:ignore detcheck an all-entries predicate scan is order-independent
-	for _, e := range et.entries {
-		if e.Committed {
+	for ts := et.oldest; ts <= et.current; ts++ {
+		e := et.ring[ts&et.mask]
+		if e == nil || e.Committed {
 			continue
 		}
 		if !e.Closed && e.Unacked == 0 && len(e.Deps) == 0 {
@@ -209,7 +254,7 @@ func (et *EpochTable) AllCommitted() bool {
 // Epochs calls fn for each tracked epoch in ascending TS order.
 func (et *EpochTable) Epochs(fn func(*ETEntry)) {
 	for ts := et.oldest; ts <= et.current; ts++ {
-		if e, ok := et.entries[ts]; ok {
+		if e := et.ring[ts&et.mask]; e != nil {
 			fn(e)
 		}
 	}

@@ -21,9 +21,18 @@ type mcJob struct {
 	replier  FlushReplier
 	replyArg uint64
 
-	// commit fields
-	epoch      EpochID
-	commitDone func()
+	// commit fields. Exactly one of commitDone (legacy closure form) or
+	// commitAcker (typed form) is set.
+	epoch       EpochID
+	commitDone  func()
+	commitAcker CommitAcker
+}
+
+// CommitAcker receives the controller's commit ACK for an epoch submitted
+// via CommitOp — the typed analogue of Commit's done closure, letting the
+// per-epoch commit path schedule without allocating.
+type CommitAcker interface {
+	CommitAck(e EpochID)
 }
 
 // FlushReplier receives the controller's ACK/NACK for a flush submitted via
@@ -53,11 +62,13 @@ const (
 // at the same MsgLat delay, so a FIFO ring dispatched by typed events
 // preserves the exact delivery order the per-reply closures produced.
 type mcReply struct {
-	replier FlushReplier
-	legacy  func(FlushResult)
-	commit  func()
-	arg     uint64
-	res     FlushResult
+	replier  FlushReplier
+	legacy   func(FlushResult)
+	commit   func()
+	acker    CommitAcker
+	ackEpoch EpochID
+	arg      uint64
+	res      FlushResult
 }
 
 // MC is a memory controller front-end. It owns a WPQ (in the ADR persistence
@@ -106,6 +117,7 @@ type MC struct {
 	draining bool
 
 	st *stats.Set
+	hc mcCounters
 
 	trc   obs.Tracer // nil unless tracing; every use must be nil-guarded
 	track obs.TrackID
@@ -128,6 +140,7 @@ func NewMC(id int, eng *sim.Engine, cfg config.Config, speculative bool, st *sta
 		XP:  mem.NewXPBuffer(cfg.XPBufLines),
 		NVM: mem.NewNVM(),
 		st:  st,
+		hc:  newMCCounters(st),
 	}
 	if speculative {
 		mc.RT = NewRecoveryTable(cfg.RTEntries)
@@ -168,9 +181,9 @@ func (mc *MC) ReceiveOp(pkt FlushPacket, rp FlushReplier, arg uint64) {
 
 func (mc *MC) enqueueFlush(j mcJob) {
 	if j.pkt.Early {
-		mc.st.Inc("mcEarlyFlushes")
+		mc.hc.earlyFlushes.Inc()
 	} else {
-		mc.st.Inc("mcSafeFlushes")
+		mc.hc.safeFlushes.Inc()
 	}
 	mc.queue = append(mc.queue, j)
 	mc.serve()
@@ -181,6 +194,13 @@ func (mc *MC) enqueueFlush(j mcJob) {
 // processed (§V-C).
 func (mc *MC) Commit(e EpochID, done func()) {
 	mc.queue = append(mc.queue, mcJob{isCommit: true, epoch: e, commitDone: done})
+	mc.serve()
+}
+
+// CommitOp is the typed form of Commit: the ACK is delivered through
+// acker.CommitAck(e) instead of a per-commit closure.
+func (mc *MC) CommitOp(e EpochID, acker CommitAcker) {
+	mc.queue = append(mc.queue, mcJob{isCommit: true, epoch: e, commitAcker: acker})
 	mc.serve()
 }
 
@@ -229,6 +249,8 @@ func (mc *MC) RunEvent(kind int, arg uint64) {
 			mc.rhead = 0
 		}
 		switch {
+		case r.acker != nil:
+			r.acker.CommitAck(r.ackEpoch)
 		case r.commit != nil:
 			r.commit()
 		case r.replier != nil:
@@ -275,7 +297,7 @@ func (mc *MC) ack() {
 // nack NACKs the flush in service and moves on.
 func (mc *MC) nack() {
 	j := &mc.cur
-	mc.st.Inc("mcNacks")
+	mc.hc.nacks.Inc()
 	if mc.trc != nil {
 		mc.trc.Instant(mc.track, "nack")
 	}
@@ -322,7 +344,7 @@ func (mc *MC) processFlush() {
 	// incoming value is always the newer one).
 	if mc.RT.HasDelay(pkt.Line, pkt.Epoch) {
 		mc.RT.CreateDelay(pkt.Line, pkt.Token, pkt.Epoch)
-		mc.st.Inc("mcDelayCoalesced")
+		mc.hc.delayCoalesced.Inc()
 		mc.ack()
 		return
 	}
@@ -351,7 +373,7 @@ func (mc *MC) processFlush() {
 		// write). The incoming value becomes the recorded safe state;
 		// the memory write is suppressed.
 		mc.RT.UpdateUndo(pkt.Line, pkt.Token)
-		mc.st.Inc("mcWritesSuppressed")
+		mc.hc.writesSuppressed.Inc()
 		mc.ack()
 
 	case pkt.Early && hasUndo:
@@ -386,7 +408,7 @@ func (mc *MC) readDone(old mem.Token) {
 		mc.nack()
 		return
 	}
-	mc.st.Inc("totalUndo")
+	mc.hc.totalUndo.Inc()
 	mc.insertWrite(pkt.Line, pkt.Token, contAck)
 }
 
@@ -402,7 +424,7 @@ func (mc *MC) processCommit() {
 			}
 		}
 	}
-	mc.st.Inc("mcCommits")
+	mc.hc.commits.Inc()
 	mc.commitNext()
 }
 
@@ -412,7 +434,8 @@ func (mc *MC) commitNext() {
 	for {
 		if mc.delayIdx >= len(mc.delays) {
 			mc.delays = nil
-			mc.sendReply(mcReply{commit: mc.cur.commitDone})
+			mc.sendReply(mcReply{commit: mc.cur.commitDone,
+				acker: mc.cur.commitAcker, ackEpoch: mc.cur.epoch})
 			mc.finishJob()
 			return
 		}
@@ -420,7 +443,7 @@ func (mc *MC) commitNext() {
 		mc.delayIdx++
 		if _, hasUndo := mc.RT.Undo(d.Line); hasUndo {
 			mc.RT.UpdateUndo(d.Line, d.Token)
-			mc.st.Inc("mcWritesSuppressed")
+			mc.hc.writesSuppressed.Inc()
 			continue
 		}
 		mc.insertWrite(d.Line, d.Token, contCommitNext)
@@ -452,7 +475,7 @@ func (mc *MC) readCurrent(l mem.Line) {
 		mc.eng.AfterOp(mc.cfg.XPBufHit, mc, mcEvXPRead, uint64(t))
 		return
 	}
-	mc.st.Inc("mcUndoMediaReads")
+	mc.hc.undoMediaReads.Inc()
 	if mc.trc != nil {
 		mc.trc.Instant(mc.track, "undo media read")
 	}
@@ -473,7 +496,7 @@ func (mc *MC) insertWrite(l mem.Line, t mem.Token, cont int) {
 		mc.runCont(cont)
 		return
 	}
-	mc.st.Inc("mcWpqFullStalls")
+	mc.hc.wpqFullStalls.Inc()
 	if mc.trc != nil {
 		mc.trc.Instant(mc.track, "wpq full")
 	}

@@ -134,7 +134,8 @@ func TestEpochTableLifecycle(t *testing.T) {
 	}
 	et.Current().Unacked = 2
 	e2 := et.Advance()
-	if e2.TS != 2 || !et.entries[1].Closed {
+	e1, ok := et.Get(1)
+	if e2.TS != 2 || !ok || !e1.Closed {
 		t.Fatal("advance did not close epoch 1")
 	}
 	if !et.PrevCommitted(1) {

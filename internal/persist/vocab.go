@@ -4,14 +4,43 @@ import "asap/internal/stats"
 
 // The memory controller's stat vocabulary (Table I flush handling and the
 // recovery-table path). See internal/model/vocab.go for the rationale.
-func init() {
-	stats.Register("mcCommits", "epoch commit messages processed by the MC")
-	stats.Register("mcDelayCoalesced", "flushes coalesced into an existing delay record")
-	stats.Register("mcEarlyFlushes", "early (speculative) flushes accepted by the MC")
-	stats.Register("mcNacks", "early flushes NACKed for lack of recovery-table space")
-	stats.Register("mcSafeFlushes", "safe (post-commit) flushes received by the MC")
-	stats.Register("mcUndoMediaReads", "NVM media reads to capture undo images")
-	stats.Register("mcWpqFullStalls", "inserts stalled on a full write-pending queue")
-	stats.Register("mcWritesSuppressed", "NVM writes suppressed by delay-record coalescing")
-	stats.Register("totalUndo", "undo records created in the recovery table")
+// Registration returns the dense keys NewMC resolves to Counter handles so
+// the per-flush service path never hashes a stat name.
+var (
+	kMcCommits          = stats.Register("mcCommits", "epoch commit messages processed by the MC")
+	kMcDelayCoalesced   = stats.Register("mcDelayCoalesced", "flushes coalesced into an existing delay record")
+	kMcEarlyFlushes     = stats.Register("mcEarlyFlushes", "early (speculative) flushes accepted by the MC")
+	kMcNacks            = stats.Register("mcNacks", "early flushes NACKed for lack of recovery-table space")
+	kMcSafeFlushes      = stats.Register("mcSafeFlushes", "safe (post-commit) flushes received by the MC")
+	kMcUndoMediaReads   = stats.Register("mcUndoMediaReads", "NVM media reads to capture undo images")
+	kMcWpqFullStalls    = stats.Register("mcWpqFullStalls", "inserts stalled on a full write-pending queue")
+	kMcWritesSuppressed = stats.Register("mcWritesSuppressed", "NVM writes suppressed by delay-record coalescing")
+	kTotalUndo          = stats.Register("totalUndo", "undo records created in the recovery table")
+)
+
+// mcCounters bundles the controller's pre-resolved stat handles.
+type mcCounters struct {
+	commits          stats.Counter
+	delayCoalesced   stats.Counter
+	earlyFlushes     stats.Counter
+	nacks            stats.Counter
+	safeFlushes      stats.Counter
+	undoMediaReads   stats.Counter
+	wpqFullStalls    stats.Counter
+	writesSuppressed stats.Counter
+	totalUndo        stats.Counter
+}
+
+func newMCCounters(st *stats.Set) mcCounters {
+	return mcCounters{
+		commits:          st.Counter(kMcCommits),
+		delayCoalesced:   st.Counter(kMcDelayCoalesced),
+		earlyFlushes:     st.Counter(kMcEarlyFlushes),
+		nacks:            st.Counter(kMcNacks),
+		safeFlushes:      st.Counter(kMcSafeFlushes),
+		undoMediaReads:   st.Counter(kMcUndoMediaReads),
+		wpqFullStalls:    st.Counter(kMcWpqFullStalls),
+		writesSuppressed: st.Counter(kMcWritesSuppressed),
+		totalUndo:        st.Counter(kTotalUndo),
+	}
 }

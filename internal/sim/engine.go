@@ -25,15 +25,23 @@ type EventOp interface {
 }
 
 // event is a scheduled callback. seq breaks ties deterministically so that
-// two events scheduled for the same cycle fire in schedule order. Exactly
-// one of fn (closure form) and op (typed form) is set.
+// two events scheduled for the same cycle fire in schedule order.
+//
+// The struct is deliberately pointer-free: the heap permutes events
+// constantly (every push and pop moves several), and if the element held a
+// closure or interface directly, every one of those moves would run a GC
+// write barrier — measured at a double-digit share of whole-machine time.
+// Instead an event holds indices: opIdx into the engine's registered
+// receiver table (typed form) or fnIdx into the in-flight closure table
+// (closure form, opIdx < 0). A 40-byte pointer-free element makes heap
+// sifts plain memmoves and packs more of the frontier per cache line.
 type event struct {
-	when Cycles
-	seq  uint64
-	fn   func()
-	op   EventOp
-	kind int
-	arg  uint64
+	when  Cycles
+	seq   uint64
+	arg   uint64
+	kind  int32
+	opIdx int32 // index into Engine.ops; -1 for closure events
+	fnIdx int32 // index into Engine.fns (closure events only)
 }
 
 // Engine is a single-threaded discrete-event simulator. Components schedule
@@ -56,6 +64,19 @@ type Engine struct {
 	events     []event // 4-ary min-heap by (when, seq)
 	halted     bool
 	onDispatch func(when Cycles)
+
+	// ops holds the typed-event receivers ever scheduled on this engine,
+	// deduplicated by identity; events reference them by index so the
+	// heap elements stay pointer-free. A machine registers only a handful
+	// of receivers (machine, model, controllers), so the lookup in
+	// ScheduleOp is a short pointer-compare scan.
+	ops []EventOp
+
+	// fns holds in-flight closure callbacks; fnFree recycles dispatched
+	// slots. A slot is cleared at dispatch so the closure (and everything
+	// it captures) is collectable as soon as it has run.
+	fns    []func()
+	fnFree []int32
 }
 
 // NewEngine returns an engine with the clock at cycle zero.
@@ -72,7 +93,16 @@ func (e *Engine) At(when Cycles, fn func()) {
 	if when < e.now {
 		panic("sim: event scheduled in the past")
 	}
-	e.push(event{when: when, seq: e.seq, fn: fn})
+	var idx int32
+	if n := len(e.fnFree); n > 0 {
+		idx = e.fnFree[n-1]
+		e.fnFree = e.fnFree[:n-1]
+		e.fns[idx] = fn
+	} else {
+		idx = int32(len(e.fns))
+		e.fns = append(e.fns, fn)
+	}
+	e.push(event{when: when, seq: e.seq, opIdx: -1, fnIdx: idx})
 	e.seq++
 }
 
@@ -89,8 +119,21 @@ func (e *Engine) ScheduleOp(when Cycles, op EventOp, kind int, arg uint64) {
 	if when < e.now {
 		panic("sim: event scheduled in the past")
 	}
-	e.push(event{when: when, seq: e.seq, op: op, kind: kind, arg: arg})
+	e.push(event{when: when, seq: e.seq, opIdx: e.opIndex(op), kind: int32(kind), arg: arg})
 	e.seq++
+}
+
+// opIndex returns op's slot in the receiver table, registering it on first
+// use. Identity comparison of the interface pair is exact: receivers are
+// long-lived pointers (machine, model, controllers).
+func (e *Engine) opIndex(op EventOp) int32 {
+	for i, o := range e.ops {
+		if o == op {
+			return int32(i)
+		}
+	}
+	e.ops = append(e.ops, op)
+	return int32(len(e.ops) - 1)
 }
 
 // AfterOp schedules the typed event (op, kind, arg) delay cycles from now.
@@ -145,10 +188,13 @@ func (e *Engine) dispatch() {
 	if e.onDispatch != nil {
 		e.onDispatch(next.when)
 	}
-	if next.fn != nil {
-		next.fn()
+	if next.opIdx >= 0 {
+		e.ops[next.opIdx].RunEvent(int(next.kind), next.arg)
 	} else {
-		next.op.RunEvent(next.kind, next.arg)
+		fn := e.fns[next.fnIdx]
+		e.fns[next.fnIdx] = nil
+		e.fnFree = append(e.fnFree, next.fnIdx)
+		fn()
 	}
 }
 
@@ -172,13 +218,12 @@ func (e *Engine) push(ev event) {
 	}
 }
 
-// popMin removes the root. The vacated tail slot is zeroed so the slice's
-// spare capacity does not keep the event's closure (and everything it
-// captures) reachable after dispatch.
+// popMin removes the root. Events are pointer-free (closures live in
+// Engine.fns and are cleared at dispatch), so the vacated tail slot needs
+// no zeroing for the collector's sake.
 func (e *Engine) popMin() {
 	n := len(e.events) - 1
 	e.events[0] = e.events[n]
-	e.events[n] = event{}
 	e.events = e.events[:n]
 	if n > 1 {
 		e.siftDown(0)

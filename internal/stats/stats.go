@@ -17,75 +17,165 @@ import (
 	"strings"
 )
 
-// registry maps counter and distribution names to their one-line
-// descriptions. It is written only from package init functions (the
-// vocabulary files in machine, model, and persist) and read afterwards,
-// so no locking is needed even under the parallel harness.
-var registry = make(map[string]string)
+// Key is the dense index assigned to a registered stat name. Keys are handed
+// out by Register in registration order and are valid for every Set; hot
+// call sites resolve a Key to a Counter handle once at construction and pay
+// a slice index per increment instead of a string hash.
+type Key int32
 
-// Register records a one-line description for stat name. Every counter or
-// distribution must be registered before the first write; the write methods
-// panic on unregistered names, which keeps the Table VI vocabulary closed —
-// a typo in a stat name fails the first test that touches it instead of
-// silently splitting a counter in two. Call Register from the owning
-// package's init. Re-registering a name with the same description is a
-// no-op; conflicting descriptions panic.
-func Register(name, desc string) {
-	if prev, ok := registry[name]; ok && prev != desc {
-		panic(fmt.Sprintf("stats: %q registered twice with different descriptions (%q vs %q)", name, prev, desc))
+// The global registry: name → key plus the parallel name/description tables
+// a Key indexes. Written only from package init functions (the vocabulary
+// files in machine, model, and persist) and read afterwards, so no locking
+// is needed even under the parallel harness.
+var (
+	byName = make(map[string]Key)
+	names  []string
+	descs  []string
+)
+
+// Register records a one-line description for stat name and returns its Key.
+// Every counter or distribution must be registered before the first write;
+// the write methods panic on unregistered names, which keeps the Table VI
+// vocabulary closed — a typo in a stat name fails the first test that
+// touches it instead of silently splitting a counter in two. Call Register
+// from the owning package's init. Re-registering a name with the same
+// description is a no-op returning the original Key; conflicting
+// descriptions panic.
+func Register(name, desc string) Key {
+	if k, ok := byName[name]; ok {
+		if descs[k] != desc {
+			panic(fmt.Sprintf("stats: %q registered twice with different descriptions (%q vs %q)", name, descs[k], desc))
+		}
+		return k
 	}
-	registry[name] = desc
+	k := Key(len(names))
+	byName[name] = k
+	names = append(names, name)
+	descs = append(descs, desc)
+	return k
 }
 
 // Description returns the registered description for name, or "" if the
 // name was never registered.
-func Description(name string) string { return registry[name] }
+func Description(name string) string {
+	if k, ok := byName[name]; ok {
+		return descs[k]
+	}
+	return ""
+}
 
-func checkRegistered(name string) {
-	if _, ok := registry[name]; !ok {
+func keyOf(name string) Key {
+	k, ok := byName[name]
+	if !ok {
 		panic(fmt.Sprintf("stats: counter %q used without stats.Register", name))
 	}
+	return k
 }
 
 // Set is a named collection of counters and distributions. The zero value is
 // not usable; call New.
+//
+// Counters live in a dense slice indexed by Key; touched tracks which
+// entries have ever been written so that printing and Names report exactly
+// the counters a run touched (a write of zero still counts as touched,
+// matching the old map semantics where Add(0) materialized the entry).
 type Set struct {
-	counters map[string]uint64
+	counters []uint64
+	touched  []bool
 	dists    map[string]*Dist
 }
 
-// New returns an empty stat set.
+// New returns an empty stat set sized for every name registered so far;
+// names registered later (tests) grow the set lazily on first use.
 func New() *Set {
 	return &Set{
-		counters: make(map[string]uint64),
+		counters: make([]uint64, len(names)),
+		touched:  make([]bool, len(names)),
 		dists:    make(map[string]*Dist),
 	}
 }
 
-// Add increments counter name by delta.
+// ensure grows the dense storage to cover k (only needed when a name was
+// registered after this Set was built).
+func (s *Set) ensure(k Key) {
+	if int(k) >= len(s.counters) {
+		c := make([]uint64, len(names))
+		copy(c, s.counters)
+		s.counters = c
+		t := make([]bool, len(names))
+		copy(t, s.touched)
+		s.touched = t
+	}
+}
+
+// Counter is a pre-resolved handle on one counter of one Set. Handles are
+// cheap value types: resolve them once at construction (m.kFoo =
+// st.Counter(kFoo)) and call Inc/Add on the hot path — no string hashing,
+// no map probe. A handle stays valid when later Register calls grow the
+// Set, because it holds the Key, not a slot pointer.
+type Counter struct {
+	s *Set
+	k Key
+}
+
+// Counter resolves Key k against the set. Resolving does not mark the
+// counter touched; only a write does.
+func (s *Set) Counter(k Key) Counter {
+	s.ensure(k)
+	return Counter{s: s, k: k}
+}
+
+// Inc increments the counter by one.
+func (c Counter) Inc() {
+	c.s.counters[c.k]++
+	c.s.touched[c.k] = true
+}
+
+// Add increments the counter by delta.
+func (c Counter) Add(delta uint64) {
+	c.s.counters[c.k] += delta
+	c.s.touched[c.k] = true
+}
+
+// Value reads the counter.
+func (c Counter) Value() uint64 { return c.s.counters[c.k] }
+
+// Add increments counter name by delta. String-keyed writes remain for cold
+// paths; per-op sites use Counter handles (enforced by asaplint statcheck).
 func (s *Set) Add(name string, delta uint64) {
-	checkRegistered(name)
-	s.counters[name] += delta
+	k := keyOf(name)
+	s.ensure(k)
+	s.counters[k] += delta
+	s.touched[k] = true
 }
 
 // Inc increments counter name by one.
 func (s *Set) Inc(name string) { s.Add(name, 1) }
 
-// Get returns the value of counter name (zero if never touched).
-func (s *Set) Get(name string) uint64 { return s.counters[name] }
+// Get returns the value of counter name (zero if never touched or never
+// registered).
+func (s *Set) Get(name string) uint64 {
+	k, ok := byName[name]
+	if !ok || int(k) >= len(s.counters) {
+		return 0
+	}
+	return s.counters[k]
+}
 
 // SetMax raises counter name to v if v is larger. Used for high-water marks
 // such as recovery-table max occupancy.
 func (s *Set) SetMax(name string, v uint64) {
-	checkRegistered(name)
-	if v > s.counters[name] {
-		s.counters[name] = v
+	k := keyOf(name)
+	s.ensure(k)
+	if v > s.counters[k] {
+		s.counters[k] = v
 	}
+	s.touched[k] = true
 }
 
 // Observe records sample v in the distribution named name.
 func (s *Set) Observe(name string, v uint64) {
-	checkRegistered(name)
+	keyOf(name) // registration check
 	d, ok := s.dists[name]
 	if !ok {
 		d = &Dist{}
@@ -97,20 +187,27 @@ func (s *Set) Observe(name string, v uint64) {
 // Dist returns the distribution named name, or nil if never observed.
 func (s *Set) Dist(name string) *Dist { return s.dists[name] }
 
-// Names returns all counter names in sorted order.
+// Names returns the names of all touched counters in sorted order.
 func (s *Set) Names() []string {
-	names := make([]string, 0, len(s.counters))
-	for n := range s.counters {
-		names = append(names, n)
+	out := make([]string, 0, len(s.counters))
+	for k, t := range s.touched {
+		if t {
+			out = append(out, names[k])
+		}
 	}
-	sort.Strings(names)
-	return names
+	sort.Strings(out)
+	return out
 }
 
 // Merge adds every counter and distribution from other into s.
 func (s *Set) Merge(other *Set) {
-	for n, v := range other.counters {
-		s.counters[n] += v
+	for k, t := range other.touched {
+		if !t {
+			continue
+		}
+		s.ensure(Key(k))
+		s.counters[k] += other.counters[k]
+		s.touched[k] = true
 	}
 	for n, d := range other.dists {
 		mine, ok := s.dists[n]
@@ -127,7 +224,7 @@ func (s *Set) Merge(other *Set) {
 func (s *Set) String() string {
 	var b strings.Builder
 	for _, n := range s.Names() {
-		fmt.Fprintf(&b, "%-28s %d\n", n, s.counters[n])
+		fmt.Fprintf(&b, "%-28s %d\n", n, s.Get(n))
 	}
 	for _, n := range s.distNames() {
 		d := s.dists[n]
@@ -142,7 +239,7 @@ func (s *Set) String() string {
 func (s *Set) Describe() string {
 	var b strings.Builder
 	for _, n := range s.Names() {
-		fmt.Fprintf(&b, "%-28s %-12d # %s\n", n, s.counters[n], Description(n))
+		fmt.Fprintf(&b, "%-28s %-12d # %s\n", n, s.Get(n), Description(n))
 	}
 	for _, n := range s.distNames() {
 		d := s.dists[n]

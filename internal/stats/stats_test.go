@@ -68,6 +68,53 @@ func TestCounters(t *testing.T) {
 	}
 }
 
+func TestCounterHandles(t *testing.T) {
+	kA := Register("a", "test counter a")
+	s := New()
+	c := s.Counter(kA)
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 || s.Get("a") != 5 {
+		t.Fatalf("handle writes lost: Value=%d Get=%d", c.Value(), s.Get("a"))
+	}
+	// Handle and string writes share the same slot.
+	s.Inc("a")
+	if c.Value() != 6 {
+		t.Fatal("string write invisible through handle")
+	}
+}
+
+// TestCounterHandleSurvivesLateRegister pins the index-based handle design:
+// registering a new name after a Set (and its handles) exist grows the
+// dense storage without invalidating outstanding handles.
+func TestCounterHandleSurvivesLateRegister(t *testing.T) {
+	s := New()
+	c := s.Counter(Register("a", "test counter a"))
+	c.Inc()
+	kLate := Register("late-registered-counter", "registered after the set was built")
+	late := s.Counter(kLate)
+	late.Add(2)
+	c.Inc()
+	if c.Value() != 2 || late.Value() != 2 {
+		t.Fatalf("handles broke across growth: a=%d late=%d", c.Value(), late.Value())
+	}
+}
+
+// TestUntouchedCountersUnlisted pins the print semantics the map gave us:
+// resolving a handle does not materialize a printed entry, but any write —
+// even Add(0) — does.
+func TestUntouchedCountersUnlisted(t *testing.T) {
+	s := New()
+	s.Counter(Register("a", "test counter a")) // resolved, never written
+	if n := s.Names(); len(n) != 0 {
+		t.Fatalf("resolution alone listed %v", n)
+	}
+	s.Add("a", 0)
+	if n := s.Names(); len(n) != 1 || n[0] != "a" {
+		t.Fatalf("Add(0) should materialize the entry, got %v", n)
+	}
+}
+
 func TestSetMax(t *testing.T) {
 	s := New()
 	s.SetMax("m", 5)
