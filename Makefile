@@ -16,9 +16,12 @@ race:
 vet:
 	$(GO) vet ./...
 
-# lint runs the repo's own static-analysis suite (cmd/asaplint): donecheck,
-# detcheck, unitcheck, ledgercheck, obscheck, schedcheck and statcheck
-# over every package in the module.
+# lint runs the repo's own static-analysis suite (cmd/asaplint): the
+# per-package analyzers (donecheck, detcheck, unitcheck, ledgercheck,
+# obscheck, schedcheck, statcheck) plus the module-wide call-graph pair —
+# alloccheck (//asap:hot functions are transitively allocation-free) and
+# domaincheck (event callbacks mutate only their own component). Use
+# `go run ./cmd/asaplint -json ./...` for machine-readable findings.
 lint:
 	$(GO) run ./cmd/asaplint ./...
 

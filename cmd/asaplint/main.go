@@ -1,19 +1,23 @@
 // Command asaplint runs the repository's static-analysis suite
-// (internal/analysis): donecheck, detcheck, unitcheck, ledgercheck,
-// obscheck, schedcheck and statcheck.
+// (internal/analysis): the per-package analyzers donecheck, detcheck,
+// unitcheck, ledgercheck, obscheck, schedcheck and statcheck, plus the
+// module-wide call-graph analyzers alloccheck and domaincheck.
 // It loads every package of the module from source using only the
 // standard library — no go/packages, no external tools — and exits
 // non-zero if any finding survives //asaplint:ignore filtering.
 //
 // Usage:
 //
-//	asaplint [-list] [pattern ...]
+//	asaplint [-list] [-json] [pattern ...]
 //
 // Patterns are ./...-style package patterns relative to the module root
-// (default ./...). Exit status: 0 clean, 1 findings, 2 load error.
+// (default ./...). With -json each finding is printed as one JSON object
+// per line instead of the file:line:col text form.
+// Exit status: 0 clean, 1 findings, 2 load error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +25,9 @@ import (
 	"strings"
 
 	"asap/internal/analysis"
+	"asap/internal/analysis/alloccheck"
 	"asap/internal/analysis/detcheck"
+	"asap/internal/analysis/domaincheck"
 	"asap/internal/analysis/donecheck"
 	"asap/internal/analysis/ledgercheck"
 	"asap/internal/analysis/obscheck"
@@ -42,10 +48,18 @@ func analyzers() []analysis.Analyzer {
 	}
 }
 
+func moduleAnalyzers() []analysis.ModuleAnalyzer {
+	return []analysis.ModuleAnalyzer{
+		alloccheck.New(),
+		domaincheck.New(),
+	}
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as one JSON object per line")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: asaplint [-list] [pattern ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: asaplint [-list] [-json] [pattern ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -54,13 +68,25 @@ func main() {
 		for _, a := range analyzers() {
 			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
 		}
+		for _, a := range moduleAnalyzers() {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
 		return
 	}
 
-	os.Exit(run(flag.Args()))
+	os.Exit(run(flag.Args(), *jsonOut))
 }
 
-func run(patterns []string) int {
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(patterns []string, jsonOut bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -80,6 +106,26 @@ func run(patterns []string) int {
 		return 2
 	}
 
+	// Module-wide analyzers see the whole module at once; their findings
+	// are bucketed back to the package each position lives in, so ignore
+	// filtering (and malformed-directive reporting) runs exactly once per
+	// package, over the combined per-package + module findings.
+	filePkg := make(map[string]*analysis.Package)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			filePkg[pkg.Fset.Position(f.Pos()).Filename] = pkg
+		}
+	}
+	moduleDiags := make(map[*analysis.Package][]analysis.Diagnostic)
+	for _, a := range moduleAnalyzers() {
+		for _, d := range analysis.RunModule(a, pkgs) {
+			if pkg, ok := filePkg[d.Pos.Filename]; ok {
+				moduleDiags[pkg] = append(moduleDiags[pkg], d)
+			}
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
 	findings := 0
 	matched := 0
 	for _, pkg := range pkgs {
@@ -87,14 +133,24 @@ func run(patterns []string) int {
 			continue
 		}
 		matched++
-		var diags []analysis.Diagnostic
+		diags := moduleDiags[pkg]
 		for _, a := range analyzers() {
 			diags = append(diags, analysis.Run(a, pkg)...)
 		}
 		diags = analysis.FilterIgnored(pkg.Fset, pkg.Files, diags)
 		for _, d := range diags {
 			d.Pos.Filename = relPath(loader.Root(), d.Pos.Filename)
-			fmt.Println(d)
+			if jsonOut {
+				enc.Encode(jsonDiag{
+					File:     d.Pos.Filename,
+					Line:     d.Pos.Line,
+					Col:      d.Pos.Column,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				})
+			} else {
+				fmt.Println(d)
+			}
 			findings++
 		}
 	}

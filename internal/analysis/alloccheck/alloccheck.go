@@ -1,0 +1,610 @@
+// Package alloccheck turns the simulator's zero-allocation hot path from
+// a benchmark observation into a static proof. A function annotated
+//
+//	//asap:hot
+//
+// in its doc comment is a hot-path root: it and everything transitively
+// reachable from it through the module call graph must be provably free
+// of heap allocation. Inside that hot set the analyzer flags every
+// construct that allocates or that defeats the proof:
+//
+//   - make, new, append (growth), print/println
+//   - &T{...}, slice and map composite literals
+//   - map assignments (insertion may allocate)
+//   - string concatenation and allocating conversions
+//     (string<->[]byte/[]rune, conversion to string)
+//   - closure creation and bound method values
+//   - interface conversions that box a non-pointer-shaped value
+//   - go statements
+//   - calls into functions outside the module (nothing can be proven
+//     about their bodies), and dynamic calls through function values
+//
+// Escape hatch and propagation control: an //asaplint:ignore alloccheck
+// directive suppresses a finding as usual, and when it sits on a call
+// site (or a closure literal) it also *cuts the call edge* — the callee
+// is no longer part of the proof obligation through that path. This is
+// how deliberately cold branches inside hot functions (stall paths,
+// once-per-run drains, debug hooks) are carved out: the directive's
+// reason documents why the branch is cold, and the subtree behind it is
+// excluded until someone removes the directive.
+//
+// Two built-in exemptions keep the proof aligned with the measured
+// contract (0 allocs/op with tracing off):
+//
+//   - panic arguments are skipped — the program is dying;
+//   - calls on an obs-style Tracer interface (a named interface
+//     "Tracer" with an Instant method) are skipped, because obscheck
+//     separately enforces that every tracer call is nil-guarded, and
+//     with tracing off the guarded branch never runs.
+package alloccheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"asap/internal/analysis"
+	"asap/internal/analysis/callgraph"
+)
+
+// New returns the alloccheck module analyzer.
+func New() analysis.ModuleAnalyzer { return checker{} }
+
+type checker struct{}
+
+func (checker) Name() string { return "alloccheck" }
+
+func (checker) Doc() string {
+	return "functions annotated //asap:hot must be transitively allocation-free; ignore directives on call sites cut deliberately cold branches out of the proof"
+}
+
+// allowedExternal lists packages outside the module whose functions are
+// known not to allocate (pure arithmetic).
+var allowedExternal = map[string]bool{
+	"math":      true,
+	"math/bits": true,
+}
+
+// hotness records how a node entered the hot set.
+type hotness struct {
+	root *callgraph.Node
+	via  *callgraph.Node // caller that pulled this node in (nil for roots)
+}
+
+func (c checker) RunModule(pass *analysis.ModulePass) {
+	g := callgraph.Build(pass.Pkgs)
+	hot := propagate(pass, g)
+	// Report in deterministic graph order; SortDiagnostics orders the
+	// final output by position anyway.
+	for _, n := range g.Nodes {
+		if h, ok := hot[n]; ok && n.Body != nil {
+			checkBody(pass, g, n, chainDesc(hot, n, h))
+		}
+	}
+}
+
+// propagate computes the hot set: breadth-first closure over call edges
+// from every //asap:hot root, stopping at ignored call sites and at
+// tracer calls.
+func propagate(pass *analysis.ModulePass, g *callgraph.Graph) map[*callgraph.Node]hotness {
+	hot := make(map[*callgraph.Node]hotness)
+	var queue []*callgraph.Node
+	for _, root := range g.HotRoots() {
+		hot[root] = hotness{root: root}
+		queue = append(queue, root)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, call := range n.Calls {
+			if call.Kind != callgraph.Static && call.Kind != callgraph.Interface {
+				continue
+			}
+			if isTracerCall(call.Fn) {
+				continue
+			}
+			if pass.Ignored(callPos(call)) {
+				continue // directive cuts the edge: the callee is declared cold
+			}
+			for _, callee := range call.Callees {
+				if _, seen := hot[callee]; !seen {
+					hot[callee] = hotness{root: hot[n].root, via: n}
+					queue = append(queue, callee)
+				}
+			}
+		}
+	}
+	return hot
+}
+
+// callPos returns the position that an ignore directive must cover to
+// cut this edge: the call expression, or the literal itself for the
+// synthetic closure-creation edge.
+func callPos(call callgraph.Call) token.Pos {
+	if call.Site != nil {
+		return call.Site.Pos()
+	}
+	return call.Callees[0].Pos()
+}
+
+// chainDesc renders how a node became hot: its root and (abbreviated)
+// call path, so a finding deep in a callee explains which annotation
+// put it on the hook.
+func chainDesc(hot map[*callgraph.Node]hotness, n *callgraph.Node, h hotness) string {
+	if h.via == nil {
+		return "declared //asap:hot"
+	}
+	// Walk up to the root collecting the path (bounded: BFS parents form
+	// a tree, but cap the walk defensively).
+	var path []string
+	for cur := h; cur.via != nil && len(path) < 32; cur = hot[cur.via] {
+		path = append(path, shortName(cur.via.Name()))
+	}
+	// path is callee→root order; show root first, then the last hops.
+	root := shortName(h.root.Name())
+	if len(path) <= 1 {
+		return fmt.Sprintf("reachable from //asap:hot %s", root)
+	}
+	last := path[0] // immediate caller
+	if len(path) == 2 {
+		return fmt.Sprintf("reachable from //asap:hot %s via %s", root, last)
+	}
+	return fmt.Sprintf("reachable from //asap:hot %s via … → %s", root, last)
+}
+
+// shortName strips the module path noise from a FullName:
+// "(*asap/internal/sim.Engine).dispatch" → "(*sim.Engine).dispatch".
+func shortName(name string) string {
+	name = strings.ReplaceAll(name, "asap/internal/", "")
+	return strings.ReplaceAll(name, "asap/", "")
+}
+
+// isTracerCall reports whether fn is a method of a Tracer-shaped
+// interface (named "Tracer", has an Instant method). Tracer hooks are
+// nil-guarded by contract (enforced by obscheck), so with tracing off —
+// the mode the zero-alloc proof covers — the call never runs.
+func isTracerCall(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Name() != "Tracer" || !types.IsInterface(named) {
+		return false
+	}
+	iface := named.Underlying().(*types.Interface)
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == "Instant" {
+			return true
+		}
+	}
+	return false
+}
+
+// walker carries per-node state for the allocation-site walk.
+type walker struct {
+	pass  *analysis.ModulePass
+	node  *callgraph.Node
+	info  *types.Info
+	where string
+	// calls maps each call site to its classification.
+	calls map[*ast.CallExpr]callgraph.Call
+	// callFuns marks selector expressions in call-function position, so
+	// the method-value check does not fire on ordinary method calls.
+	callFuns map[ast.Expr]bool
+}
+
+func checkBody(pass *analysis.ModulePass, g *callgraph.Graph, n *callgraph.Node, where string) {
+	w := &walker{
+		pass:     pass,
+		node:     n,
+		info:     n.Pkg.Info,
+		where:    where,
+		calls:    make(map[*ast.CallExpr]callgraph.Call),
+		callFuns: make(map[ast.Expr]bool),
+	}
+	for _, call := range n.Calls {
+		if call.Site != nil {
+			w.calls[call.Site] = call
+		}
+	}
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok {
+			fun := ast.Unparen(call.Fun)
+			switch idx := fun.(type) {
+			case *ast.IndexExpr:
+				fun = ast.Unparen(idx.X)
+			case *ast.IndexListExpr:
+				fun = ast.Unparen(idx.X)
+			}
+			w.callFuns[fun] = true
+		}
+		return true
+	})
+	for _, stmt := range n.Body.List {
+		w.visitStmt(stmt)
+	}
+}
+
+func (w *walker) reportf(pos token.Pos, format string, args ...interface{}) {
+	msg := fmt.Sprintf(format, args...)
+	w.pass.Reportf(pos, "%s in %s, which must stay allocation-free (%s)", msg, shortName(w.node.Name()), w.where)
+}
+
+// visitStmt dispatches statements, handling the statement forms that
+// carry allocation semantics of their own before descending into the
+// contained expressions.
+func (w *walker) visitStmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.AssignStmt:
+		for _, lhs := range st.Lhs {
+			w.checkAssignTarget(lhs, st.Tok)
+			w.visitExpr(lhs)
+		}
+		// Boxing: assignment of concrete values into interface targets.
+		if st.Tok == token.ASSIGN || st.Tok == token.DEFINE {
+			if len(st.Lhs) == len(st.Rhs) {
+				for i, rhs := range st.Rhs {
+					w.checkBoxing(w.info.TypeOf(st.Lhs[i]), rhs)
+				}
+			}
+		}
+		if st.Tok == token.ADD_ASSIGN && isString(w.info.TypeOf(st.Lhs[0])) {
+			w.reportf(st.TokPos, "string concatenation allocates")
+		}
+		for _, rhs := range st.Rhs {
+			w.visitExpr(rhs)
+		}
+	case *ast.IncDecStmt:
+		w.checkAssignTarget(st.X, st.Tok)
+		w.visitExpr(st.X)
+	case *ast.GoStmt:
+		w.reportf(st.Pos(), "go statement allocates a goroutine (and breaks single-threaded determinism)")
+		w.visitExpr(st.Call)
+	case *ast.DeferStmt:
+		w.visitExpr(st.Call)
+	case *ast.ReturnStmt:
+		results := w.resultTypes()
+		for i, r := range st.Results {
+			if i < len(results) {
+				w.checkBoxing(results[i], r)
+			}
+			w.visitExpr(r)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, v := range vs.Values {
+					if i < len(vs.Names) {
+						w.checkBoxing(w.info.TypeOf(vs.Names[i]), v)
+					}
+					w.visitExpr(v)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		w.visitExpr(st.X)
+	case *ast.SendStmt:
+		w.visitExpr(st.Chan)
+		w.visitExpr(st.Value)
+	case *ast.IfStmt:
+		w.visitStmt(st.Init)
+		w.visitExpr(st.Cond)
+		w.visitStmt(st.Body)
+		w.visitStmt(st.Else)
+	case *ast.ForStmt:
+		w.visitStmt(st.Init)
+		w.visitExpr(st.Cond)
+		w.visitStmt(st.Post)
+		w.visitStmt(st.Body)
+	case *ast.RangeStmt:
+		w.visitExpr(st.X)
+		w.visitStmt(st.Body)
+	case *ast.SwitchStmt:
+		w.visitStmt(st.Init)
+		w.visitExpr(st.Tag)
+		w.visitStmt(st.Body)
+	case *ast.TypeSwitchStmt:
+		w.visitStmt(st.Init)
+		w.visitStmt(st.Assign)
+		w.visitStmt(st.Body)
+	case *ast.SelectStmt:
+		w.visitStmt(st.Body)
+	case *ast.BlockStmt:
+		for _, s := range st.List {
+			w.visitStmt(s)
+		}
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			w.visitExpr(e)
+		}
+		for _, s := range st.Body {
+			w.visitStmt(s)
+		}
+	case *ast.CommClause:
+		w.visitStmt(st.Comm)
+		for _, s := range st.Body {
+			w.visitStmt(s)
+		}
+	case *ast.LabeledStmt:
+		w.visitStmt(st.Stmt)
+	default:
+		// BranchStmt, EmptyStmt: nothing to check.
+	}
+}
+
+// resultTypes returns the node's declared result types (for boxing
+// checks on return statements).
+func (w *walker) resultTypes() []types.Type {
+	var sig *types.Signature
+	if w.node.Func != nil {
+		sig = w.node.Func.Type().(*types.Signature)
+	} else if t := w.info.TypeOf(w.node.Lit); t != nil {
+		sig, _ = t.(*types.Signature)
+	}
+	if sig == nil {
+		return nil
+	}
+	out := make([]types.Type, sig.Results().Len())
+	for i := range out {
+		out[i] = sig.Results().At(i).Type()
+	}
+	return out
+}
+
+// checkAssignTarget flags writes whose target forces allocation: a map
+// assignment may grow the map.
+func (w *walker) checkAssignTarget(lhs ast.Expr, tok token.Token) {
+	if tok == token.DEFINE {
+		return
+	}
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	if _, isMap := coreType(w.info.TypeOf(idx.X)).(*types.Map); isMap {
+		w.reportf(lhs.Pos(), "map assignment may allocate")
+	}
+}
+
+// visitExpr walks one expression, flagging allocation sites. Function
+// literals are flagged but not descended into: their bodies are separate
+// call-graph nodes, analyzed when the hot set reaches them.
+func (w *walker) visitExpr(e ast.Expr) {
+	switch ex := e.(type) {
+	case nil:
+	case *ast.FuncLit:
+		w.reportf(ex.Pos(), "closure creation allocates")
+	case *ast.UnaryExpr:
+		if ex.Op == token.AND {
+			if lit, ok := ast.Unparen(ex.X).(*ast.CompositeLit); ok {
+				w.reportf(ex.Pos(), "&composite literal allocates")
+				for _, el := range lit.Elts {
+					w.visitExpr(el)
+				}
+				return
+			}
+		}
+		w.visitExpr(ex.X)
+	case *ast.CompositeLit:
+		switch coreType(w.info.TypeOf(ex)).(type) {
+		case *types.Slice:
+			w.reportf(ex.Pos(), "slice literal allocates")
+		case *types.Map:
+			w.reportf(ex.Pos(), "map literal allocates")
+		}
+		for _, el := range ex.Elts {
+			w.visitExpr(el)
+		}
+	case *ast.BinaryExpr:
+		if ex.Op == token.ADD && isString(w.info.TypeOf(ex)) && w.info.Types[ex].Value == nil {
+			w.reportf(ex.OpPos, "string concatenation allocates")
+		}
+		w.visitExpr(ex.X)
+		w.visitExpr(ex.Y)
+	case *ast.CallExpr:
+		w.visitCall(ex)
+	case *ast.SelectorExpr:
+		if sel, ok := w.info.Selections[ex]; ok && sel.Kind() == types.MethodVal && !w.callFuns[ex] {
+			w.reportf(ex.Pos(), "bound method value allocates a closure")
+		}
+		w.visitExpr(ex.X)
+	case *ast.ParenExpr:
+		w.visitExpr(ex.X)
+	case *ast.StarExpr:
+		w.visitExpr(ex.X)
+	case *ast.IndexExpr:
+		w.visitExpr(ex.X)
+		w.visitExpr(ex.Index)
+	case *ast.IndexListExpr:
+		w.visitExpr(ex.X)
+		for _, i := range ex.Indices {
+			w.visitExpr(i)
+		}
+	case *ast.SliceExpr:
+		w.visitExpr(ex.X)
+		w.visitExpr(ex.Low)
+		w.visitExpr(ex.High)
+		w.visitExpr(ex.Max)
+	case *ast.TypeAssertExpr:
+		w.visitExpr(ex.X)
+	case *ast.KeyValueExpr:
+		w.visitExpr(ex.Key)
+		w.visitExpr(ex.Value)
+	default:
+		// Identifiers, literals, types: nothing to check.
+	}
+}
+
+// visitCall handles builtins, conversions and ordinary calls.
+func (w *walker) visitCall(call *ast.CallExpr) {
+	tv, ok := w.info.Types[call.Fun]
+	switch {
+	case ok && tv.IsBuiltin():
+		name := builtinName(call.Fun)
+		switch name {
+		case "append":
+			w.reportf(call.Pos(), "append may grow its backing array")
+		case "make":
+			w.reportf(call.Pos(), "make allocates")
+		case "new":
+			w.reportf(call.Pos(), "new allocates")
+		case "print", "println":
+			w.reportf(call.Pos(), "%s allocates (and is debug output)", name)
+		case "panic":
+			// A panic is the death of the run; its argument (often a
+			// formatted message) is exempt from the proof.
+			return
+		}
+		for _, arg := range call.Args {
+			w.visitExpr(arg)
+		}
+		return
+	case ok && tv.IsType():
+		w.checkConversion(call, tv.Type)
+		for _, arg := range call.Args {
+			w.visitExpr(arg)
+		}
+		return
+	}
+	// Ordinary call: classification from the call graph.
+	if info, ok := w.calls[call]; ok {
+		switch info.Kind {
+		case callgraph.Dynamic:
+			w.reportf(call.Pos(), "dynamic call through a function value cannot be proven allocation-free")
+		case callgraph.External:
+			if !isTracerCall(info.Fn) && !externalAllowed(info.Fn) {
+				w.reportf(call.Pos(), "call to %s outside the module cannot be proven allocation-free", shortName(info.Fn.FullName()))
+			}
+		}
+	}
+	// Boxing of arguments into interface parameters.
+	w.checkArgBoxing(call)
+	w.visitExpr(call.Fun)
+	for _, arg := range call.Args {
+		w.visitExpr(arg)
+	}
+}
+
+// checkConversion flags conversions that copy memory: string<->byte/rune
+// slices and any conversion producing a string.
+func (w *walker) checkConversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := w.info.TypeOf(call.Args[0])
+	toCore, fromCore := coreType(to), coreType(from)
+	switch {
+	case isString(to) && !isString(from) && w.info.Types[call].Value == nil:
+		w.reportf(call.Pos(), "conversion to string allocates")
+	case isByteOrRuneSlice(toCore) && isString(from):
+		w.reportf(call.Pos(), "string to slice conversion allocates")
+	case types.IsInterface(to) && !types.IsInterface(from) && !pointerShaped(fromCore):
+		w.reportf(call.Pos(), "interface conversion boxes a %s value", from)
+	}
+}
+
+// checkArgBoxing flags non-pointer-shaped concrete values passed to
+// interface parameters (each such pass heap-boxes the value).
+func (w *walker) checkArgBoxing(call *ast.CallExpr) {
+	sig, ok := coreType(w.info.TypeOf(call.Fun)).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type() // arg... passes the slice itself
+			} else if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		w.checkBoxing(pt, arg)
+	}
+}
+
+// checkBoxing flags storing a non-pointer-shaped concrete value into an
+// interface-typed destination.
+func (w *walker) checkBoxing(to types.Type, e ast.Expr) {
+	if to == nil || !types.IsInterface(to) {
+		return
+	}
+	from := w.info.TypeOf(e)
+	if from == nil || types.IsInterface(from) {
+		return
+	}
+	if b, ok := from.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if pointerShaped(coreType(from)) {
+		return
+	}
+	w.reportf(e.Pos(), "interface conversion boxes a %s value", from)
+}
+
+func builtinName(fun ast.Expr) string {
+	if id, ok := ast.Unparen(fun).(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func externalAllowed(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	pkg := fn.Pkg()
+	return pkg != nil && allowedExternal[pkg.Path()]
+}
+
+// coreType unwraps aliases and named types to the underlying type, nil
+// safe.
+func coreType(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func isString(t types.Type) bool {
+	b, ok := coreType(t).(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// pointerShaped reports whether values of the type fit an interface's
+// data word without boxing: pointers, channels, maps, funcs, unsafe
+// pointers.
+func pointerShaped(t types.Type) bool {
+	switch b := t.(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return b.Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package alloccheck_test
+
+import (
+	"testing"
+
+	"asap/internal/analysis/alloccheck"
+	"asap/internal/analysis/analysistest"
+)
+
+func TestHotPathFindings(t *testing.T) {
+	analysistest.RunModule(t, alloccheck.New(), "asap/fixture", "testdata/hot")
+}

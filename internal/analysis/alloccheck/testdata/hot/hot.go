@@ -1,0 +1,107 @@
+// Package fixture exercises alloccheck: allocation sites inside the
+// //asap:hot transitive closure are flagged; identical code outside it
+// is not; ignore directives suppress findings and cut propagation.
+package fixture
+
+type event struct {
+	when uint64
+	kind int
+}
+
+type sink interface{ consume(e *event) }
+
+type ring struct {
+	buf  []event
+	vals map[string]int
+	s    sink
+	name string
+	hook func()
+}
+
+// Tracer mirrors the obs tracing interface: nil-guarded by contract, so
+// calls on it are exempt from the proof.
+type Tracer interface {
+	Instant(name string)
+}
+
+type collector struct{ n int }
+
+func (c *collector) consume(e *event) {
+	c.n++
+	c.grow()
+}
+
+// grow is hot only transitively, via the interface dispatch in push.
+func (c *collector) grow() {
+	big := make([]int, 16) // want `make allocates .*reachable from //asap:hot`
+	_ = big
+}
+
+//asap:hot per-operation scheduling path
+func (r *ring) push(e event, trc Tracer) {
+	r.buf = append(r.buf, e)  // want `append may grow its backing array`
+	r.vals["depth"] = len(r.buf) // want `map assignment may allocate`
+	p := &event{when: e.when} // want `&composite literal allocates`
+	extra := []int{1, 2}      // want `slice literal allocates`
+	r.name = r.name + "x"     // want `string concatenation allocates`
+	r.hook = func() { r.bump() } // want `closure creation allocates`
+	r.hook()                  // want `dynamic call`
+	f := r.bump               // want `bound method value allocates`
+	_ = f
+	r.s.consume(p) // interface dispatch: pulls (*collector).consume into the hot set
+	r.helper(extra)
+	if trc != nil {
+		trc.Instant("push") // tracer calls are exempt
+	}
+	r.cold() //asaplint:ignore alloccheck end-of-run statistics, never on the per-op path
+}
+
+// helper is hot via the static call in push.
+func (r *ring) helper(v []int) {
+	_ = new(event) // want `new allocates`
+	r.s = &collector{} // want `&composite literal allocates`
+	r.describe(len(v))
+}
+
+// describe shows boxing and conversion findings.
+func (r *ring) describe(n int) {
+	var s sink
+	var v valueSink
+	s = v // want `interface conversion boxes`
+	_ = s
+	b := []byte(r.name) // want `string to slice conversion allocates`
+	_ = string(n)       // want `conversion to string allocates`
+	_ = b
+}
+
+// cold sits behind an ignored call site in push: the directive cuts the
+// edge, so none of these allocations are findings.
+func (r *ring) cold() {
+	all := make([]event, 0, len(r.buf))
+	all = append(all, r.buf...)
+	r.vals["total"] = len(all)
+}
+
+// sweep is not reachable from any //asap:hot root; identical allocation
+// sites are not findings.
+func (r *ring) sweep() {
+	r.buf = append(r.buf, event{})
+	r.vals["sweeps"]++
+	_ = make([]int, 8)
+	_ = func() {}
+}
+
+func (r *ring) bump() { r.buf[0].kind++ }
+
+// valueSink implements sink with a value receiver, so storing it in a
+// sink variable boxes the struct.
+type valueSink struct{ seen int }
+
+func (valueSink) consume(e *event) {}
+
+//asap:hot ignored sites stay suppressed even on the hot path
+func (r *ring) pop() event {
+	e := r.buf[0]
+	r.vals["pops"]++ //asaplint:ignore alloccheck steady-state: key pre-inserted at init
+	return e
+}

@@ -79,6 +79,70 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.Info.TypeOf(e)
 }
 
+// ModuleAnalyzer is a static check that needs the whole module at once —
+// the call-graph analyzers (alloccheck, domaincheck) resolve calls across
+// package boundaries, so a per-package Pass cannot carry enough context.
+// RunModule inspects every loaded package and reports findings positioned
+// wherever the offending code lives; the driver buckets them per package
+// for ignore filtering.
+type ModuleAnalyzer interface {
+	// Name is the analyzer's short identifier, used in diagnostics and in
+	// //asaplint:ignore directives.
+	Name() string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc() string
+	// RunModule analyzes the whole module.
+	RunModule(pass *ModulePass)
+}
+
+// ModulePass gives a module analyzer every type-checked package of the
+// module to inspect.
+type ModulePass struct {
+	Analyzer string         // name of the running analyzer
+	Fset     *token.FileSet // positions, shared across all packages
+	Pkgs     []*Package     // all loaded packages, sorted by import path
+	report   func(Diagnostic)
+	ignored  func(token.Pos) bool
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Ignored reports whether pos carries (or sits directly below) an
+// //asaplint:ignore directive naming this analyzer. Findings there would
+// be filtered anyway; module analyzers also consult it mid-analysis when
+// a directive changes what is reachable (see IgnoreMatcher).
+func (p *ModulePass) Ignored(pos token.Pos) bool { return p.ignored(pos) }
+
+// RunModule applies one module analyzer to the loaded module and returns
+// its raw findings (before ignore-directive filtering), sorted.
+func RunModule(a ModuleAnalyzer, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	if len(pkgs) == 0 {
+		return diags
+	}
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		files = append(files, pkg.Files...)
+	}
+	pass := &ModulePass{
+		Analyzer: a.Name(),
+		Fset:     pkgs[0].Fset,
+		Pkgs:     pkgs,
+		report:   func(d Diagnostic) { diags = append(diags, d) },
+		ignored:  IgnoreMatcher(pkgs[0].Fset, files, a.Name()),
+	}
+	a.RunModule(pass)
+	SortDiagnostics(diags)
+	return diags
+}
+
 // Run applies one analyzer to one loaded package and returns its raw
 // findings (before ignore-directive filtering), sorted by position.
 func Run(a Analyzer, pkg *Package) []Diagnostic {

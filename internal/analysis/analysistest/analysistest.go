@@ -72,6 +72,34 @@ func Run(t *testing.T, a analysis.Analyzer, pkgpath, dir string) {
 	}
 }
 
+// RunModule is Run for module-wide analyzers: the fixture directory is
+// loaded as a single one-package module and handed to the analyzer.
+func RunModule(t *testing.T, a analysis.ModuleAnalyzer, pkgpath, dir string) {
+	t.Helper()
+	pkg, err := loadDir(pkgpath, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags := analysis.RunModule(a, []*analysis.Package{pkg})
+	diags = analysis.FilterIgnored(pkg.Fset, pkg.Files, diags)
+
+	wants, err := collectWants(pkg.Fset, pkg.Files)
+	if err != nil {
+		t.Fatalf("parsing want comments in %s: %v", dir, err)
+	}
+
+	for _, d := range diags {
+		if !consume(wants, d) {
+			t.Errorf("unexpected finding %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %s, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
 // consume marks the first unmatched expectation on the diagnostic's line
 // whose regexp matches the message.
 func consume(wants []*expectation, d analysis.Diagnostic) bool {

@@ -1,0 +1,154 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"asap/internal/analysis"
+)
+
+const src = `package fixture
+
+type Runner interface{ Run(n int) }
+
+type A struct{ calls int }
+
+func (a *A) Run(n int) { a.calls += n }
+
+type B struct{}
+
+func (B) Run(n int) {}
+
+type Quiet interface{ Hush() }
+
+//asap:hot dispatch loop
+func hot(r Runner, q Quiet, fn func()) {
+	r.Run(1)     // interface: A and B implement Runner
+	q.Hush()     // external: no module implementation
+	fn()         // dynamic
+	helper()     // static
+	f := func() { helper() }
+	f()          // dynamic (through a variable)
+	func() { helper() }() // immediately invoked
+}
+
+func helper() { _ = len("x") }
+`
+
+func load(t *testing.T) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tpkg, err := (&types.Config{}).Check("asap/fixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &analysis.Package{Path: "asap/fixture", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+	return Build([]*analysis.Package{pkg})
+}
+
+func nodeByName(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if strings.HasSuffix(n.Name(), name) {
+			return n
+		}
+	}
+	t.Fatalf("no node named %s; have %v", name, names(g.Nodes))
+	return nil
+}
+
+func names(nodes []*Node) []string {
+	var out []string
+	for _, n := range nodes {
+		out = append(out, n.Name())
+	}
+	return out
+}
+
+func TestGraphShape(t *testing.T) {
+	g := load(t)
+	hot := nodeByName(t, g, ".hot")
+
+	kinds := make(map[CallKind]int)
+	for _, c := range hot.Calls {
+		kinds[c.Kind]++
+	}
+	// Two closure-creation edges plus one static helper() call.
+	if kinds[Static] != 3 {
+		t.Errorf("static calls = %d, want 3 (helper + 2 closure creations): %+v", kinds[Static], kinds)
+	}
+	if kinds[Interface] != 1 {
+		t.Errorf("interface calls = %d, want 1", kinds[Interface])
+	}
+	if kinds[External] != 1 {
+		t.Errorf("external calls = %d, want 1 (Quiet has no module impl)", kinds[External])
+	}
+	// fn() and f() are dynamic.
+	if kinds[Dynamic] != 2 {
+		t.Errorf("dynamic calls = %d, want 2", kinds[Dynamic])
+	}
+}
+
+func TestInterfaceDispatchResolvesAllImplementations(t *testing.T) {
+	g := load(t)
+	hot := nodeByName(t, g, ".hot")
+	for _, c := range hot.Calls {
+		if c.Kind != Interface {
+			continue
+		}
+		if len(c.Callees) != 2 {
+			t.Fatalf("Runner.Run resolved to %v, want A.Run and B.Run", names(c.Callees))
+		}
+		return
+	}
+	t.Fatal("no interface call recorded")
+}
+
+func TestClosuresAttachToEncloser(t *testing.T) {
+	g := load(t)
+	hot := nodeByName(t, g, ".hot")
+	var closures []*Node
+	for _, n := range g.Nodes {
+		if n.Lit != nil {
+			if n.Parent != hot {
+				t.Errorf("closure %s has parent %v, want hot", n.Name(), n.Parent)
+			}
+			closures = append(closures, n)
+		}
+	}
+	if len(closures) != 2 {
+		t.Fatalf("closure nodes = %v, want 2", names(closures))
+	}
+	// The first closure's body contains a static call to helper.
+	found := false
+	for _, c := range closures[0].Calls {
+		if c.Kind == Static && c.Fn != nil && c.Fn.Name() == "helper" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("closure body's static call to helper not recorded")
+	}
+}
+
+func TestHotRoots(t *testing.T) {
+	g := load(t)
+	roots := g.HotRoots()
+	if len(roots) != 1 || !strings.HasSuffix(roots[0].Name(), ".hot") {
+		t.Fatalf("HotRoots = %v, want [hot]", names(roots))
+	}
+}

@@ -1,0 +1,12 @@
+package domaincheck_test
+
+import (
+	"testing"
+
+	"asap/internal/analysis/analysistest"
+	"asap/internal/analysis/domaincheck"
+)
+
+func TestDomainFindings(t *testing.T) {
+	analysistest.RunModule(t, domaincheck.New(), "asap/fixture", "testdata/domains")
+}

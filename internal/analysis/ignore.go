@@ -8,22 +8,34 @@ import (
 
 // ignorePrefix introduces a suppression directive. The full form is
 //
-//	//asaplint:ignore <analyzer> <reason>
+//	//asaplint:ignore <analyzer>[,<analyzer>...] <reason>
 //
-// where <analyzer> is an analyzer name or "all", and <reason> is a
-// non-empty justification. A directive suppresses findings of that
-// analyzer on its own line and on the line immediately below it (so it
+// where each <analyzer> is an analyzer name or "all", and <reason> is a
+// non-empty justification. A directive suppresses findings of the named
+// analyzers on its own line and on the line immediately below it (so it
 // can sit inline after the flagged code or on its own line above it).
-// A directive missing the analyzer or the reason is itself reported as a
-// finding, so suppressions can never silently rot.
+// The comma form lets one line silence two analyzers that trip on the
+// same construct (a cold-path closure flagged by both schedcheck and
+// alloccheck, say) without stacking directives. A directive missing the
+// analyzer or the reason is itself reported as a finding, so
+// suppressions can never silently rot.
 const ignorePrefix = "asaplint:ignore"
 
 type ignoreDirective struct {
-	file     string
-	line     int
-	analyzer string
-	reason   string
-	pos      token.Pos
+	file      string
+	line      int
+	analyzers []string
+	reason    string
+	pos       token.Pos
+}
+
+func (d ignoreDirective) covers(analyzer string) bool {
+	for _, a := range d.analyzers {
+		if a == analyzer || a == "all" {
+			return true
+		}
+	}
+	return false
 }
 
 // collectIgnores extracts the ignore directives of a file set. Malformed
@@ -51,11 +63,11 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) ([]ignoreDirective, 
 					continue
 				}
 				dirs = append(dirs, ignoreDirective{
-					file:     pos.Filename,
-					line:     pos.Line,
-					analyzer: fields[0],
-					reason:   strings.Join(fields[1:], " "),
-					pos:      c.Pos(),
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: strings.Split(fields[0], ","),
+					reason:    strings.Join(fields[1:], " "),
+					pos:       c.Pos(),
 				})
 			}
 		}
@@ -70,10 +82,7 @@ func FilterIgnored(fset *token.FileSet, files []*ast.File, diags []Diagnostic) [
 	dirs, bad := collectIgnores(fset, files)
 	suppressed := func(d Diagnostic) bool {
 		for _, dir := range dirs {
-			if dir.file != d.Pos.Filename {
-				continue
-			}
-			if dir.analyzer != d.Analyzer && dir.analyzer != "all" {
+			if dir.file != d.Pos.Filename || !dir.covers(d.Analyzer) {
 				continue
 			}
 			if d.Pos.Line == dir.line || d.Pos.Line == dir.line+1 {
@@ -91,4 +100,30 @@ func FilterIgnored(fset *token.FileSet, files []*ast.File, diags []Diagnostic) [
 	kept = append(kept, bad...)
 	SortDiagnostics(kept)
 	return kept
+}
+
+// IgnoreMatcher returns a predicate reporting whether a position is
+// covered by an //asaplint:ignore directive for the given analyzer in
+// files. Module-wide analyzers use it during analysis — not just as a
+// post-filter — because a directive can carry semantics beyond
+// suppression: alloccheck stops hot-path propagation at an ignored call
+// site, so the directive prunes the callee's whole subtree from the
+// proof obligation.
+func IgnoreMatcher(fset *token.FileSet, files []*ast.File, analyzer string) func(token.Pos) bool {
+	dirs, _ := collectIgnores(fset, files)
+	var mine []ignoreDirective
+	for _, d := range dirs {
+		if d.covers(analyzer) {
+			mine = append(mine, d)
+		}
+	}
+	return func(pos token.Pos) bool {
+		p := fset.Position(pos)
+		for _, d := range mine {
+			if d.file == p.Filename && (p.Line == d.line || p.Line == d.line+1) {
+				return true
+			}
+		}
+		return false
+	}
 }

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFixture parses src as a single file named fixture.go and returns the
+// fileset and file, for driving FilterIgnored/IgnoreMatcher directly.
+func parseFixture(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func diagAt(line int, analyzer string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: "fixture.go", Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  "finding",
+	}
+}
+
+// A directive on the very last line of a file (no line below it) must still
+// suppress findings on its own line.
+func TestIgnoreDirectiveOnLastLine(t *testing.T) {
+	src := "package p\n\nvar x = 1 //asaplint:ignore acheck reason here"
+	fset, files := parseFixture(t, src)
+	got := FilterIgnored(fset, files, []Diagnostic{diagAt(3, "acheck")})
+	if len(got) != 0 {
+		t.Fatalf("directive on last line did not suppress: %v", got)
+	}
+}
+
+// The "all" wildcard suppresses findings from every analyzer.
+func TestIgnoreAllWildcard(t *testing.T) {
+	src := "package p\n\n//asaplint:ignore all reason here\nvar x = 1\n"
+	fset, files := parseFixture(t, src)
+	diags := []Diagnostic{diagAt(4, "acheck"), diagAt(4, "bcheck"), diagAt(4, "ccheck")}
+	got := FilterIgnored(fset, files, diags)
+	if len(got) != 0 {
+		t.Fatalf("all wildcard did not suppress every analyzer: %v", got)
+	}
+}
+
+// One comma-form directive silences two analyzers that trip on the same
+// target line, while leaving a third analyzer's finding intact.
+func TestIgnoreCommaListTwoAnalyzersOneLine(t *testing.T) {
+	src := "package p\n\n//asaplint:ignore acheck,bcheck one line, two analyzers\nvar x = 1\n"
+	fset, files := parseFixture(t, src)
+	diags := []Diagnostic{diagAt(4, "acheck"), diagAt(4, "bcheck"), diagAt(4, "ccheck")}
+	got := FilterIgnored(fset, files, diags)
+	if len(got) != 1 || got[0].Analyzer != "ccheck" {
+		t.Fatalf("want only the ccheck finding kept, got %v", got)
+	}
+}
+
+// A directive naming analyzers but no reason is malformed and must be
+// reported as exactly one finding — not once per suppressed-or-checked
+// analyzer, and not silently dropped.
+func TestMalformedDirectiveReportedExactlyOnce(t *testing.T) {
+	src := "package p\n\n//asaplint:ignore acheck\nvar x = 1\n"
+	fset, files := parseFixture(t, src)
+	got := FilterIgnored(fset, files, []Diagnostic{diagAt(4, "acheck"), diagAt(4, "bcheck")})
+	var malformed, kept int
+	for _, d := range got {
+		if d.Analyzer == "asaplint" && strings.Contains(d.Message, "malformed") {
+			malformed++
+		} else {
+			kept++
+		}
+	}
+	if malformed != 1 {
+		t.Fatalf("want malformed directive reported exactly once, got %d: %v", malformed, got)
+	}
+	// A malformed directive suppresses nothing: both findings survive.
+	if kept != 2 {
+		t.Fatalf("malformed directive must not suppress; want 2 findings kept, got %d: %v", kept, got)
+	}
+}
+
+// Coverage is the directive's own line plus the line immediately below —
+// never two lines down, and never for an analyzer the list does not name.
+func TestIgnoreCoverageWindow(t *testing.T) {
+	src := "package p\n\n//asaplint:ignore acheck reason here\nvar x = 1\nvar y = 2\n"
+	fset, files := parseFixture(t, src)
+	diags := []Diagnostic{
+		diagAt(3, "acheck"), // directive's own line: suppressed
+		diagAt(4, "acheck"), // line below: suppressed
+		diagAt(5, "acheck"), // two lines down: kept
+		diagAt(4, "bcheck"), // other analyzer: kept
+	}
+	got := FilterIgnored(fset, files, diags)
+	if len(got) != 2 {
+		t.Fatalf("want 2 findings kept, got %v", got)
+	}
+	for _, d := range got {
+		if d.Analyzer == "acheck" && d.Pos.Line != 5 {
+			t.Fatalf("acheck finding on line %d should have been suppressed", d.Pos.Line)
+		}
+	}
+}
+
+// IgnoreMatcher exposes the same window to module analyzers mid-analysis:
+// positions on the directive line and the line below match for a named
+// analyzer (or all), others do not.
+func TestIgnoreMatcherWindowAndNames(t *testing.T) {
+	src := "package p\n\nvar a = 1 //asaplint:ignore acheck,bcheck reason here\nvar b = 2\nvar c = 3\n"
+	fset, files := parseFixture(t, src)
+	file := fset.File(files[0].Pos())
+	posOn := func(line int) token.Pos { return file.LineStart(line) }
+
+	for _, name := range []string{"acheck", "bcheck"} {
+		m := IgnoreMatcher(fset, files, name)
+		if !m(posOn(3)) || !m(posOn(4)) {
+			t.Fatalf("%s: directive line and line below must match", name)
+		}
+		if m(posOn(5)) {
+			t.Fatalf("%s: two lines down must not match", name)
+		}
+	}
+	if m := IgnoreMatcher(fset, files, "ccheck"); m(posOn(3)) || m(posOn(4)) {
+		t.Fatal("ccheck is not named by the directive and must not match")
+	}
+}

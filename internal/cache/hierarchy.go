@@ -109,6 +109,8 @@ func (h *Hierarchy) Directory() *Directory { return h.dir }
 //
 // The returned pointer aliases per-hierarchy scratch (like the Conflict
 // and eviction slices inside it) and is valid only until the next Access.
+//
+//asap:hot per-memory-op: every simulated load/store funnels through here
 func (h *Hierarchy) Access(core int, l mem.Line, write, acquire bool, ts uint64) *AccessResult {
 	res := &h.res
 	var remote bool
@@ -213,8 +215,9 @@ func (h *Hierarchy) fillLLC(l mem.Line) {
 		if e, ok := h.dir.Peek(v); ok {
 			writer = int(e.LastWriter)
 		}
+		//asaplint:ignore alloccheck scratch slices reach steady-state capacity after the first few evictions
 		h.evScratch = append(h.evScratch, v)
-		h.evWriterScratch = append(h.evWriterScratch, writer)
+		h.evWriterScratch = append(h.evWriterScratch, writer) //asaplint:ignore alloccheck same scratch contract as the line above
 	}
 }
 

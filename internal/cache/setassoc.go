@@ -122,7 +122,7 @@ func (c *SetAssoc) slotBase(l mem.Line) (*setChunk, int) {
 
 // materialize allocates a chunk's way state with every way empty.
 func (ch *setChunk) materialize(n int) {
-	ch.slots = make([]slot, n)
+	ch.slots = make([]slot, n) //asaplint:ignore alloccheck lazy one-time materialization, at most once per chunk
 	for i := range ch.slots {
 		ch.slots[i].line = invalidLine
 	}
@@ -275,7 +275,7 @@ func (c *SetAssoc) touch(s *slot) {
 // highest stamp assigned. Runs once per 2^32 touches; cost is
 // O(capacity · ways).
 func (c *SetAssoc) compact() uint32 {
-	ranks := make([]uint32, c.ways)
+	ranks := make([]uint32, c.ways) //asaplint:ignore alloccheck stamp-wrap renormalization runs once per 2^32 touches
 	max := uint32(0)
 	for ci := range c.chunks {
 		ch := &c.chunks[ci]

@@ -187,9 +187,9 @@ func (m *Machine) RunEvent(kind int, arg uint64) {
 		}
 		m.Model.Dfence(c.id, c.dfenceDoneFn)
 	case mEvSample:
-		m.sample()
+		m.sample() //asaplint:ignore alloccheck periodic sampler fires once per SampleInterval, amortized off the per-op path
 	case mEvTimeline:
-		m.timelineTick()
+		m.timelineTick() //asaplint:ignore alloccheck interval-paced timeline row; off unless -timeline is set
 	default:
 		panic(fmt.Sprintf("machine: unknown event kind %d", kind))
 	}
@@ -365,6 +365,7 @@ func (m *Machine) step(c *coreState) {
 		return
 	}
 	if c.pc >= len(c.ops) {
+		//asaplint:ignore alloccheck drain completion fires once per core at end of trace
 		m.Model.StartDrain(c.id, func() {
 			c.done = true
 			c.finish = m.Eng.Now()
@@ -482,8 +483,8 @@ func (m *Machine) acquire(c *coreState, line mem.Line) {
 			m.trc.Begin(m.coreTracks[c.id], "lock wait")
 			c.waitingLock = true
 		}
-		lk.waiters = append(lk.waiters, c)
-		return // release hands off and resumes us
+		lk.waiters = append(lk.waiters, c) //asaplint:ignore alloccheck contention-only; bounded by core count, backing array reaches it once
+		return                             // release hands off and resumes us
 	}
 	lk.held = true
 	lk.holder = c.id
@@ -509,7 +510,7 @@ func (m *Machine) finishAcquire(c *coreState, line mem.Line) {
 // the directory, and hands the lock to the next waiter.
 func (m *Machine) release(c *coreState, line mem.Line) {
 	relTS := m.Model.CurrentTS(c.id)
-	//asaplint:ignore schedcheck lock release is contention-only, cold next to the per-access path
+	//asaplint:ignore schedcheck,alloccheck lock release is contention-only, cold next to the per-access path
 	m.Eng.After(m.Cfg.FenceCost, func() {
 		m.Model.Release(c.id, line, func() {
 			res := m.access(c.id, line, true, false)
@@ -536,8 +537,8 @@ func (m *Machine) release(c *coreState, line mem.Line) {
 func (m *Machine) lock(line mem.Line) *lockState {
 	lk, ok := m.locks[line]
 	if !ok {
-		lk = &lockState{}
-		m.locks[line] = lk
+		lk = &lockState{}  //asaplint:ignore alloccheck one lockState per distinct lock line in the workload
+		m.locks[line] = lk //asaplint:ignore alloccheck map bounded by the workload's lock-line footprint
 	}
 	return lk
 }

@@ -70,7 +70,7 @@ func (f *pmFilter) mark(l mem.Line) {
 		return
 	}
 	if f.over != nil {
-		f.over[l] = true
+		f.over[l] = true //asaplint:ignore alloccheck overflow map bounded by the workload's PM-line footprint
 	}
 }
 

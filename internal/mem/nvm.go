@@ -41,7 +41,7 @@ func (n *NVM) AttachTracer(tr obs.Tracer, track obs.TrackID) {
 
 // Write persists token t to line l.
 func (n *NVM) Write(l Line, t Token) {
-	n.lines[l] = t
+	n.lines[l] = t //asaplint:ignore alloccheck modeled NVM contents: map grows to the workload footprint, then keys repeat
 	n.writes++
 	if n.trc != nil {
 		n.trc.Counter(n.track, "nvmWrites", int64(n.writes))

@@ -64,7 +64,7 @@ func (w *WPQ) Contains(l Line) (Token, bool) {
 // when the queue is full. It reports whether the insert was accepted.
 func (w *WPQ) Insert(l Line, t Token) bool {
 	if _, ok := w.pending[l]; ok {
-		w.pending[l] = t
+		w.pending[l] = t //asaplint:ignore alloccheck overwrite of an existing key never allocates
 		w.coalesced++
 		if w.trc != nil {
 			w.trc.Instant(w.track, "wpq coalesce")
@@ -74,8 +74,8 @@ func (w *WPQ) Insert(l Line, t Token) bool {
 	if w.Full() {
 		return false
 	}
-	w.order = append(w.order, l)
-	w.pending[l] = t
+	w.order = append(w.order, l)                  //asaplint:ignore alloccheck bounded by capacity (Full checked above); backing array reaches it once
+	w.pending[l] = t                              //asaplint:ignore alloccheck map bounded by capacity; deleted slots recycle at steady state
 	if w.Len() > w.maxOcc {
 		w.maxOcc = w.Len()
 	}

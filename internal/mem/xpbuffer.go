@@ -71,12 +71,18 @@ func (x *XPBuffer) Insert(l Line, t Token) {
 		return
 	}
 	if len(x.entries) >= x.capacity {
+		// Recycle the evicted node: at capacity the buffer runs with a
+		// fixed node population and insertions stop allocating.
 		lru := x.tail
 		x.unlink(lru)
 		delete(x.entries, lru.line)
+		lru.line, lru.token = l, t
+		x.entries[l] = lru //asaplint:ignore alloccheck reuses the map slot freed by the delete above
+		x.pushFront(lru)
+		return
 	}
-	n := &xpNode{line: l, token: t}
-	x.entries[l] = n
+	n := &xpNode{line: l, token: t} //asaplint:ignore alloccheck warm-up only: at most capacity nodes ever allocated
+	x.entries[l] = n                //asaplint:ignore alloccheck warm-up only: map reaches capacity once, then slots recycle
 	x.pushFront(n)
 }
 

@@ -93,6 +93,11 @@ type asapCore struct {
 
 	flushScheduled bool
 
+	// eligibleFn is the flush-eligibility predicate handed to
+	// PersistBuffer.NextWaiting, built once so the per-flush path does not
+	// recreate the closure.
+	eligibleFn func(*persist.PBEntry) bool
+
 	// stalled operations.
 	storeWaiters []func()
 	fenceWaiter  func() // blocked ofence (epoch table full)
@@ -110,6 +115,8 @@ func newASAP(env Env, rp bool) *ASAP {
 			pb: persist.NewPersistBuffer(env.Cfg.PBEntries),
 			et: persist.NewEpochTable(i, env.Cfg.ETEntries),
 		}
+		c := m.cores[i]
+		c.eligibleFn = func(e *persist.PBEntry) bool { return m.eligible(c, e) }
 	}
 	return m
 }
@@ -246,8 +253,9 @@ func (m *ASAP) tryEnqueue(c *asapCore, line mem.Line, token mem.Token, done func
 	coalesced, ok := c.pb.Enqueue(line, token, ts)
 	if !ok {
 		began := m.env.Eng.Now()
+		//asaplint:ignore alloccheck PB-full stall continuation; stalls are the cold path by definition
 		c.storeWaiters = append(c.storeWaiters, func() {
-			m.hc.cyclesStalled.Add(uint64(m.env.Eng.Now()-began))
+			m.hc.cyclesStalled.Add(uint64(m.env.Eng.Now() - began))
 			m.tryEnqueue(c, line, token, done)
 		})
 		m.kickFlusher(c)
@@ -261,7 +269,7 @@ func (m *ASAP) tryEnqueue(c *asapCore, line mem.Line, token mem.Token, done func
 	}
 	m.env.Ledger.RecordWrite(persist.EpochID{Thread: c.id, TS: ts}, line, token)
 	m.kickFlusher(c)
-	done()
+	done() //asaplint:ignore alloccheck done is the core's resume callback, built once at machine construction
 }
 
 // Ofence closes the current epoch (§V-A): increment the timestamp and add a
@@ -270,8 +278,9 @@ func (m *ASAP) Ofence(core int, done func()) {
 	c := m.cores[core]
 	if c.et.Full() {
 		began := m.env.Eng.Now()
+		//asaplint:ignore alloccheck epoch-table-full stall continuation; stalls are the cold path by definition
 		c.fenceWaiter = func() {
-			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now()-began))
+			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now() - began))
 			m.Ofence(core, done)
 		}
 		return
@@ -280,7 +289,7 @@ func (m *ASAP) Ofence(core int, done func()) {
 	c.et.Advance()
 	m.traceEpoch(c, "epoch close")
 	m.tryCommit(c, closed)
-	done()
+	done() //asaplint:ignore alloccheck done is the core's resume callback, built once at machine construction
 }
 
 // Dfence waits until every in-flight epoch of the thread has committed.
@@ -288,8 +297,9 @@ func (m *ASAP) Dfence(core int, done func()) {
 	c := m.cores[core]
 	if c.et.Full() {
 		began := m.env.Eng.Now()
+		//asaplint:ignore alloccheck epoch-table-full stall continuation; stalls are the cold path by definition
 		c.fenceWaiter = func() {
-			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now()-began))
+			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now() - began))
 			m.Dfence(core, done)
 		}
 		return
@@ -303,7 +313,7 @@ func (m *ASAP) Dfence(core int, done func()) {
 
 func (m *ASAP) waitAllCommitted(c *asapCore, done func()) {
 	if c.et.AllCommitted() {
-		done()
+		done() //asaplint:ignore alloccheck done is the core's resume callback, built once at machine construction
 		return
 	}
 	if c.dfenceWaiter != nil {
@@ -390,8 +400,8 @@ func (m *ASAP) addDependency(core int, src persist.EpochID) {
 	cur := c.et.Current()
 	dst := persist.EpochID{Thread: core, TS: cur.TS}
 	if ent, ok := w.et.Get(src.TS); ok && !ent.Committed {
-		cur.Deps = append(cur.Deps, src)
-		ent.Dependents = append(ent.Dependents, dst)
+		cur.Deps = append(cur.Deps, src)             //asaplint:ignore alloccheck conflict-only path; fan-out bounded by live epochs
+		ent.Dependents = append(ent.Dependents, dst) //asaplint:ignore alloccheck conflict-only path; fan-out bounded by live epochs
 		m.env.Ledger.DepCreated(src, dst)
 	}
 	// If the source epoch committed between the check and here, no
@@ -442,7 +452,7 @@ func (m *ASAP) flushOne(c *asapCore) {
 	if c.pb.Inflight() >= m.env.Cfg.PBMaxInflight {
 		return // an ACK will kick us again
 	}
-	e := c.pb.NextWaiting(func(e *persist.PBEntry) bool { return m.eligible(c, e) })
+	e := c.pb.NextWaiting(c.eligibleFn)
 	if e == nil {
 		return
 	}
@@ -465,6 +475,7 @@ func (m *ASAP) flushOne(c *asapCore) {
 		Epoch: persist.EpochID{Thread: c.id, TS: e.TS},
 		Early: early,
 	}
+	//asaplint:ignore alloccheck send queue reaches steady-state capacity, then appends reuse it
 	m.sendQ = append(m.sendQ, asapSend{
 		pkt: pkt, mc: m.env.MCs[mcID], id: e.ID, core: c.id, retried: retried,
 	})
@@ -514,7 +525,7 @@ func (m *ASAP) onFlushReply(c *asapCore, id uint64, res persist.FlushResult) {
 	if len(c.storeWaiters) > 0 {
 		w := c.storeWaiters[0]
 		c.storeWaiters = c.storeWaiters[1:]
-		w()
+		w() //asaplint:ignore alloccheck stall-resume continuation: only runs after a store already stalled (cold by definition)
 	}
 	m.kickFlusher(c)
 }
@@ -548,7 +559,7 @@ func (m *ASAP) tryCommit(c *asapCore, ts uint64) {
 		if mask&1 == 0 {
 			continue
 		}
-		m.commitQ = append(m.commitQ, asapCommitMsg{epoch: epoch, mc: m.env.MCs[id]})
+		m.commitQ = append(m.commitQ, asapCommitMsg{epoch: epoch, mc: m.env.MCs[id]}) //asaplint:ignore alloccheck commit-message ring: head compaction keeps it at steady-state capacity
 		m.env.Eng.AfterOp(m.env.Cfg.MsgLat, m, asapEvCommitSend, 0)
 	}
 }
@@ -583,13 +594,13 @@ func (m *ASAP) finishCommit(c *asapCore, ent *persist.ETEntry) {
 	if c.fenceWaiter != nil && !c.et.Full() {
 		w := c.fenceWaiter
 		c.fenceWaiter = nil
-		w()
+		w() //asaplint:ignore alloccheck stall-resume continuation: only runs after an ofence already stalled (cold by definition)
 	}
 	if c.dfenceWaiter != nil && c.et.AllCommitted() {
 		w := c.dfenceWaiter
 		c.dfenceWaiter = nil
-		m.hc.dfenceStalled.Add(uint64(m.env.Eng.Now()-c.dfenceStart))
-		w()
+		m.hc.dfenceStalled.Add(uint64(m.env.Eng.Now() - c.dfenceStart))
+		w() //asaplint:ignore alloccheck stall-resume continuation: only runs after a dfence already stalled (cold by definition)
 	}
 	m.kickFlusher(c)
 }

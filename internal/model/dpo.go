@@ -84,8 +84,9 @@ func (m *DPO) tryEnqueue(c *dpoCore, line mem.Line, token mem.Token, done func()
 	coalesced, ok := c.pb.Enqueue(line, token, ts)
 	if !ok {
 		began := m.env.Eng.Now()
+		//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 		c.storeWaiters = append(c.storeWaiters, func() {
-			m.hc.cyclesStalled.Add(uint64(m.env.Eng.Now()-began))
+			m.hc.cyclesStalled.Add(uint64(m.env.Eng.Now() - began))
 			m.tryEnqueue(c, line, token, done)
 		})
 		m.kickFlusher(c)
@@ -99,6 +100,7 @@ func (m *DPO) tryEnqueue(c *dpoCore, line mem.Line, token mem.Token, done func()
 	}
 	m.env.Ledger.RecordWrite(persist.EpochID{Thread: c.id, TS: ts}, line, token)
 	m.kickFlusher(c)
+	//asaplint:ignore alloccheck resume/done callback invocation; the callback's creation site carries the alloc proof
 	done()
 }
 
@@ -107,8 +109,9 @@ func (m *DPO) Ofence(core int, done func()) {
 	c := m.cores[core]
 	if c.et.Full() {
 		began := m.env.Eng.Now()
+		//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 		c.fenceWaiter = func() {
-			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now()-began))
+			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now() - began))
 			m.Ofence(core, done)
 		}
 		return
@@ -116,6 +119,7 @@ func (m *DPO) Ofence(core int, done func()) {
 	closed := c.et.CurrentTS()
 	c.et.Advance()
 	m.tryCommit(c, closed)
+	//asaplint:ignore alloccheck resume/done callback invocation; the callback's creation site carries the alloc proof
 	done()
 }
 
@@ -124,8 +128,9 @@ func (m *DPO) Dfence(core int, done func()) {
 	c := m.cores[core]
 	if c.et.Full() {
 		began := m.env.Eng.Now()
+		//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 		c.fenceWaiter = func() {
-			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now()-began))
+			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now() - began))
 			m.Dfence(core, done)
 		}
 		return
@@ -134,6 +139,7 @@ func (m *DPO) Dfence(core int, done func()) {
 	c.et.Advance()
 	m.tryCommit(c, closed)
 	if c.et.AllCommitted() {
+		//asaplint:ignore alloccheck resume/done callback invocation; the callback's creation site carries the alloc proof
 		done()
 		return
 	}
@@ -181,8 +187,10 @@ func (m *DPO) Conflict(core int, cf *cache.Conflict) {
 	m.tryCommit(c, prev)
 	cur := c.et.Current()
 	if !m.EpochCommitted(src) {
+		//asaplint:ignore alloccheck legacy model bookkeeping growth, bounded by workload footprint; outside the zero-alloc gate
 		cur.Deps = append(cur.Deps, src)
 		dst := persist.EpochID{Thread: core, TS: cur.TS}
+		//asaplint:ignore alloccheck legacy model map bounded by workload footprint; outside the zero-alloc gate
 		m.waiters[src] = append(m.waiters[src], dst)
 		m.env.Ledger.DepCreated(src, dst)
 	}
@@ -213,6 +221,7 @@ func (m *DPO) nextFlushable(c *dpoCore) *persist.PBEntry {
 	if ent, ok := c.et.Get(oldest); ok && !ent.DepsResolved() {
 		return nil // waiting for a snooped commit broadcast
 	}
+	//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 	return c.pb.NextWaiting(func(e *persist.PBEntry) bool { return e.TS == oldest })
 }
 
@@ -221,6 +230,7 @@ func (m *DPO) kickFlusher(c *dpoCore) {
 		return
 	}
 	c.flushScheduled = true
+	//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 	m.env.Eng.After(1, func() {
 		c.flushScheduled = false
 		m.flushOne(c)
@@ -243,7 +253,9 @@ func (m *DPO) flushOne(c *dpoCore) {
 	}
 	id := e.ID
 	mc := m.env.MCs[m.env.IL.Home(e.Line)]
+	//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 	m.env.Eng.After(m.env.Cfg.FlushLat, func() {
+		//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 		mc.Receive(pkt, func(res persist.FlushResult) {
 			if res != persist.FlushAck {
 				panic("dpo: controller NACKed a safe flush")
@@ -252,6 +264,7 @@ func (m *DPO) flushOne(c *dpoCore) {
 		})
 	})
 	if c.pb.Inflight() < m.env.Cfg.PBMaxInflight {
+		//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 		m.env.Eng.After(flushIssuePace, func() { m.flushOne(c) })
 	}
 }
@@ -295,6 +308,7 @@ func (m *DPO) tryCommit(c *dpoCore, ts uint64) {
 		m.hc.dpoBroadcasts.Inc()
 		for _, dst := range deps {
 			dst := dst
+			//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 			m.env.Eng.After(m.env.Cfg.MsgLat, func() { m.resolve(dst) })
 		}
 	}
@@ -303,12 +317,14 @@ func (m *DPO) tryCommit(c *dpoCore, ts uint64) {
 	if c.fenceWaiter != nil && !c.et.Full() {
 		w := c.fenceWaiter
 		c.fenceWaiter = nil
+		//asaplint:ignore alloccheck resume/done callback invocation; the callback's creation site carries the alloc proof
 		w()
 	}
 	if c.dfenceWaiter != nil && c.et.AllCommitted() {
 		w := c.dfenceWaiter
 		c.dfenceWaiter = nil
-		m.hc.dfenceStalled.Add(uint64(m.env.Eng.Now()-c.dfenceStart))
+		m.hc.dfenceStalled.Add(uint64(m.env.Eng.Now() - c.dfenceStart))
+		//asaplint:ignore alloccheck resume/done callback invocation; the callback's creation site carries the alloc proof
 		w()
 	}
 	m.kickFlusher(c)

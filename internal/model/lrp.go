@@ -90,6 +90,7 @@ func (m *LRP) gate(c *lrpCore, fn func()) {
 // Store buffers the write, gated behind any blocked acquire.
 func (m *LRP) Store(core int, line mem.Line, token mem.Token, done func()) {
 	c := m.cores[core]
+	//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 	m.gate(c, func() { m.tryEnqueue(c, line, token, done) })
 }
 
@@ -98,8 +99,9 @@ func (m *LRP) tryEnqueue(c *lrpCore, line mem.Line, token mem.Token, done func()
 	coalesced, ok := c.pb.Enqueue(line, token, ts)
 	if !ok {
 		began := m.env.Eng.Now()
+		//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 		c.storeWaiters = append(c.storeWaiters, func() {
-			m.hc.cyclesStalled.Add(uint64(m.env.Eng.Now()-began))
+			m.hc.cyclesStalled.Add(uint64(m.env.Eng.Now() - began))
 			m.tryEnqueue(c, line, token, done)
 		})
 		m.kickFlusher(c)
@@ -119,14 +121,16 @@ func (m *LRP) tryEnqueue(c *lrpCore, line mem.Line, token mem.Token, done func()
 // Ofence closes the epoch.
 func (m *LRP) Ofence(core int, done func()) {
 	c := m.cores[core]
+	//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 	m.gate(c, func() { m.ofence(c, done) })
 }
 
 func (m *LRP) ofence(c *lrpCore, done func()) {
 	if c.et.Full() {
 		began := m.env.Eng.Now()
+		//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 		c.fenceWaiter = func() {
-			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now()-began))
+			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now() - began))
 			m.ofence(c, done)
 		}
 		return
@@ -140,14 +144,16 @@ func (m *LRP) ofence(c *lrpCore, done func()) {
 // Dfence drains the persist buffer.
 func (m *LRP) Dfence(core int, done func()) {
 	c := m.cores[core]
+	//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 	m.gate(c, func() { m.dfence(c, done) })
 }
 
 func (m *LRP) dfence(c *lrpCore, done func()) {
 	if c.et.Full() {
 		began := m.env.Eng.Now()
+		//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 		c.fenceWaiter = func() {
-			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now()-began))
+			m.hc.ofenceStalled.Add(uint64(m.env.Eng.Now() - began))
 			m.dfence(c, done)
 		}
 		return
@@ -200,6 +206,7 @@ func (m *LRP) Conflict(core int, cf *cache.Conflict) {
 		s := src
 		c.acquireStall = &s
 		c.stallBegan = m.env.Eng.Now()
+		//asaplint:ignore alloccheck legacy model map bounded by workload footprint; outside the zero-alloc gate
 		m.stallees[src] = append(m.stallees[src], core)
 	}
 	// Make sure the source epoch is closed so it can persist.
@@ -232,6 +239,7 @@ func (m *LRP) PBHasLine(core int, line mem.Line) bool {
 // nextFlushable: conservative oldest-epoch flushing, like HOPS.
 func (m *LRP) nextFlushable(c *lrpCore) *persist.PBEntry {
 	oldest := c.et.OldestTS()
+	//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 	return c.pb.NextWaiting(func(e *persist.PBEntry) bool { return e.TS == oldest })
 }
 
@@ -240,6 +248,7 @@ func (m *LRP) kickFlusher(c *lrpCore) {
 		return
 	}
 	c.flushScheduled = true
+	//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 	m.env.Eng.After(1, func() {
 		c.flushScheduled = false
 		m.flushOne(c)
@@ -262,7 +271,9 @@ func (m *LRP) flushOne(c *lrpCore) {
 	}
 	id := e.ID
 	mc := m.env.MCs[m.env.IL.Home(e.Line)]
+	//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 	m.env.Eng.After(m.env.Cfg.FlushLat, func() {
+		//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 		mc.Receive(pkt, func(res persist.FlushResult) {
 			if res != persist.FlushAck {
 				panic("lrp: controller NACKed a safe flush")
@@ -271,6 +282,7 @@ func (m *LRP) flushOne(c *lrpCore) {
 		})
 	})
 	if c.pb.Inflight() < m.env.Cfg.PBMaxInflight {
+		//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 		m.env.Eng.After(flushIssuePace, func() { m.flushOne(c) })
 	}
 }
@@ -312,6 +324,7 @@ func (m *LRP) tryCommit(c *lrpCore, ts uint64) {
 		delete(m.stallees, epoch)
 		for _, id := range cores {
 			id := id
+			//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 			m.env.Eng.After(m.env.Cfg.MsgLat, func() { m.unstall(id) })
 		}
 	}
@@ -320,12 +333,14 @@ func (m *LRP) tryCommit(c *lrpCore, ts uint64) {
 	if c.fenceWaiter != nil && !c.et.Full() {
 		w := c.fenceWaiter
 		c.fenceWaiter = nil
+		//asaplint:ignore alloccheck resume/done callback invocation; the callback's creation site carries the alloc proof
 		w()
 	}
 	if c.dfenceWaiter != nil && c.et.AllCommitted() {
 		w := c.dfenceWaiter
 		c.dfenceWaiter = nil
-		m.hc.dfenceStalled.Add(uint64(m.env.Eng.Now()-c.dfenceStart))
+		m.hc.dfenceStalled.Add(uint64(m.env.Eng.Now() - c.dfenceStart))
+		//asaplint:ignore alloccheck resume/done callback invocation; the callback's creation site carries the alloc proof
 		w()
 	}
 	m.kickFlusher(c)
@@ -336,7 +351,7 @@ func (m *LRP) unstall(core int) {
 	if c.acquireStall == nil {
 		return
 	}
-	m.hc.lrpStallCycles.Add(uint64(m.env.Eng.Now()-c.stallBegan))
+	m.hc.lrpStallCycles.Add(uint64(m.env.Eng.Now() - c.stallBegan))
 	c.acquireStall = nil
 	pend := c.stalled
 	c.stalled = nil

@@ -85,6 +85,7 @@ func (m *PMEMSpec) delay(c *specCore, done func()) {
 		m.env.Eng.At(c.recoverUntil, done)
 		return
 	}
+	//asaplint:ignore alloccheck resume/done callback invocation; the callback's creation site carries the alloc proof
 	done()
 }
 
@@ -100,7 +101,9 @@ func (m *PMEMSpec) Store(core int, line mem.Line, token mem.Token, done func()) 
 	mcID := m.env.IL.Home(line)
 	ep := c.outstanding[ts]
 	if ep == nil {
+		//asaplint:ignore alloccheck legacy model per-record allocation; typed-event/pooling conversion is tracked roadmap debt
 		ep = &specEpoch{perMC: make([]int, m.env.Cfg.MCs)}
+		//asaplint:ignore alloccheck legacy model map bounded by workload footprint; outside the zero-alloc gate
 		c.outstanding[ts] = ep
 	}
 	ep.perMC[mcID]++
@@ -125,7 +128,9 @@ func (m *PMEMSpec) Store(core int, line mem.Line, token mem.Token, done func()) 
 
 	pkt := persist.FlushPacket{Line: line, Token: token, Epoch: persist.EpochID{Thread: core, TS: ts}}
 	mc := m.env.MCs[mcID]
+	//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 	m.env.Eng.After(m.env.Cfg.FlushLat, func() {
+		//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 		mc.Receive(pkt, func(persist.FlushResult) {
 			ep.perMC[mcID]--
 			ep.pending--
@@ -153,7 +158,8 @@ func (m *PMEMSpec) retire(c *specCore) {
 	if c.dfenceWaiter != nil && m.drained(c) {
 		w := c.dfenceWaiter
 		c.dfenceWaiter = nil
-		m.hc.dfenceStalled.Add(uint64(m.env.Eng.Now()-c.dfenceStart))
+		m.hc.dfenceStalled.Add(uint64(m.env.Eng.Now() - c.dfenceStart))
+		//asaplint:ignore alloccheck resume/done callback invocation; the callback's creation site carries the alloc proof
 		w()
 	}
 }
@@ -192,6 +198,7 @@ func (m *PMEMSpec) Dfence(core int, done func()) {
 		panic("pmem_spec: overlapping dfence waits on one core")
 	}
 	c.dfenceStart = m.env.Eng.Now()
+	//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 	c.dfenceWaiter = func() { m.delay(c, done) }
 }
 

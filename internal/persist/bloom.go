@@ -10,8 +10,12 @@ import "asap/internal/mem"
 type CountingBloom struct {
 	counters []uint8
 	hashes   int
-	adds     uint64
-	hits     uint64
+	// scratch backs the slice indices returns; the engine is
+	// single-threaded, so one buffer per filter suffices and every
+	// Add/Remove/MaybeContains probe stays allocation-free.
+	scratch []int
+	adds    uint64
+	hits    uint64
 }
 
 // NewCountingBloom returns a filter with m counters and k hash functions.
@@ -19,13 +23,14 @@ func NewCountingBloom(m, k int) *CountingBloom {
 	if m <= 0 || k <= 0 {
 		panic("persist: bloom filter needs positive size and hash count")
 	}
-	return &CountingBloom{counters: make([]uint8, m), hashes: k}
+	return &CountingBloom{counters: make([]uint8, m), hashes: k, scratch: make([]int, k)}
 }
 
 // indices derives k counter indices from the line address with a
-// splitmix64-style mixer.
+// splitmix64-style mixer. The result aliases the filter's scratch buffer
+// and is valid only until the next indices call.
 func (b *CountingBloom) indices(l mem.Line) []int {
-	idx := make([]int, b.hashes)
+	idx := b.scratch
 	x := uint64(l)
 	for i := 0; i < b.hashes; i++ {
 		x += 0x9E3779B97F4A7C15

@@ -162,7 +162,7 @@ func (et *EpochTable) OldestTS() uint64 { return et.oldest }
 func (et *EpochTable) grow() {
 	old := et.ring
 	oldMask := et.mask
-	et.ring = make([]*ETEntry, 2*len(old))
+	et.ring = make([]*ETEntry, 2*len(old)) //asaplint:ignore alloccheck amortized doubling on transient over-capacity; steady state never grows
 	et.mask = uint64(len(et.ring)) - 1
 	for ts := et.oldest; ts <= et.current; ts++ {
 		et.ring[ts&et.mask] = old[ts&oldMask]
@@ -176,6 +176,8 @@ func (et *EpochTable) grow() {
 // transiently exceed its nominal capacity (hardware reserves entries for
 // this). Lemma 0.1's acyclicity argument requires that the dependency
 // source epoch is always closed at creation.
+//
+//asap:hot runs on every epoch boundary (fences, coherence splits)
 func (et *EpochTable) Advance() *ETEntry {
 	et.ring[et.current&et.mask].Closed = true
 	et.current++
@@ -190,7 +192,7 @@ func (et *EpochTable) Advance() *ETEntry {
 		deps, dependents := e.Deps[:0], e.Dependents[:0]
 		*e = ETEntry{TS: et.current, Deps: deps, Dependents: dependents}
 	} else {
-		e = &ETEntry{TS: et.current}
+		e = &ETEntry{TS: et.current} //asaplint:ignore alloccheck free-list miss; bounded by the table's live window, then recycled forever
 	}
 	et.ring[et.current&et.mask] = e
 	et.count++
@@ -201,6 +203,8 @@ func (et *EpochTable) Advance() *ETEntry {
 }
 
 // Retire removes a committed epoch from the table, freeing an entry.
+//
+//asap:hot runs once per committed epoch
 func (et *EpochTable) Retire(ts uint64) {
 	e, ok := et.Get(ts)
 	if !ok {
@@ -214,7 +218,7 @@ func (et *EpochTable) Retire(ts uint64) {
 	// Recycle the entry; Advance reuses it (and its Deps/Dependents
 	// backing arrays) for a future epoch. Callers must not retain
 	// *ETEntry pointers across Retire.
-	et.free = append(et.free, e)
+	et.free = append(et.free, e) //asaplint:ignore alloccheck free list bounded by the table's live window; backing array reaches it once
 	for et.oldest <= et.current && et.ring[et.oldest&et.mask] == nil {
 		et.oldest++
 	}

@@ -185,7 +185,7 @@ func (mc *MC) enqueueFlush(j mcJob) {
 	} else {
 		mc.hc.safeFlushes.Inc()
 	}
-	mc.queue = append(mc.queue, j)
+	mc.queue = append(mc.queue, j) //asaplint:ignore alloccheck job queue reaches steady-state capacity, then appends reuse it
 	mc.serve()
 }
 
@@ -200,7 +200,7 @@ func (mc *MC) Commit(e EpochID, done func()) {
 // CommitOp is the typed form of Commit: the ACK is delivered through
 // acker.CommitAck(e) instead of a per-commit closure.
 func (mc *MC) CommitOp(e EpochID, acker CommitAcker) {
-	mc.queue = append(mc.queue, mcJob{isCommit: true, epoch: e, commitAcker: acker})
+	mc.queue = append(mc.queue, mcJob{isCommit: true, epoch: e, commitAcker: acker}) //asaplint:ignore alloccheck job queue reaches steady-state capacity, then appends reuse it
 	mc.serve()
 }
 
@@ -229,6 +229,8 @@ func (mc *MC) serve() {
 }
 
 // RunEvent dispatches the controller's typed events.
+//
+//asap:hot the memory controller's entire service loop runs in here
 func (mc *MC) RunEvent(kind int, arg uint64) {
 	switch kind {
 	case mcEvServe:
@@ -252,11 +254,11 @@ func (mc *MC) RunEvent(kind int, arg uint64) {
 		case r.acker != nil:
 			r.acker.CommitAck(r.ackEpoch)
 		case r.commit != nil:
-			r.commit()
+			r.commit() //asaplint:ignore alloccheck legacy closure-form reply, used only by package tests; models use the typed repliers
 		case r.replier != nil:
 			r.replier.FlushReply(r.arg, r.res)
 		default:
-			r.legacy(r.res)
+			r.legacy(r.res) //asaplint:ignore alloccheck legacy closure-form reply, used only by package tests; models use the typed repliers
 		}
 	case mcEvXPRead:
 		mc.readDone(mem.Token(arg))
@@ -283,7 +285,7 @@ func (mc *MC) finishJob() {
 
 // sendReply queues r for delivery MsgLat cycles from now.
 func (mc *MC) sendReply(r mcReply) {
-	mc.replies = append(mc.replies, r)
+	mc.replies = append(mc.replies, r) //asaplint:ignore alloccheck reply ring: head compaction keeps it at steady-state capacity
 	mc.eng.AfterOp(mc.cfg.MsgLat, mc, mcEvReply, 0)
 }
 
@@ -308,6 +310,24 @@ func (mc *MC) nack() {
 	mc.finishJob()
 }
 
+// debugFlush prints one flush's recovery-table and media state; test
+// diagnostics behind the DebugLine gate.
+func (mc *MC) debugFlush(pkt FlushPacket) {
+	u, hu := mc.RT.Undo(pkt.Line)
+	fmt.Printf("[%d] MC%d flush tok=%d epoch=%v early=%v hasUndo=%v undo=%+v mem=%d\n",
+		mc.eng.Now(), mc.ID, pkt.Token, pkt.Epoch, pkt.Early, hu, u, mc.NVM.Peek(pkt.Line))
+}
+
+// debugCommitDelays prints the delay records a commit replays; test
+// diagnostics behind the DebugLine gate.
+func (mc *MC) debugCommitDelays() {
+	for _, d := range mc.delays {
+		if d.Line == DebugLine {
+			fmt.Printf("[%d] MC%d commit %v replays delay tok=%d mem=%d\n", mc.eng.Now(), mc.ID, mc.cur.epoch, d.Token, mc.NVM.Peek(d.Line))
+		}
+	}
+}
+
 // jobName labels a controller job's service span in the trace.
 func jobName(j mcJob) string {
 	switch {
@@ -324,9 +344,7 @@ func jobName(j mcJob) string {
 func (mc *MC) processFlush() {
 	pkt := mc.cur.pkt
 	if DebugLine != 0 && pkt.Line == DebugLine && mc.RT != nil {
-		u, hu := mc.RT.Undo(pkt.Line)
-		fmt.Printf("[%d] MC%d flush tok=%d epoch=%v early=%v hasUndo=%v undo=%+v mem=%d\n",
-			mc.eng.Now(), mc.ID, pkt.Token, pkt.Epoch, pkt.Early, hu, u, mc.NVM.Peek(pkt.Line))
+		mc.debugFlush(pkt) //asaplint:ignore alloccheck test-only diagnostics behind the DebugLine gate, never on a measured run
 	}
 
 	if mc.RT == nil {
@@ -418,11 +436,7 @@ func (mc *MC) processCommit() {
 	mc.delays = mc.RT.Commit(mc.cur.epoch)
 	mc.delayIdx = 0
 	if DebugLine != 0 {
-		for _, d := range mc.delays {
-			if d.Line == DebugLine {
-				fmt.Printf("[%d] MC%d commit %v replays delay tok=%d mem=%d\n", mc.eng.Now(), mc.ID, mc.cur.epoch, d.Token, mc.NVM.Peek(d.Line))
-			}
-		}
+		mc.debugCommitDelays() //asaplint:ignore alloccheck test-only diagnostics behind the DebugLine gate, never on a measured run
 	}
 	mc.hc.commits.Inc()
 	mc.commitNext()
@@ -433,6 +447,9 @@ func (mc *MC) processCommit() {
 func (mc *MC) commitNext() {
 	for {
 		if mc.delayIdx >= len(mc.delays) {
+			if mc.delays != nil {
+				mc.RT.RecycleDelays(mc.delays)
+			}
 			mc.delays = nil
 			mc.sendReply(mcReply{commit: mc.cur.commitDone,
 				acker: mc.cur.commitAcker, ackEpoch: mc.cur.epoch})

@@ -90,6 +90,8 @@ func (pb *PersistBuffer) MaxOccupancy() int { return pb.maxOcc }
 // entry for the same line and epoch exists, the write coalesces into it.
 // It reports (coalesced, accepted); accepted is false when the buffer is
 // full and nothing coalesced.
+//
+//asap:hot every persistent store enqueues here
 func (pb *PersistBuffer) Enqueue(line mem.Line, token mem.Token, ts uint64) (bool, bool) {
 	for i := len(pb.entries) - 1; i >= 0; i-- {
 		e := pb.entries[i]
@@ -117,7 +119,7 @@ func (pb *PersistBuffer) Enqueue(line mem.Line, token mem.Token, ts uint64) (boo
 		pb.free[n-1] = nil
 		pb.free = pb.free[:n-1]
 	} else {
-		e = new(PBEntry)
+		e = new(PBEntry) //asaplint:ignore alloccheck free-list miss; at most capacity allocations per run, then recycled forever
 	}
 	*e = PBEntry{
 		ID:    pb.nextID,
@@ -126,7 +128,7 @@ func (pb *PersistBuffer) Enqueue(line mem.Line, token mem.Token, ts uint64) (boo
 		TS:    ts,
 		State: PBWaiting,
 	}
-	pb.entries = append(pb.entries, e)
+	pb.entries = append(pb.entries, e) //asaplint:ignore alloccheck bounded by capacity (Full checked above); backing array reaches it once
 	pb.inserted++
 	if len(pb.entries) > pb.maxOcc {
 		pb.maxOcc = len(pb.entries)
@@ -141,9 +143,11 @@ func (pb *PersistBuffer) Enqueue(line mem.Line, token mem.Token, ts uint64) (boo
 // Models use pred to express their flushing policy: HOPS restricts to the
 // oldest epoch, ASAP's eager mode accepts anything, and ASAP's conservative
 // fallback accepts only safe epochs.
+//
+//asap:hot flush-issue path, polled once per drained entry
 func (pb *PersistBuffer) NextWaiting(pred func(*PBEntry) bool) *PBEntry {
 	for _, e := range pb.entries {
-		if e.State == PBWaiting && pred(e) {
+		if e.State == PBWaiting && pred(e) { //asaplint:ignore alloccheck policy predicate call: predicates are pure; their creation sites carry the alloc proof
 			return e
 		}
 	}
@@ -152,6 +156,8 @@ func (pb *PersistBuffer) NextWaiting(pred func(*PBEntry) bool) *PBEntry {
 
 // MarkInflight transitions a waiting entry to inflight with the given
 // speculation mark.
+//
+//asap:hot runs once per issued flush
 func (pb *PersistBuffer) MarkInflight(e *PBEntry, early bool) {
 	if e.State != PBWaiting {
 		panic("persist: MarkInflight on non-waiting entry")
@@ -165,6 +171,8 @@ func (pb *PersistBuffer) MarkInflight(e *PBEntry, early bool) {
 // (false if the ID is unknown, which indicates a protocol bug upstream).
 // The slot itself is recycled onto the free list — returning by value means
 // no caller can hold a pointer into a slot a later Enqueue reuses.
+//
+//asap:hot runs once per completed flush
 func (pb *PersistBuffer) Ack(id uint64) (PBEntry, bool) {
 	for i, e := range pb.entries {
 		if e.ID == id {
@@ -178,7 +186,7 @@ func (pb *PersistBuffer) Ack(id uint64) (PBEntry, bool) {
 			pb.entries[n] = nil // drop the duplicate tail reference
 			pb.entries = pb.entries[:n]
 			*e = PBEntry{}
-			pb.free = append(pb.free, e)
+			pb.free = append(pb.free, e) //asaplint:ignore alloccheck free list bounded by capacity; backing array reaches it once
 			if pb.trc != nil {
 				pb.trc.Counter(pb.track, "pb", int64(len(pb.entries)))
 			}
@@ -190,6 +198,8 @@ func (pb *PersistBuffer) Ack(id uint64) (PBEntry, bool) {
 
 // Nack returns the entry with the given ID to the waiting state and marks it
 // NACKed so the flush policy reissues it as a safe flush.
+//
+//asap:hot misspeculation recovery path
 func (pb *PersistBuffer) Nack(id uint64) *PBEntry {
 	for _, e := range pb.entries {
 		if e.ID == id {
@@ -218,6 +228,8 @@ func (pb *PersistBuffer) PendingForEpoch(ts uint64) int {
 
 // HasLine reports whether a live entry exists for line (used by the LLC
 // eviction path: the newest value may still be here, §V-F).
+//
+//asap:hot probed on every LLC eviction
 func (pb *PersistBuffer) HasLine(line mem.Line) bool {
 	for _, e := range pb.entries {
 		if e.Line == line {

@@ -44,6 +44,12 @@ type RecoveryTable struct {
 	// pointers within one controller job, so a record freed by Commit has no
 	// live references; reusing it keeps the early-flush path allocation-free.
 	undoFree []*UndoRecord
+	// delayFree and delaySlabs recycle delay records and the per-epoch
+	// slices backing them. Controllers hand both back via RecycleDelays
+	// once a commit's replay finishes, so steady-state delay traffic
+	// allocates nothing.
+	delayFree  []*DelayRecord
+	delaySlabs [][]*DelayRecord
 
 	trc   obs.Tracer // nil unless tracing; every use must be nil-guarded
 	track obs.TrackID
@@ -109,10 +115,10 @@ func (rt *RecoveryTable) CreateUndo(l mem.Line, safe mem.Token, e EpochID) bool 
 		rt.undoFree[n-1] = nil
 		rt.undoFree = rt.undoFree[:n-1]
 	} else {
-		r = new(UndoRecord)
+		r = new(UndoRecord) //asaplint:ignore alloccheck free-list miss; bounded by table capacity, then recycled forever
 	}
 	*r = UndoRecord{Line: l, Safe: safe, Creator: e}
-	rt.undo[l] = r
+	rt.undo[l] = r //asaplint:ignore alloccheck map bounded by table capacity; deleted slots recycle at steady state
 	rt.undoMade++
 	rt.bumpOcc()
 	if rt.trc != nil {
@@ -148,7 +154,25 @@ func (rt *RecoveryTable) CreateDelay(l mem.Line, tok mem.Token, e EpochID) bool 
 	if rt.Full() {
 		return false
 	}
-	rt.delay[e] = append(rt.delay[e], &DelayRecord{Line: l, Token: tok, Epoch: e})
+	var d *DelayRecord
+	if n := len(rt.delayFree); n > 0 {
+		d = rt.delayFree[n-1]
+		rt.delayFree[n-1] = nil
+		rt.delayFree = rt.delayFree[:n-1]
+	} else {
+		d = new(DelayRecord) //asaplint:ignore alloccheck free-list miss; bounded by table capacity, then recycled forever
+	}
+	*d = DelayRecord{Line: l, Token: tok, Epoch: e}
+	ds := rt.delay[e]
+	if ds == nil {
+		if n := len(rt.delaySlabs); n > 0 {
+			ds = rt.delaySlabs[n-1][:0]
+			rt.delaySlabs[n-1] = nil
+			rt.delaySlabs = rt.delaySlabs[:n-1]
+		}
+	}
+	ds = append(ds, d) //asaplint:ignore alloccheck recycled slab; backing array reaches steady-state capacity once
+	rt.delay[e] = ds   //asaplint:ignore alloccheck epoch keys bounded by live epochs; deleted slots recycle
 	rt.delayLen++
 	rt.delayMade++
 	rt.bumpOcc()
@@ -178,7 +202,7 @@ func (rt *RecoveryTable) Commit(e EpochID) []*DelayRecord {
 	for l, r := range rt.undo {
 		if r.Creator == e {
 			delete(rt.undo, l)
-			rt.undoFree = append(rt.undoFree, r)
+			rt.undoFree = append(rt.undoFree, r) //asaplint:ignore alloccheck free list bounded by table capacity; backing array reaches it once
 		}
 	}
 	ds := rt.delay[e]
@@ -190,6 +214,20 @@ func (rt *RecoveryTable) Commit(e EpochID) []*DelayRecord {
 		rt.trc.Counter(rt.track, "rt", int64(rt.Occupancy()))
 	}
 	return ds
+}
+
+// RecycleDelays hands a slice returned by Commit back to the table's
+// free pool once the caller has replayed every record. The caller must
+// drop all references to the slice and its records before calling.
+func (rt *RecoveryTable) RecycleDelays(ds []*DelayRecord) {
+	for i, d := range ds {
+		*d = DelayRecord{}
+		rt.delayFree = append(rt.delayFree, d) //asaplint:ignore alloccheck free list bounded by table capacity; backing array reaches it once
+		ds[i] = nil
+	}
+	if cap(ds) > 0 {
+		rt.delaySlabs = append(rt.delaySlabs, ds[:0]) //asaplint:ignore alloccheck slab pool bounded by live epochs; backing array reaches it once
+	}
 }
 
 // UndoRecords returns all live undo records in ascending line order, so

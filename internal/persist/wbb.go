@@ -54,7 +54,7 @@ func (w *WBB) Park(line mem.Line, pbEntryID uint64) bool {
 	if len(w.entries) >= w.capacity {
 		return false
 	}
-	w.entries[line] = pbEntryID
+	w.entries[line] = pbEntryID //asaplint:ignore alloccheck map bounded by WBB capacity (checked above); deleted slots recycle
 	w.parked++
 	if len(w.entries) > w.maxOcc {
 		w.maxOcc = len(w.entries)
