@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-baseline golden golden-check profile ci
+.PHONY: all build test race vet fmt lint bench bench-baseline golden golden-check profile serve smoke ci
 
 all: build test
 
@@ -15,6 +15,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# fmt mirrors the CI gofmt gate: fail, naming the files, if anything is
+# unformatted.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 
 # lint runs the repo's own static-analysis suite (cmd/asaplint): the
 # per-package analyzers (donecheck, detcheck, unitcheck, ledgercheck,
@@ -68,5 +74,22 @@ profile:
 	$(GO) run ./cmd/asapfig -profile /tmp/asap-profile fig8
 	@ls -l /tmp/asap-profile
 
+# serve starts asapd in the foreground on a local store. Submit with
+# curl (see EXPERIMENTS.md "Serving runs") or `make smoke` from another
+# terminal; ^C shuts down gracefully.
+serve:
+	$(GO) run ./cmd/asapd -addr 127.0.0.1:8321 -store /tmp/asap-store
+
+# smoke reproduces the CI service job locally: boot asapd on a fresh
+# scratch store, submit one RunSpec twice via asapsmoke, assert the
+# second response is a byte-identical cache hit, shut the daemon down.
+smoke:
+	$(GO) build -o /tmp/asap-bin/ ./cmd/asapd ./cmd/asapsmoke
+	rm -rf /tmp/asap-smoke-store
+	/tmp/asap-bin/asapd -addr 127.0.0.1:8321 -store /tmp/asap-smoke-store & \
+	pid=$$!; \
+	/tmp/asap-bin/asapsmoke -addr http://127.0.0.1:8321 -threads 4 -ops 400; rc=$$?; \
+	kill $$pid; exit $$rc
+
 # ci mirrors .github/workflows/ci.yml.
-ci: build vet test race lint golden-check
+ci: build vet fmt test race lint golden-check smoke

@@ -1,0 +1,98 @@
+// Command asapd serves simulations over HTTP/JSON: a long-running
+// daemon wrapping the experiment harness behind a content-addressed run
+// cache. Determinism makes every result globally cacheable — identical
+// RunSpecs are simulated once, persisted under the SHA-256 of their
+// canonical form, and answered byte-identically forever after.
+//
+// Usage:
+//
+//	asapd -addr :8080 -store /var/lib/asap/store
+//	asapd -addr 127.0.0.1:8321 -store /tmp/asap-store -parallel 8
+//
+// Endpoints:
+//
+//	POST /v1/runs           submit a RunSpec JSON (see runspec); add ?async=1 for 202 + id
+//	GET  /v1/runs/{id}      status (with progressCycles) or result by content address
+//	GET  /v1/healthz        liveness
+//	GET  /v1/stats          server counters + the stats registry vocabulary
+//
+// Submit with curl:
+//
+//	curl -s -X POST localhost:8080/v1/runs -d '{
+//	  "workload": "cceh", "model": "asap_rp",
+//	  "params": {"Threads": 4, "OpsPerThread": 400, "Seed": 1}
+//	}'
+//
+// The X-Asap-Cache response header reports hit (served from the store),
+// miss (simulated for this request), or inflight (joined a simulation
+// another client started).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"asap/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		store    = flag.String("store", "", "content-addressed result store directory (required)")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		maxOps   = flag.Int("max-ops", 0, "per-request cap on Threads*OpsPerThread (0 = 1<<20)")
+		quiet    = flag.Bool("quiet", false, "suppress per-run log lines")
+	)
+	flag.Parse()
+	if *store == "" {
+		fmt.Fprintln(os.Stderr, "asapd: -store is required (the result store directory)")
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	var srvLog *log.Logger
+	if !*quiet {
+		srvLog = logger
+	}
+	srv, err := server.New(server.Options{
+		StoreDir:    *store,
+		Parallel:    *parallel,
+		MaxTotalOps: *maxOps,
+		Log:         srvLog,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asapd:", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logger.Printf("asapd: serving on %s, store %s", *addr, *store)
+
+	select {
+	case <-ctx.Done():
+		logger.Print("asapd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("asapd: shutdown: %v", err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "asapd:", err)
+			os.Exit(1)
+		}
+	}
+}

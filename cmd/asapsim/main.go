@@ -6,6 +6,8 @@
 //	asapsim -workload cceh -model asap_rp -threads 4 -ops 600
 //	asapsim -trace out.json -timeline out.csv -workload atlas_queue
 //	asapsim -stats -workload cceh
+//	asapsim -save-spec run.json            # capture the flags as a RunSpec
+//	asapsim -spec run.json                 # replay a RunSpec exactly
 //
 // Models: baseline, hops_ep, hops_rp, asap_ep, asap_rp, eadr.
 // Workloads: see -list.
@@ -29,6 +31,7 @@ import (
 	"asap/internal/machine"
 	"asap/internal/model"
 	"asap/internal/obs"
+	"asap/internal/runspec"
 	"asap/internal/sim"
 	"asap/internal/trace"
 	"asap/internal/workload"
@@ -51,6 +54,8 @@ func main() {
 		tlOut    = flag.String("timeline", "", "write a CSV occupancy timeline of the run to this file")
 		interval = flag.Uint64("interval", 0, "timeline sampling interval in cycles (0 = default)")
 		describe = flag.Bool("stats", false, "print statistics with their registered descriptions")
+		specIn   = flag.String("spec", "", "load a RunSpec JSON (overrides workload/model/params flags)")
+		specOut  = flag.String("save-spec", "", "write the run's canonical RunSpec JSON to this file and exit")
 	)
 	flag.Parse()
 
@@ -67,6 +72,41 @@ func main() {
 		ValueSize:    *valSize,
 		Seed:         *seed,
 	}
+	cfg := config.Default()
+	if *threads > cfg.Cores {
+		cfg.Cores = *threads
+	}
+	cfg.MCs = *mcs
+	spec := runspec.New(*wl, *mdl, p, cfg)
+
+	if *specIn != "" {
+		b, err := os.ReadFile(*specIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		spec, err = runspec.Parse(b)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *specIn, err)
+			os.Exit(1)
+		}
+		*wl, *mdl, p, cfg = spec.Workload, spec.Model, spec.Params, spec.Config
+	}
+
+	if *specOut != "" {
+		canon, err := spec.Canonical()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*specOut, append(canon, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: spec %s, hash %s\n", *specOut, spec, spec.MustHash())
+		return
+	}
+
 	var tr *trace.Trace
 	var err error
 	if *loadTr != "" {
@@ -99,12 +139,6 @@ func main() {
 		return
 	}
 
-	cfg := config.Default()
-	if *threads > cfg.Cores {
-		cfg.Cores = *threads
-	}
-	cfg.MCs = *mcs
-
 	m, err := machine.New(cfg, *mdl, tr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -130,6 +164,11 @@ func main() {
 	fmt.Printf("workload          %s (%d threads, %d trace ops)\n",
 		tr.Name, tr.NumThreads(), tr.TotalOps())
 	fmt.Printf("model             %s\n", res.ModelName)
+	if *loadTr == "" {
+		// A generated run is fully described by its spec; the hash is the
+		// content address asapd would file this result under.
+		fmt.Printf("runspec           %s\n", spec.MustHash())
+	}
 	fmt.Printf("execution         %d cycles (%.3f ms @2GHz)\n",
 		res.Cycles, float64(res.Cycles)/2e6)
 	fmt.Printf("pmWrites          %d\n", res.PMWrites)

@@ -1,0 +1,191 @@
+// Command asapsmoke is the end-to-end smoke client for a running asapd:
+// it submits one RunSpec twice and proves the service's core contract —
+// the first submission simulates (cache miss), the second is answered
+// from the content-addressed store (cache hit) with a byte-identical
+// body and no re-simulation. CI's service job runs it against a freshly
+// started daemon; `make smoke` does the same locally.
+//
+// Usage:
+//
+//	asapsmoke -addr http://127.0.0.1:8321
+//	asapsmoke -addr http://127.0.0.1:8321 -workload cceh -model asap_rp -threads 4 -ops 200
+//
+// Exit status 0 means every assertion held; any violation prints the
+// mismatch and exits 1.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"asap/internal/config"
+	"asap/internal/runspec"
+	"asap/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8321", "asapd base URL")
+		wl      = flag.String("workload", "cceh", "workload to submit")
+		mdl     = flag.String("model", "asap_rp", "persistence model")
+		threads = flag.Int("threads", 2, "threads")
+		ops     = flag.Int("ops", 40, "ops per thread")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		wait    = flag.Duration("wait", 30*time.Second, "max wait for the daemon to come up")
+	)
+	flag.Parse()
+	if err := smoke(*addr, *wl, *mdl, *threads, *ops, *seed, *wait); err != nil {
+		fmt.Fprintln(os.Stderr, "asapsmoke: FAIL:", err)
+		os.Exit(1)
+	}
+}
+
+func smoke(addr, wl, mdl string, threads, ops int, seed uint64, wait time.Duration) error {
+	if err := waitHealthy(addr, wait); err != nil {
+		return err
+	}
+
+	p := workload.Default()
+	p.Threads = threads
+	p.OpsPerThread = ops
+	p.Seed = seed
+	spec := runspec.New(wl, mdl, p, config.Default())
+	body, err := spec.Canonical()
+	if err != nil {
+		return err
+	}
+	wantHash := spec.MustHash()
+	fmt.Printf("asapsmoke: spec %s, hash %s\n", spec, wantHash)
+
+	// First submission: the daemon is fresh, so this must simulate.
+	body1, cache1, err := submit(addr, body)
+	if err != nil {
+		return fmt.Errorf("first submit: %w", err)
+	}
+	if cache1 != "miss" {
+		return fmt.Errorf("first submission was %q, want miss (dirty store?)", cache1)
+	}
+
+	// Second submission: must be a store hit, byte-identical.
+	body2, cache2, err := submit(addr, body)
+	if err != nil {
+		return fmt.Errorf("second submit: %w", err)
+	}
+	if cache2 != "hit" {
+		return fmt.Errorf("second submission was %q, want hit", cache2)
+	}
+	if !bytes.Equal(body1, body2) {
+		return fmt.Errorf("responses differ between identical submissions:\n--- first\n%s\n--- second\n%s", body1, body2)
+	}
+
+	// The envelope carries the hash we computed client-side — client and
+	// server agree on the canonical form.
+	var env struct {
+		Hash   string `json:"hash"`
+		Result struct {
+			Cycles uint64 `json:"cycles"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(body1, &env); err != nil {
+		return fmt.Errorf("decoding envelope: %w", err)
+	}
+	if env.Hash != wantHash {
+		return fmt.Errorf("server hashed the spec as %s, client as %s", env.Hash, wantHash)
+	}
+	if env.Result.Cycles == 0 {
+		return fmt.Errorf("result reports zero cycles")
+	}
+
+	// GET by content address serves the same bytes.
+	body3, cache3, err := get(addr + "/v1/runs/" + wantHash)
+	if err != nil {
+		return fmt.Errorf("GET by id: %w", err)
+	}
+	if cache3 != "hit" || !bytes.Equal(body1, body3) {
+		return fmt.Errorf("GET /v1/runs/%s disagrees with POST (cache %q)", wantHash, cache3)
+	}
+
+	// And the daemon's own accounting confirms one simulation total.
+	stats, _, err := get(addr + "/v1/stats")
+	if err != nil {
+		return fmt.Errorf("GET stats: %w", err)
+	}
+	var sp struct {
+		Server struct {
+			RunsExecuted int64 `json:"runsExecuted"`
+			CacheHits    int64 `json:"cacheHits"`
+		} `json:"server"`
+	}
+	if err := json.Unmarshal(stats, &sp); err != nil {
+		return fmt.Errorf("decoding stats: %w", err)
+	}
+	if sp.Server.RunsExecuted != 1 {
+		return fmt.Errorf("daemon executed %d simulations for two identical submissions, want 1", sp.Server.RunsExecuted)
+	}
+	if sp.Server.CacheHits < 1 {
+		return fmt.Errorf("daemon counted %d cache hits, want >= 1", sp.Server.CacheHits)
+	}
+
+	fmt.Printf("asapsmoke: ok: %d cycles, 1 simulation, second response a byte-identical store hit\n", env.Result.Cycles)
+	return nil
+}
+
+// waitHealthy polls /v1/healthz until the daemon answers or the deadline
+// passes.
+func waitHealthy(addr string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := http.Get(addr + "/v1/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon at %s not healthy after %s (last error: %v)", addr, wait, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// submit POSTs a spec and returns (body, X-Asap-Cache).
+func submit(addr string, spec []byte) ([]byte, string, error) {
+	resp, err := http.Post(addr+"/v1/runs", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return body, resp.Header.Get("X-Asap-Cache"), nil
+}
+
+// get GETs a URL and returns (body, X-Asap-Cache).
+func get(url string) ([]byte, string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return body, resp.Header.Get("X-Asap-Cache"), nil
+}

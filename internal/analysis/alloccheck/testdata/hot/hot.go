@@ -39,14 +39,14 @@ func (c *collector) grow() {
 
 //asap:hot per-operation scheduling path
 func (r *ring) push(e event, trc Tracer) {
-	r.buf = append(r.buf, e)  // want `append may grow its backing array`
+	r.buf = append(r.buf, e)     // want `append may grow its backing array`
 	r.vals["depth"] = len(r.buf) // want `map assignment may allocate`
-	p := &event{when: e.when} // want `&composite literal allocates`
-	extra := []int{1, 2}      // want `slice literal allocates`
-	r.name = r.name + "x"     // want `string concatenation allocates`
+	p := &event{when: e.when}    // want `&composite literal allocates`
+	extra := []int{1, 2}         // want `slice literal allocates`
+	r.name = r.name + "x"        // want `string concatenation allocates`
 	r.hook = func() { r.bump() } // want `closure creation allocates`
-	r.hook()                  // want `dynamic call`
-	f := r.bump               // want `bound method value allocates`
+	r.hook()                     // want `dynamic call`
+	f := r.bump                  // want `bound method value allocates`
 	_ = f
 	r.s.consume(p) // interface dispatch: pulls (*collector).consume into the hot set
 	r.helper(extra)
@@ -58,7 +58,7 @@ func (r *ring) push(e event, trc Tracer) {
 
 // helper is hot via the static call in push.
 func (r *ring) helper(v []int) {
-	_ = new(event) // want `new allocates`
+	_ = new(event)     // want `new allocates`
 	r.s = &collector{} // want `&composite literal allocates`
 	r.describe(len(v))
 }

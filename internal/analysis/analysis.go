@@ -48,12 +48,12 @@ func (d Diagnostic) String() string {
 
 // Pass gives an analyzer one type-checked package to inspect.
 type Pass struct {
-	Analyzer string          // name of the running analyzer
-	Path     string          // import path of the package under analysis
-	Fset     *token.FileSet  // positions for Files
-	Files    []*ast.File     // parsed source, with comments
-	Pkg      *types.Package  // type-checked package
-	Info     *types.Info     // Types, Defs, Uses, Selections for Files
+	Analyzer string         // name of the running analyzer
+	Path     string         // import path of the package under analysis
+	Fset     *token.FileSet // positions for Files
+	Files    []*ast.File    // parsed source, with comments
+	Pkg      *types.Package // type-checked package
+	Info     *types.Info    // Types, Defs, Uses, Selections for Files
 	report   func(Diagnostic)
 }
 

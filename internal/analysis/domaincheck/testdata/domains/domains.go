@@ -22,26 +22,26 @@ type Link struct {
 }
 
 func (s *Station) RunEvent(kind int, arg uint64) {
-	s.n++         // ok: own field
-	s.sub.x = 3   // ok: own subtree through a non-component pointer
-	counter++     // want `write to package-level var counter`
+	s.n++             // ok: own field
+	s.sub.x = 3       // ok: own subtree through a non-component pointer
+	counter++         // want `write to package-level var counter`
 	registry["k"] = 1 // want `write to package-level var registry`
-	s.peer.n = 4  // want `write to field n of component Link`
+	s.peer.n = 4      // want `write to field n of component Link`
 	b := s.peer
-	b.n++ // want `write to field n of component Link`
+	b.n++       // want `write to field n of component Link`
 	*b = Link{} // want `write through pointer into component Link`
 	s.helper(arg)
 	func() {
 		counter += 2 // want `write to package-level var counter`
-		s.n-- // ok: closures run in the owning domain
+		s.n--        // ok: closures run in the owning domain
 	}()
 	s.detach() //asaplint:ignore domaincheck teardown runs once, engine drained
 }
 
 // helper is in Station's domain via the static call in RunEvent.
 func (s *Station) helper(arg uint64) {
-	s.n = int(arg)  // ok
-	s.peer.n -= 2   // want `write to field n of component Link`
+	s.n = int(arg) // ok
+	s.peer.n -= 2  // want `write to field n of component Link`
 	touchGlobals()
 }
 

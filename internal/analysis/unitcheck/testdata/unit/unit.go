@@ -30,7 +30,7 @@ func CompareMix(lat Cycles, gapNS uint64) bool {
 // Assigning a nanosecond value to a cycle-typed destination is flagged,
 // including the hand-rolled 2*ns conversion.
 func AssignMix(cfg *Config, gapNS uint64) {
-	cfg.DrainGap = gapNS // want `assigning nanoseconds value to cycles destination without conversion`
+	cfg.DrainGap = gapNS     // want `assigning nanoseconds value to cycles destination without conversion`
 	cfg.DrainGap = 2 * gapNS // want `assigning nanoseconds value to cycles destination without conversion`
 }
 

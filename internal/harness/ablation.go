@@ -5,6 +5,7 @@ import (
 
 	"asap/internal/config"
 	"asap/internal/model"
+	"asap/internal/runspec"
 )
 
 // Ablation studies for the design choices DESIGN.md calls out. These go
@@ -58,7 +59,7 @@ func (h *Harness) AblRT() (*Table, error) {
 }
 
 func (h *Harness) planAblRT() []prefetchJob {
-	var keys []runKey
+	var keys []runspec.RunSpec
 	for _, wl := range ablationWorkloads {
 		for _, sz := range ablStructSizes {
 			keys = append(keys, h.jobCfg(rtCfg(sz), wl, model.NameASAPRP, 4))
@@ -109,7 +110,7 @@ func (h *Harness) AblPB() (*Table, error) {
 }
 
 func (h *Harness) planAblPB() []prefetchJob {
-	var keys []runKey
+	var keys []runspec.RunSpec
 	for _, wl := range ablationWorkloads {
 		for _, mdl := range []string{model.NameHOPSRP, model.NameASAPRP} {
 			for _, sz := range ablStructSizes {
@@ -155,7 +156,7 @@ func (h *Harness) AblEager() (*Table, error) {
 }
 
 func (h *Harness) planAblEager() []prefetchJob {
-	var keys []runKey
+	var keys []runspec.RunSpec
 	for _, wl := range Workloads() {
 		keys = append(keys,
 			h.job(wl, model.NameASAPRP, 4),
@@ -205,7 +206,7 @@ func (h *Harness) AblXPBuf() (*Table, error) {
 }
 
 func (h *Harness) planAblXPBuf() []prefetchJob {
-	var keys []runKey
+	var keys []runspec.RunSpec
 	for _, wl := range ablationWorkloads {
 		for _, sz := range ablXPBufSizes {
 			keys = append(keys, h.jobCfg(xpBufCfg(sz), wl, model.NameASAPRP, 4))
@@ -251,7 +252,7 @@ func (h *Harness) AblInterleave() (*Table, error) {
 }
 
 func (h *Harness) planAblInterleave() []prefetchJob {
-	var keys []runKey
+	var keys []runspec.RunSpec
 	for _, wl := range ablationWorkloads {
 		for _, mdl := range []string{model.NameHOPSRP, model.NameASAPRP} {
 			keys = append(keys,

@@ -4,31 +4,32 @@ package harness
 // cache of workload traces and simulation runs, executed by a bounded
 // worker pool.
 //
-// Every simulation in the evaluation is a pure function of its key —
-// (workload, generator params, model, machine config) — and each
-// machine.Machine instance is single-goroutine deterministic, so
-// independent simulations may run concurrently without changing any
+// Every simulation in the evaluation is a pure function of its
+// runspec.RunSpec — (workload, generator params, model, machine config)
+// — and each machine.Machine instance is single-goroutine deterministic,
+// so independent simulations may run concurrently without changing any
 // result: parallel output is byte-identical to serial output. The engine
-// guarantees each key is computed exactly once (fig8/fig9/fig10 request
+// guarantees each spec is computed exactly once (fig8/fig9/fig10 request
 // heavily overlapping runs), bounds concurrently executing simulations to
-// the pool size, converts panics on worker goroutines into errors, and
-// cancels outstanding work when any simulation fails (first error wins
-// and is reported as the cause everywhere).
+// the pool size, converts panics on worker goroutines into errors, and —
+// unless Options.KeepGoing is set (asapd serves unrelated requests; one
+// bad spec must not poison the service) — cancels outstanding work when
+// any simulation fails (first error wins and is reported as the cause
+// everywhere).
 
 import (
 	"bytes"
 	"context"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
-	"asap/internal/config"
 	"asap/internal/machine"
 	"asap/internal/obs"
+	"asap/internal/runspec"
 	"asap/internal/trace"
 	"asap/internal/workload"
 )
@@ -40,23 +41,10 @@ type traceKey struct {
 	p  workload.Params
 }
 
-// runKey identifies one simulation: a trace and the machine that replays
-// it. config.Config is likewise flat and comparable.
-type runKey struct {
-	wl  string
-	p   workload.Params
-	mdl string
-	cfg config.Config
-}
-
-func (k runKey) String() string {
-	return fmt.Sprintf("%s/%s/%dt", k.wl, k.mdl, k.p.Threads)
-}
-
 // machineKey caches a fully-run Machine (RunMachine callers need ledger
 // and engine state, not just the Result summary) under a distinct type so
-// it never collides with the Result cache for the same runKey.
-type machineKey runKey
+// it never collides with the Result cache for the same spec.
+type machineKey runspec.RunSpec
 
 // call is one singleflight computation: the first requester of a key
 // becomes the leader and computes; everyone else waits on ready.
@@ -67,38 +55,45 @@ type call struct {
 }
 
 // engine executes simulations with bounded concurrency and caches every
-// outcome (including errors — a failed harness stays failed).
+// outcome (including errors — a failed simulation stays failed; results
+// are deterministic, so a cached error is as final as a cached result).
 type engine struct {
-	sem      chan struct{} // bounds concurrently executing simulations
-	ctx      context.Context
-	cancel   context.CancelCauseFunc
-	traceDir string // when non-empty, capture trace artifacts per run
+	sem       chan struct{} // bounds concurrently executing simulations
+	ctx       context.Context
+	cancel    context.CancelCauseFunc
+	traceDir  string // when non-empty, capture trace artifacts per run
+	keepGoing bool   // don't cancel the engine on the first error
+	observe   func(runspec.RunSpec, *machine.Machine)
 
 	mu    sync.Mutex
 	calls map[any]*call
 
 	// traceGens and runExecs count leader executions (not cache hits);
 	// the plan-coverage test uses them to prove prefetch plans request
-	// everything the experiment bodies consume. simCycles accumulates the
-	// simulated cycles of executed runs for cycles/sec reporting.
+	// everything the experiment bodies consume, and asapd's /v1/stats
+	// reports them. simCycles accumulates the simulated cycles of
+	// executed runs for cycles/sec reporting.
 	traceGens atomic.Int64
 	runExecs  atomic.Int64
 	simCycles atomic.Uint64
 }
 
-// newEngine builds an engine with the given worker-pool size;
-// parallel <= 0 selects GOMAXPROCS.
-func newEngine(parallel int, traceDir string) *engine {
+// newEngine builds an engine from the harness options; Parallel <= 0
+// selects GOMAXPROCS.
+func newEngine(opts Options) *engine {
+	parallel := opts.Parallel
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	return &engine{
-		sem:      make(chan struct{}, parallel),
-		ctx:      ctx,
-		cancel:   cancel,
-		traceDir: traceDir,
-		calls:    make(map[any]*call),
+		sem:       make(chan struct{}, parallel),
+		ctx:       ctx,
+		cancel:    cancel,
+		traceDir:  opts.TraceDir,
+		keepGoing: opts.KeepGoing,
+		observe:   opts.Observe,
+		calls:     make(map[any]*call),
 	}
 }
 
@@ -107,8 +102,10 @@ func (e *engine) workers() int { return cap(e.sem) }
 
 // once runs fn exactly once per key, caching the outcome. Concurrent
 // callers of the same key block until the leader finishes. Any error
-// cancels the engine so outstanding leaders stop before simulating; the
-// first error becomes the cancellation cause reported everywhere.
+// cancels the engine so outstanding leaders stop before simulating (the
+// first error becomes the cancellation cause reported everywhere) —
+// unless the engine keeps going, in which case the error is cached for
+// its own key and other keys are untouched.
 func (e *engine) once(key any, fn func() (any, error)) (any, error) {
 	e.mu.Lock()
 	if c, ok := e.calls[key]; ok {
@@ -121,7 +118,7 @@ func (e *engine) once(key any, fn func() (any, error)) (any, error) {
 	e.mu.Unlock()
 
 	c.val, c.err = fn()
-	if c.err != nil {
+	if c.err != nil && !e.keepGoing {
 		e.cancel(c.err) // no-op after the first cancellation
 	}
 	close(c.ready)
@@ -174,8 +171,8 @@ func (e *engine) trace(k traceKey) (*trace.Trace, error) {
 	return v.(*trace.Trace), nil
 }
 
-// run executes the simulation for key, computing it at most once.
-func (e *engine) run(k runKey) (machine.Result, error) {
+// run executes the simulation for spec, computing it at most once.
+func (e *engine) run(k runspec.RunSpec) (machine.Result, error) {
 	v, err := e.once(k, func() (any, error) {
 		return e.protect(k.String(), func() (any, error) {
 			m, err := e.build(k)
@@ -201,10 +198,10 @@ func (e *engine) run(k runKey) (machine.Result, error) {
 	return v.(machine.Result), nil
 }
 
-// machine executes the simulation for key and caches the whole run
+// machine executes the simulation for spec and caches the whole run
 // machine, for experiments that inspect ledger or engine state after the
 // run (Fig2). Cached machines are read-only once their run completes.
-func (e *engine) machine(k runKey) (*machine.Machine, error) {
+func (e *engine) machine(k runspec.RunSpec) (*machine.Machine, error) {
 	v, err := e.once(machineKey(k), func() (any, error) {
 		return e.protect(k.String(), func() (any, error) {
 			m, err := e.build(k)
@@ -230,17 +227,21 @@ func (e *engine) machine(k runKey) (*machine.Machine, error) {
 	return v.(*machine.Machine), nil
 }
 
-// build assembles the machine for key (trace generation is singleflighted
+// build assembles the machine for spec (trace generation is singleflighted
 // separately: runs of the same workload under different models share one
-// trace, which machines only read).
-func (e *engine) build(k runKey) (*machine.Machine, error) {
-	tr, err := e.trace(traceKey{wl: k.wl, p: k.p})
+// trace, which machines only read). The Observe hook fires here, before
+// Run, so callers can attach obs sinks — asapd attaches a progress gauge.
+func (e *engine) build(k runspec.RunSpec) (*machine.Machine, error) {
+	tr, err := e.trace(traceKey{wl: k.Workload, p: k.Params})
 	if err != nil {
 		return nil, err
 	}
-	m, err := machine.New(k.cfg, k.mdl, tr)
+	m, err := machine.New(k.Config, k.Model, tr)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", k, err)
+	}
+	if e.observe != nil {
+		e.observe(k, m)
 	}
 	return m, nil
 }
@@ -252,7 +253,7 @@ func (e *engine) execs() (traces, runs int64) {
 }
 
 // artifactKey dedups trace-artifact writes: the Result cache and the
-// Machine cache may both execute the same runKey, and the artifacts are
+// Machine cache may both execute the same spec, and the artifacts are
 // deterministic, so whichever leader finishes first writes the files.
 type artifactKey string
 
@@ -261,7 +262,7 @@ type artifactKey string
 // serializes both artifacts after the run. Each leader owns its own
 // collector, so parallel captures never share mutable state. With capture
 // disabled it returns a no-op, keeping the call sites unconditional.
-func (e *engine) instrument(k runKey, m *machine.Machine) func() error {
+func (e *engine) instrument(k runspec.RunSpec, m *machine.Machine) func() error {
 	if e.traceDir == "" {
 		return func() error { return nil }
 	}
@@ -273,7 +274,7 @@ func (e *engine) instrument(k runKey, m *machine.Machine) func() error {
 
 // writeArtifacts serializes one run's Chrome trace and occupancy timeline
 // into the engine's trace directory, at most once per artifact name.
-func (e *engine) writeArtifacts(k runKey, col *obs.Collector, tl *obs.Timeline) error {
+func (e *engine) writeArtifacts(k runspec.RunSpec, col *obs.Collector, tl *obs.Timeline) error {
 	name := artifactName(k)
 	_, err := e.once(artifactKey(name), func() (any, error) {
 		if err := os.MkdirAll(e.traceDir, 0o755); err != nil {
@@ -296,11 +297,10 @@ func (e *engine) writeArtifacts(k runKey, col *obs.Collector, tl *obs.Timeline) 
 }
 
 // artifactName derives a stable, filesystem-safe name for a run's trace
-// artifacts. Workload/model/threads make the common case readable; the
-// hash of the full key separates ablation runs that differ only in
-// machine configuration or generator parameters.
-func artifactName(k runKey) string {
-	h := fnv.New32a()
-	fmt.Fprintf(h, "%+v", k)
-	return fmt.Sprintf("%s_%s_%dt_%08x", k.wl, k.mdl, k.p.Threads, h.Sum32())
+// artifacts. Workload/model/threads make the common case readable; a
+// prefix of the spec's content address separates ablation runs that
+// differ only in machine configuration or generator parameters, and ties
+// each artifact to the same hash asapd's store files the result under.
+func artifactName(k runspec.RunSpec) string {
+	return fmt.Sprintf("%s_%s_%dt_%s", k.Workload, k.Model, k.Params.Threads, k.MustHash()[:8])
 }

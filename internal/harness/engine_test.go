@@ -8,7 +8,9 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"asap/internal/machine"
 	"asap/internal/model"
+	"asap/internal/runspec"
 	"asap/internal/trace"
 )
 
@@ -93,7 +95,7 @@ func TestZeroCyclesError(t *testing.T) {
 	k := h.job("cceh", model.NameASAPRP, 4)
 	// Pre-seed the trace cache with an empty trace: no cores ever run, so
 	// the machine reports zero cycles.
-	tk := traceKey{wl: k.wl, p: k.p}
+	tk := traceKey{wl: k.Workload, p: k.Params}
 	ready := make(chan struct{})
 	close(ready)
 	h.eng.calls[tk] = &call{ready: ready, val: &trace.Trace{Name: "empty"}}
@@ -106,7 +108,7 @@ func TestZeroCyclesError(t *testing.T) {
 // TestPanicBecomesError: a panic below a worker is converted into an
 // error that propagates through the pool instead of killing the process.
 func TestPanicBecomesError(t *testing.T) {
-	e := newEngine(2, "")
+	e := newEngine(Options{Parallel: 2})
 	_, err := e.protect("boom-test", func() (any, error) {
 		panic("boom")
 	})
@@ -119,7 +121,7 @@ func TestPanicBecomesError(t *testing.T) {
 // not started yet return the first failure's root cause instead of
 // running.
 func TestFirstErrorCancels(t *testing.T) {
-	e := newEngine(1, "")
+	e := newEngine(Options{Parallel: 1})
 	root := errors.New("root cause failure")
 	if _, err := e.once("a", func() (any, error) {
 		return e.protect("a", func() (any, error) { return nil, root })
@@ -141,10 +143,69 @@ func TestFirstErrorCancels(t *testing.T) {
 	}
 }
 
+// TestKeepGoingIsolatesErrors: with KeepGoing set (asapd's mode), a
+// failed simulation stays failed under its own spec but does not cancel
+// the engine — an unrelated spec still runs to completion afterwards.
+func TestKeepGoingIsolatesErrors(t *testing.T) {
+	h := New(Options{Ops: 30, Seed: 1, Parallel: 2, KeepGoing: true})
+	if _, err := h.Run("no_such_workload", model.NameASAPRP, 4); err == nil {
+		t.Fatal("want error for unknown workload")
+	}
+	r, err := h.Run("cceh", model.NameASAPRP, 4)
+	if err != nil {
+		t.Fatalf("unrelated run poisoned by earlier error: %v", err)
+	}
+	if r.Cycles == 0 {
+		t.Fatal("unrelated run produced no cycles")
+	}
+	// The failed spec's error remains cached.
+	if _, err := h.Run("no_such_workload", model.NameASAPRP, 4); err == nil {
+		t.Fatal("cached error lost under KeepGoing")
+	}
+}
+
+// TestObserveHook: the Observe hook fires once per leader simulation
+// (cache hits do not re-observe), sees the executing spec, and observing
+// does not change the result.
+func TestObserveHook(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	h := New(Options{Ops: 30, Seed: 1, Parallel: 2,
+		Observe: func(spec runspec.RunSpec, m *machine.Machine) {
+			if m == nil {
+				t.Error("Observe got nil machine")
+			}
+			mu.Lock()
+			seen[spec.String()]++
+			mu.Unlock()
+		}})
+	r1, err := h.Run("cceh", model.NameASAPRP, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Run("cceh", model.NameASAPRP, 4); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	n := seen["cceh/asap_rp/4t"]
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("Observe fired %d times for one leader, want 1", n)
+	}
+	plain := New(Options{Ops: 30, Seed: 1, Parallel: 1})
+	r2, err := plain.Run("cceh", model.NameASAPRP, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles {
+		t.Fatalf("observing changed the simulation: %d vs %d cycles", r1.Cycles, r2.Cycles)
+	}
+}
+
 // TestPoolBound: no more than Parallel simulations execute at once.
 func TestPoolBound(t *testing.T) {
 	const bound = 3
-	e := newEngine(bound, "")
+	e := newEngine(Options{Parallel: bound})
 	var cur, peak atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < 32; i++ {

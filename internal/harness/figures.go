@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"asap/internal/model"
+	"asap/internal/runspec"
 	"asap/internal/workload"
 )
 
@@ -76,7 +77,7 @@ func (h *Harness) Fig3() (*Table, error) {
 }
 
 func (h *Harness) planFig3() []prefetchJob {
-	var keys []runKey
+	var keys []runspec.RunSpec
 	for _, wl := range Workloads() {
 		keys = append(keys, h.job(wl, model.NameHOPSRP, 4))
 	}
@@ -129,7 +130,7 @@ func (h *Harness) Fig8() (*Table, error) {
 }
 
 func (h *Harness) planFig8() []prefetchJob {
-	var keys []runKey
+	var keys []runspec.RunSpec
 	for _, wl := range Workloads() {
 		keys = append(keys, h.job(wl, model.NameBaseline, 4))
 		for _, mn := range fig8Models {
@@ -180,7 +181,7 @@ func (h *Harness) Fig9() (*Table, error) {
 }
 
 func (h *Harness) planFig9() []prefetchJob {
-	var keys []runKey
+	var keys []runspec.RunSpec
 	for _, wl := range Workloads() {
 		keys = append(keys,
 			h.job(wl, model.NameHOPSRP, 4),
@@ -255,7 +256,7 @@ func (h *Harness) Fig10() (*Table, error) {
 }
 
 func (h *Harness) planFig10() []prefetchJob {
-	var keys []runKey
+	var keys []runspec.RunSpec
 	for _, wl := range Workloads() {
 		keys = append(keys, h.job(wl, model.NameHOPSRP, 1))
 		for _, mn := range []string{model.NameHOPSRP, model.NameASAPRP} {
@@ -335,7 +336,7 @@ func (h *Harness) Fig12() (*Table, error) {
 }
 
 func (h *Harness) planFig12() []prefetchJob {
-	var keys []runKey
+	var keys []runspec.RunSpec
 	for _, wl := range Workloads() {
 		keys = append(keys,
 			h.job(wl, model.NameASAPRP, 4),
@@ -389,7 +390,7 @@ func (h *Harness) Fig13() (*Table, error) {
 }
 
 func (h *Harness) planFig13() []prefetchJob {
-	var keys []runKey
+	var keys []runspec.RunSpec
 	for _, th := range []int{1, 2, 4} {
 		p := h.fig13Params(th)
 		for _, mn := range []string{model.NameBaseline, model.NameHOPSRP, model.NameASAPRP} {

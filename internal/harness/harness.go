@@ -17,6 +17,7 @@ import (
 
 	"asap/internal/config"
 	"asap/internal/machine"
+	"asap/internal/runspec"
 	"asap/internal/trace"
 	"asap/internal/workload"
 )
@@ -103,6 +104,19 @@ type Options struct {
 	// Artifacts are deterministic and written exactly once per simulation,
 	// so capture is safe at any Parallel setting.
 	TraceDir string
+	// KeepGoing stops the first simulation error from cancelling the
+	// whole engine. Batch callers (asapfig) want fail-fast: one broken
+	// experiment aborts the run with its root cause. A long-running
+	// service (asapd) wants the opposite — errors stay cached under
+	// their own spec, and unrelated requests keep working.
+	KeepGoing bool
+	// Observe, when non-nil, is invoked on each leader simulation's
+	// machine after construction and before Run, so callers can attach
+	// observability sinks (asapd attaches an obs.Gauge for progress
+	// reporting). It runs on worker goroutines — implementations must be
+	// safe for concurrent calls — and must only observe: scheduling model
+	// work from here would perturb the simulation.
+	Observe func(runspec.RunSpec, *machine.Machine)
 }
 
 // DefaultOptions gives publication-scale runs (a few seconds per figure).
@@ -118,15 +132,16 @@ type Harness struct {
 	eng  *engine
 }
 
-// New builds a harness.
+// New builds a harness. A non-positive Ops selects DefaultOptions scale
+// (and its seed, when none is given); every other option passes through.
 func New(opts Options) *Harness {
 	if opts.Ops <= 0 {
-		given := opts
-		opts = DefaultOptions()
-		opts.Parallel = given.Parallel
-		opts.TraceDir = given.TraceDir
+		opts.Ops = DefaultOptions().Ops
+		if opts.Seed == 0 {
+			opts.Seed = DefaultOptions().Seed
+		}
 	}
-	return &Harness{opts: opts, eng: newEngine(opts.Parallel, opts.TraceDir)}
+	return &Harness{opts: opts, eng: newEngine(opts)}
 }
 
 // Parallelism reports the engine's worker-pool size.
@@ -169,21 +184,21 @@ func (h *Harness) cfgFor(threads int) config.Config {
 	return cfg
 }
 
-// job builds the run key for the standard configuration: `threads`
+// job builds the run spec for the standard configuration: `threads`
 // threads on a machine with max(threads, 4) cores and 2 MCs.
-func (h *Harness) job(wl, mdl string, threads int) runKey {
-	return runKey{wl: wl, p: h.params(threads), mdl: mdl, cfg: h.cfgFor(threads)}
+func (h *Harness) job(wl, mdl string, threads int) runspec.RunSpec {
+	return runspec.New(wl, mdl, h.params(threads), h.cfgFor(threads))
 }
 
 // jobCfg is job with an explicit machine configuration (ablation sweeps).
-func (h *Harness) jobCfg(cfg config.Config, wl, mdl string, threads int) runKey {
-	return runKey{wl: wl, p: h.params(threads), mdl: mdl, cfg: cfg}
+func (h *Harness) jobCfg(cfg config.Config, wl, mdl string, threads int) runspec.RunSpec {
+	return runspec.New(wl, mdl, h.params(threads), cfg)
 }
 
 // jobParams is job with explicit workload parameters too (bandwidth and
 // strand traces).
-func jobParams(cfg config.Config, p workload.Params, wl, mdl string) runKey {
-	return runKey{wl: wl, p: p, mdl: mdl, cfg: cfg}
+func jobParams(cfg config.Config, p workload.Params, wl, mdl string) runspec.RunSpec {
+	return runspec.New(wl, mdl, p, cfg)
 }
 
 func (h *Harness) traceFor(wl string, threads int) (*trace.Trace, error) {
@@ -214,6 +229,21 @@ func (h *Harness) RunMachine(wl, mdl string, threads int) (*machine.Machine, err
 	return h.eng.machine(h.job(wl, mdl, threads))
 }
 
+// Spec builds the RunSpec for the standard configuration — the spec Run
+// would execute for the same arguments. Callers that need full control
+// over parameters or configuration build specs with runspec.New.
+func (h *Harness) Spec(wl, mdl string, threads int) runspec.RunSpec {
+	return h.job(wl, mdl, threads)
+}
+
+// RunSpec executes an explicit spec through the engine's singleflight
+// cache: concurrent submissions of one spec simulate once, repeats are
+// cache hits, and errors are cached per spec. This is asapd's entry
+// point; the spec's Ops/Seed override the harness-level Options scale.
+func (h *Harness) RunSpec(spec runspec.RunSpec) (machine.Result, error) {
+	return h.eng.run(spec)
+}
+
 // experiment couples a table builder with the prefetch plan that lists
 // the simulations the builder will request. The plan is an optimization
 // contract, not a correctness one: the body always goes through the
@@ -227,12 +257,12 @@ type experiment struct {
 // prefetchJob is one planned simulation; machine marks RunMachine users
 // whose whole machine must be cached, not just the Result.
 type prefetchJob struct {
-	key     runKey
+	key     runspec.RunSpec
 	machine bool
 }
 
-// jobs converts plain run keys into prefetch jobs.
-func jobs(keys ...runKey) []prefetchJob {
+// jobs converts plain run specs into prefetch jobs.
+func jobs(keys ...runspec.RunSpec) []prefetchJob {
 	out := make([]prefetchJob, len(keys))
 	for i, k := range keys {
 		out[i] = prefetchJob{key: k}

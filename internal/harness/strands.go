@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"asap/internal/model"
+	"asap/internal/runspec"
 	"asap/internal/workload"
 )
 
@@ -66,7 +67,7 @@ func (h *Harness) AblStrands() (*Table, error) {
 }
 
 func (h *Harness) planAblStrands() []prefetchJob {
-	var keys []runKey
+	var keys []runspec.RunSpec
 	for _, wl := range strandWorkloads {
 		for _, mn := range strandModels {
 			keys = append(keys, jobParams(h.cfgFor(4), h.strandParams(), wl, mn))

@@ -5,6 +5,7 @@ import (
 
 	"asap/internal/config"
 	"asap/internal/model"
+	"asap/internal/runspec"
 	"asap/internal/sim"
 )
 
@@ -81,7 +82,7 @@ func (h *Harness) Tab4() (*Table, error) {
 }
 
 func (h *Harness) planTab4() []prefetchJob {
-	var keys []runKey
+	var keys []runspec.RunSpec
 	for _, wl := range tab4Workloads {
 		keys = append(keys, h.job(wl, model.NameBaseline, 4))
 		for _, mn := range tab4Models {
@@ -140,7 +141,7 @@ func (h *Harness) AblNVMBW() (*Table, error) {
 }
 
 func (h *Harness) planAblNVMBW() []prefetchJob {
-	var keys []runKey
+	var keys []runspec.RunSpec
 	for _, th := range []int{1, 2} {
 		p := h.fig13Params(th)
 		for _, gapNS := range ablNVMBWGaps {

@@ -72,7 +72,8 @@ type Machine struct {
 	engTrack   obs.TrackID
 	dispatches uint64
 	timeline   *obs.Timeline
-	tlETs      bool // timeline includes epoch-table columns
+	tlETs      bool       // timeline includes epoch-table columns
+	gauge      *obs.Gauge // nil unless progress reporting; updated by sample
 }
 
 type coreState struct {
@@ -224,6 +225,13 @@ func (m *Machine) AttachTracer(tr obs.Tracer) {
 		wbb.AttachTracer(tr, m.coreTracks[i])
 	}
 }
+
+// AttachProgress wires a progress gauge into the machine: the periodic
+// sampler publishes the simulated clock through g every SampleInterval
+// cycles, so a concurrent reader (asapd's status endpoint) can watch an
+// in-flight run advance without racing the single-goroutine machine.
+// Call before Run; costs one atomic store per sample period.
+func (m *Machine) AttachProgress(g *obs.Gauge) { m.gauge = g }
 
 // EnableTimeline starts periodic occupancy sampling into a CSV timeline:
 // one row every interval cycles (0 = obs.DefaultTimelineInterval) with
@@ -546,6 +554,9 @@ func (m *Machine) lock(line mem.Line) *lockState {
 // sample periodically records persist-buffer occupancy (Figure 11), blocked
 // flushing (Figure 3), and recovery-table occupancy, until all cores finish.
 func (m *Machine) sample() {
+	if m.gauge != nil {
+		m.gauge.Set(m.Eng.Now())
+	}
 	if m.allDone() || m.Eng.Halted() {
 		return
 	}

@@ -74,8 +74,8 @@ func (w *WPQ) Insert(l Line, t Token) bool {
 	if w.Full() {
 		return false
 	}
-	w.order = append(w.order, l)                  //asaplint:ignore alloccheck bounded by capacity (Full checked above); backing array reaches it once
-	w.pending[l] = t                              //asaplint:ignore alloccheck map bounded by capacity; deleted slots recycle at steady state
+	w.order = append(w.order, l) //asaplint:ignore alloccheck bounded by capacity (Full checked above); backing array reaches it once
+	w.pending[l] = t             //asaplint:ignore alloccheck map bounded by capacity; deleted slots recycle at steady state
 	if w.Len() > w.maxOcc {
 		w.maxOcc = w.Len()
 	}

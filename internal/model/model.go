@@ -125,6 +125,18 @@ const (
 	NameStrandWeaver = "strandweaver"
 )
 
+// Known reports whether name is one of the implemented designs (the
+// evaluated six plus the related-work set) without building a model —
+// asapd validates request specs against it.
+func Known(name string) bool {
+	for _, n := range ExtendedNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
 // Speculative reports whether the named model needs recovery tables at the
 // memory controllers.
 func Speculative(name string) bool {

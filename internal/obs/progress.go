@@ -1,0 +1,24 @@
+package obs
+
+import "sync/atomic"
+
+// Gauge is a race-free progress sink: the single-goroutine machine
+// publishes its simulated clock through an atomic, and a concurrent
+// reader — asapd's status endpoint — polls it while the run is in
+// flight. Unlike Collector and Timeline, which are read only after the
+// run, a Gauge is explicitly safe to read during one.
+//
+// The machine updates the gauge from its periodic sampler (every
+// machine.SampleInterval cycles), so the cost is one atomic store per
+// sample period, nothing on the per-op path, and zero when no gauge is
+// attached.
+type Gauge struct {
+	cycles atomic.Uint64
+}
+
+// Set publishes the current simulated cycle.
+func (g *Gauge) Set(c Cycles) { g.cycles.Store(c) }
+
+// Cycles reads the most recently published simulated cycle. It returns 0
+// before the first sample fires.
+func (g *Gauge) Cycles() Cycles { return g.cycles.Load() }

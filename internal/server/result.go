@@ -1,0 +1,63 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"asap/internal/machine"
+	"asap/internal/stats"
+)
+
+// Envelope is the stored and served form of one completed run: the
+// canonical spec it answers, its content address, and the result. The
+// encoded bytes are written to the store once and served verbatim ever
+// after, so responses for one spec are byte-identical across requests,
+// restarts, and (by simulator determinism) across machines.
+type Envelope struct {
+	Hash   string          `json:"hash"`
+	Spec   json.RawMessage `json:"spec"` // canonical bytes, embedded as-is
+	Result ResultJSON      `json:"result"`
+}
+
+// ResultJSON mirrors machine.Result in a serializable shape: stats and
+// distributions become name-sorted snapshot slices (deterministic
+// order), cycles stay plain integers.
+type ResultJSON struct {
+	Model     string               `json:"model"`
+	Cycles    uint64               `json:"cycles"`
+	PerCore   []uint64             `json:"perCore"`
+	PMWrites  uint64               `json:"pmWrites"`
+	PMReads   uint64               `json:"pmReads"`
+	RTMaxOcc  int                  `json:"rtMaxOcc"`
+	WPQMaxOcc int                  `json:"wpqMaxOcc"`
+	Crashed   bool                 `json:"crashed,omitempty"`
+	Stats     []stats.CounterValue `json:"stats"`
+	Dists     []stats.DistValue    `json:"dists,omitempty"`
+}
+
+// encodeEnvelope renders the envelope for one completed run. The output
+// ends in a newline and is indented for curl-friendliness; it is still
+// deterministic (every slice is name-sorted, encoding/json is stable).
+func encodeEnvelope(hash string, canonicalSpec []byte, r machine.Result) ([]byte, error) {
+	env := Envelope{
+		Hash: hash,
+		Spec: json.RawMessage(canonicalSpec),
+		Result: ResultJSON{
+			Model:     r.ModelName,
+			Cycles:    r.Cycles,
+			PerCore:   r.PerCore,
+			PMWrites:  r.PMWrites,
+			PMReads:   r.PMReads,
+			RTMaxOcc:  r.RTMaxOcc,
+			WPQMaxOcc: r.WPQMaxOcc,
+			Crashed:   r.Crashed,
+			Stats:     r.Stats.CounterValues(),
+			Dists:     r.Stats.DistValues(),
+		},
+	}
+	b, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("server: encode result: %w", err)
+	}
+	return append(b, '\n'), nil
+}

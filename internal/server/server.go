@@ -1,0 +1,418 @@
+// Package server implements asapd: a long-running HTTP/JSON simulation
+// service over the experiment harness.
+//
+// Every simulation is a pure function of its runspec.RunSpec, so the
+// service is a cache hierarchy over that key:
+//
+//  1. the content-addressed on-disk Store (survives restarts, shareable
+//     between daemons pointed at one directory),
+//  2. the harness engine's in-memory singleflight cache, which also
+//     dedupes identical in-flight requests — N clients submitting one
+//     spec cost one simulation,
+//  3. an actual run on the harness worker pool, bounded by Parallel.
+//
+// Completed results are encoded once (Envelope) and served verbatim ever
+// after: responses for one spec are byte-identical across requests and
+// restarts, with the X-Asap-Cache header distinguishing hit, miss, and
+// inflight (joined a running simulation). Progress of in-flight runs
+// streams out of the machine's periodic sampler through an obs.Gauge.
+//
+// Endpoints:
+//
+//	POST /v1/runs           submit a RunSpec; result, or 202 + id with ?async=1
+//	GET  /v1/runs/{id}      status or result by content address
+//	GET  /v1/healthz        liveness
+//	GET  /v1/stats          server counters + the stats registry vocabulary
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"asap/internal/harness"
+	"asap/internal/machine"
+	"asap/internal/model"
+	"asap/internal/obs"
+	"asap/internal/runspec"
+	"asap/internal/stats"
+	"asap/internal/workload"
+)
+
+// Options configures a Server.
+type Options struct {
+	// StoreDir roots the content-addressed result store. Required.
+	StoreDir string
+	// Parallel bounds concurrently executing simulations (0 = GOMAXPROCS).
+	Parallel int
+	// MaxTotalOps caps Threads*OpsPerThread per request (0 = 1<<20).
+	// Publication scale is 4*400; the cap is a guard against requests
+	// whose simulation would hold a worker for hours, not a security
+	// boundary.
+	MaxTotalOps int
+	// MaxCores caps Config.Cores per request (0 = 256): per-core
+	// structures are allocated eagerly, so an absurd core count is
+	// rejected rather than materialized.
+	MaxCores int
+	// Log receives one line per completed simulation and per store
+	// error. Nil discards.
+	Log *log.Logger
+}
+
+// run tracks one submitted spec from acceptance to completion.
+type run struct {
+	spec  runspec.RunSpec
+	canon []byte // canonical spec bytes
+	hash  string
+	gauge *obs.Gauge
+
+	done chan struct{} // closed when body/err are final
+	body []byte        // stored envelope bytes on success
+	err  error
+}
+
+// Server is the asapd request handler. Create with New, mount Handler.
+type Server struct {
+	h           *harness.Harness
+	store       *Store
+	log         *log.Logger
+	maxTotalOps int
+	maxCores    int
+
+	mu   sync.Mutex
+	runs map[string]*run // in-flight and failed runs by hash
+
+	submitted   atomic.Int64 // POST /v1/runs requests accepted
+	cacheHits   atomic.Int64 // answered from the store
+	inflight    atomic.Int64 // joined a run already executing
+	misses      atomic.Int64 // triggered a new simulation
+	failures    atomic.Int64 // simulations that returned an error
+	storeErrors atomic.Int64 // store writes that failed (results still served)
+}
+
+// New builds a server over a fresh harness. The harness runs in
+// KeepGoing mode — a failed spec stays failed under its own hash but
+// never poisons unrelated requests — and the server's Observe hook
+// attaches a progress gauge to every leader simulation.
+func New(o Options) (*Server, error) {
+	st, err := OpenStore(o.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	if o.MaxTotalOps == 0 {
+		o.MaxTotalOps = 1 << 20
+	}
+	if o.MaxCores == 0 {
+		o.MaxCores = 256
+	}
+	s := &Server{
+		store:       st,
+		log:         o.Log,
+		maxTotalOps: o.MaxTotalOps,
+		maxCores:    o.MaxCores,
+		runs:        make(map[string]*run),
+	}
+	s.h = harness.New(harness.Options{
+		Parallel:  o.Parallel,
+		KeepGoing: true,
+		Observe:   s.observe,
+	})
+	return s, nil
+}
+
+// Store exposes the underlying result store (tests and stats).
+func (s *Server) Store() *Store { return s.store }
+
+// observe is the harness Observe hook: it wires the submitting run's
+// progress gauge into the machine about to execute. Specs the harness
+// runs without a tracked run entry (none today) are simply not observed.
+func (s *Server) observe(spec runspec.RunSpec, m *machine.Machine) {
+	s.mu.Lock()
+	ru := s.runs[spec.MustHash()]
+	s.mu.Unlock()
+	if ru != nil {
+		m.AttachProgress(ru.gauge)
+	}
+}
+
+// Handler mounts the endpoint routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.log != nil {
+		s.log.Printf(format, args...)
+	}
+}
+
+// jsonError writes a JSON error body with the given status.
+func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	msg, _ := json.Marshal(fmt.Sprintf(format, args...))
+	fmt.Fprintf(w, "{\n  \"error\": %s\n}\n", msg)
+}
+
+// serveEnvelope writes stored envelope bytes with cache disposition.
+func serveEnvelope(w http.ResponseWriter, hash, disposition string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Asap-Cache", disposition)
+	w.Header().Set("X-Asap-Run", hash)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// maxSpecBytes bounds the request body; a RunSpec is well under 4 KB.
+const maxSpecBytes = 1 << 20
+
+// handleSubmit accepts a RunSpec, answers from the store when possible,
+// otherwise joins or starts the simulation. With ?async=1 it returns 202
+// and the run id immediately; otherwise it blocks until the result is
+// ready and returns it.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		jsonError(w, http.StatusRequestEntityTooLarge, "spec exceeds %d bytes", maxSpecBytes)
+		return
+	}
+	spec, err := runspec.Parse(body)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.admit(spec); err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	canon, err := spec.Canonical()
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	hash := spec.MustHash()
+	s.submitted.Add(1)
+
+	// Layer 1: the content-addressed store.
+	if stored, ok, err := s.store.Get(hash); err != nil {
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
+	} else if ok {
+		s.cacheHits.Add(1)
+		serveEnvelope(w, hash, "hit", stored)
+		return
+	}
+
+	// Layer 2/3: join an in-flight run or start one.
+	ru, started := s.startRun(spec, canon, hash)
+	if started {
+		s.misses.Add(1)
+	} else {
+		s.inflight.Add(1)
+	}
+	disposition := "miss"
+	if !started {
+		disposition = "inflight"
+	}
+
+	if r.URL.Query().Get("async") != "" {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Asap-Cache", disposition)
+		w.Header().Set("X-Asap-Run", hash)
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, "{\n  \"id\": %q,\n  \"status\": \"running\",\n  \"spec\": %q\n}\n", hash, spec)
+		return
+	}
+
+	<-ru.done
+	if ru.err != nil {
+		jsonError(w, http.StatusInternalServerError, "%s: %v", spec, ru.err)
+		return
+	}
+	serveEnvelope(w, hash, disposition, ru.body)
+}
+
+// admit enforces the per-request resource caps.
+func (s *Server) admit(spec runspec.RunSpec) error {
+	if !workload.Known(spec.Workload) {
+		return fmt.Errorf("unknown workload %q (have %v)", spec.Workload, workload.Names())
+	}
+	if !model.Known(spec.Model) {
+		return fmt.Errorf("unknown model %q (have %v)", spec.Model, model.ExtendedNames())
+	}
+	if total := spec.Params.Threads * spec.Params.OpsPerThread; total > s.maxTotalOps {
+		return fmt.Errorf("request of %d total ops exceeds the %d-op limit", total, s.maxTotalOps)
+	}
+	if spec.Config.Cores > s.maxCores {
+		return fmt.Errorf("request of %d cores exceeds the %d-core limit", spec.Config.Cores, s.maxCores)
+	}
+	return nil
+}
+
+// startRun returns the tracked run for hash, creating and launching it
+// when absent. started reports whether this call launched the leader.
+// The harness engine below provides the actual singleflight — even two
+// racing startRun leaders for one hash would simulate once — but the
+// tracked entry carries the progress gauge and the async status.
+func (s *Server) startRun(spec runspec.RunSpec, canon []byte, hash string) (ru *run, started bool) {
+	s.mu.Lock()
+	if ru = s.runs[hash]; ru != nil {
+		s.mu.Unlock()
+		return ru, false
+	}
+	ru = &run{spec: spec, canon: canon, hash: hash, gauge: &obs.Gauge{}, done: make(chan struct{})}
+	s.runs[hash] = ru
+	s.mu.Unlock()
+
+	go s.execute(ru)
+	return ru, true
+}
+
+// execute runs one spec through the harness and files the result. On
+// success the run entry is dropped — the store answers from then on; on
+// failure it stays, serving the cached error (the harness caches it under
+// the same spec, so the failure is final for this process).
+func (s *Server) execute(ru *run) {
+	res, err := s.h.RunSpec(ru.spec)
+	if err != nil {
+		s.failures.Add(1)
+		s.logf("asapd: run %s (%s): %v", ru.hash[:12], ru.spec, err)
+		ru.err = err
+		close(ru.done)
+		return
+	}
+	body, err := encodeEnvelope(ru.hash, ru.canon, res)
+	if err != nil {
+		s.failures.Add(1)
+		ru.err = err
+		close(ru.done)
+		return
+	}
+	if err := s.store.Put(ru.hash, body); err != nil {
+		// The result is still valid and served from memory; only
+		// persistence failed. Count it and carry on.
+		s.storeErrors.Add(1)
+		s.logf("asapd: store %s: %v", ru.hash[:12], err)
+	}
+	ru.body = body
+	close(ru.done)
+	s.logf("asapd: ran %s (%s): %d cycles", ru.hash[:12], ru.spec, res.Cycles)
+
+	s.mu.Lock()
+	delete(s.runs, ru.hash)
+	s.mu.Unlock()
+}
+
+// handleGet reports one run by content address: the stored result (the
+// exact bytes POST served), in-flight progress, or the cached failure.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("id")
+	if !runspec.ValidHash(hash) {
+		jsonError(w, http.StatusBadRequest, "malformed run id %q (want %d hex chars)", hash, runspec.HashLen)
+		return
+	}
+	if stored, ok, err := s.store.Get(hash); err != nil {
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
+	} else if ok {
+		serveEnvelope(w, hash, "hit", stored)
+		return
+	}
+	s.mu.Lock()
+	ru := s.runs[hash]
+	s.mu.Unlock()
+	if ru == nil {
+		jsonError(w, http.StatusNotFound, "no run %s (submit its spec to POST /v1/runs)", hash)
+		return
+	}
+	select {
+	case <-ru.done:
+		if ru.err != nil {
+			jsonError(w, http.StatusInternalServerError, "%s: %v", ru.spec, ru.err)
+			return
+		}
+		serveEnvelope(w, hash, "hit", ru.body)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Asap-Run", hash)
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, "{\n  \"id\": %q,\n  \"status\": \"running\",\n  \"spec\": %q,\n  \"progressCycles\": %d\n}\n",
+			hash, ru.spec, ru.gauge.Cycles())
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// statsPayload is the /v1/stats response shape.
+type statsPayload struct {
+	Server   serverStats          `json:"server"`
+	Registry []stats.Registration `json:"registry"`
+}
+
+type serverStats struct {
+	Submitted       int64  `json:"submitted"`
+	CacheHits       int64  `json:"cacheHits"`
+	CacheMisses     int64  `json:"cacheMisses"`
+	InflightJoins   int64  `json:"inflightJoins"`
+	Failures        int64  `json:"failures"`
+	StoreErrors     int64  `json:"storeErrors"`
+	RunsExecuted    int64  `json:"runsExecuted"`
+	SimulatedCycles uint64 `json:"simulatedCycles"`
+	StoreEntries    int    `json:"storeEntries"`
+	Workers         int    `json:"workers"`
+	InflightRuns    int    `json:"inflightRuns"`
+}
+
+// handleStats surfaces the server's own counters plus the simulator's
+// registered stats vocabulary (every counter a stored result may carry,
+// with its description — the Table VI legend, served).
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	entries, err := s.store.Len()
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	runs, cycles := s.h.Perf()
+	s.mu.Lock()
+	inflightRuns := len(s.runs)
+	s.mu.Unlock()
+	p := statsPayload{
+		Server: serverStats{
+			Submitted:       s.submitted.Load(),
+			CacheHits:       s.cacheHits.Load(),
+			CacheMisses:     s.misses.Load(),
+			InflightJoins:   s.inflight.Load(),
+			Failures:        s.failures.Load(),
+			StoreErrors:     s.storeErrors.Load(),
+			RunsExecuted:    runs,
+			SimulatedCycles: cycles,
+			StoreEntries:    entries,
+			Workers:         s.h.Parallelism(),
+			InflightRuns:    inflightRuns,
+		},
+		Registry: stats.Registered(),
+	}
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
+}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testHash = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Get(testHash); err != nil || ok {
+		t.Fatalf("Get on empty store = ok=%v err=%v, want miss", ok, err)
+	}
+	body := []byte(`{"hash":"x"}` + "\n")
+	if err := st.Put(testHash, body); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(testHash)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("Get = %q, want %q", got, body)
+	}
+	if n, err := st.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v, want 1", n, err)
+	}
+}
+
+func TestStorePutExistingIsNoOp(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := []byte("first\n")
+	if err := st.Put(testHash, first); err != nil {
+		t.Fatal(err)
+	}
+	// A second Put must not clobber the entry: first write wins.
+	if err := st.Put(testHash, []byte("second\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := st.Get(testHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, first) {
+		t.Fatalf("second Put overwrote entry: got %q", got)
+	}
+}
+
+func TestStoreRejectsBadHashes(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []string{
+		"",
+		"short",
+		strings.Repeat("g", 64),                // non-hex
+		strings.ToUpper(testHash),              // wrong case
+		"../../etc/passwd\x00" + testHash[:46], // traversal attempt
+		testHash + "00",                        // too long
+	} {
+		if err := st.Put(h, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted a malformed hash", h)
+		}
+		if _, _, err := st.Get(h); err == nil {
+			t.Errorf("Get(%q) accepted a malformed hash", h)
+		}
+	}
+}
+
+func TestStoreLenIgnoresTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(testHash, []byte("x\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crashed writer's leftover temp file.
+	tmp := filepath.Join(dir, testHash[:2], "."+testHash+".tmp1234")
+	if err := os.WriteFile(tmp, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := st.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v, want 1 (temp files must not count)", n, err)
+	}
+}

@@ -55,6 +55,26 @@ func Register(name, desc string) Key {
 	return k
 }
 
+// Registration is one entry of the stats registry: a counter or
+// distribution name and its one-line description. asapd's /v1/stats
+// endpoint serves the full vocabulary through it.
+type Registration struct {
+	Name string `json:"name"`
+	Desc string `json:"desc"`
+}
+
+// Registered lists the complete registered vocabulary, sorted by name.
+// The registry is immutable after package init, so the result reflects
+// every stat any run in this process can touch.
+func Registered() []Registration {
+	out := make([]Registration, len(names))
+	for k, n := range names {
+		out[k] = Registration{Name: n, Desc: descs[k]}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Description returns the registered description for name, or "" if the
 // name was never registered.
 func Description(name string) string {
@@ -217,6 +237,45 @@ func (s *Set) Merge(other *Set) {
 		}
 		mine.Merge(d)
 	}
+}
+
+// CounterValue is one touched counter in a serializable snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// CounterValues snapshots every touched counter, sorted by name — the
+// deterministic order makes serialized results byte-identical across
+// identical runs (asapd's store depends on that).
+func (s *Set) CounterValues() []CounterValue {
+	names := s.Names()
+	out := make([]CounterValue, len(names))
+	for i, n := range names {
+		out[i] = CounterValue{Name: n, Value: s.Get(n)}
+	}
+	return out
+}
+
+// DistValue is one observed distribution in a serializable snapshot:
+// the same summary String renders (mean, p99, max, count).
+type DistValue struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P99   uint64  `json:"p99"`
+	Max   uint64  `json:"max"`
+}
+
+// DistValues snapshots every observed distribution, sorted by name.
+func (s *Set) DistValues() []DistValue {
+	names := s.distNames()
+	out := make([]DistValue, len(names))
+	for i, n := range names {
+		d := s.dists[n]
+		out[i] = DistValue{Name: n, Count: d.Count(), Mean: d.Mean(), P99: d.Percentile(0.99), Max: d.Max()}
+	}
+	return out
 }
 
 // String renders the set as "name value" lines, sorted by name, in the style

@@ -272,3 +272,49 @@ func TestNames(t *testing.T) {
 		t.Fatalf("names = %v", n)
 	}
 }
+
+// TestRegistered: the registry vocabulary lists every registered name
+// with its description, sorted, and is insensitive to Set state.
+func TestRegistered(t *testing.T) {
+	regs := Registered()
+	if len(regs) == 0 {
+		t.Fatal("empty registry")
+	}
+	found := false
+	for i, r := range regs {
+		if i > 0 && regs[i-1].Name >= r.Name {
+			t.Fatalf("registry not sorted at %q", r.Name)
+		}
+		if r.Name == "zeta" {
+			found = true
+			if r.Desc != "test counter zeta" {
+				t.Fatalf("zeta desc = %q", r.Desc)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("registered name missing from Registered()")
+	}
+}
+
+// TestSnapshots: CounterValues/DistValues capture exactly the touched
+// state, sorted by name, with the same numbers the accessors report.
+func TestSnapshots(t *testing.T) {
+	s := New()
+	s.Add("zeta", 7)
+	s.Add("alpha", 3)
+	s.Observe("occ", 5)
+	s.Observe("occ", 9)
+
+	cs := s.CounterValues()
+	if len(cs) != 2 || cs[0].Name != "alpha" || cs[0].Value != 3 || cs[1].Name != "zeta" || cs[1].Value != 7 {
+		t.Fatalf("CounterValues = %+v", cs)
+	}
+	ds := s.DistValues()
+	if len(ds) != 1 || ds[0].Name != "occ" || ds[0].Count != 2 || ds[0].Max != 9 || ds[0].Mean != 7 {
+		t.Fatalf("DistValues = %+v", ds)
+	}
+	if ds[0].P99 != s.Dist("occ").Percentile(0.99) {
+		t.Fatalf("P99 snapshot %d != live %d", ds[0].P99, s.Dist("occ").Percentile(0.99))
+	}
+}

@@ -33,6 +33,20 @@ type Params struct {
 	Strands bool
 }
 
+// Normalized returns p with the zero-value defaults Generate applies
+// filled in (KeyRange 1024, ValueSize 8 — the historical defaults).
+// Parameter sets that differ only in elided defaults normalize to the
+// same value, which package runspec relies on to give them one hash.
+func (p Params) Normalized() Params {
+	if p.KeyRange == 0 {
+		p.KeyRange = 1024
+	}
+	if p.ValueSize == 0 {
+		p.ValueSize = 8
+	}
+	return p
+}
+
 // Default returns the 4-thread configuration used for Figure 8.
 func Default() Params {
 	return Params{
@@ -74,6 +88,13 @@ func SortedNames() []string {
 	return out
 }
 
+// Known reports whether a workload with this name is registered (asapd
+// validates request specs against the registry before running them).
+func Known(name string) bool {
+	_, ok := registry[name]
+	return ok
+}
+
 // Generate builds the named workload's trace.
 //
 // Generate is safe for concurrent callers: the registry is immutable
@@ -88,13 +109,7 @@ func Generate(name string, p Params) (*trace.Trace, error) {
 	if p.Threads <= 0 || p.OpsPerThread <= 0 {
 		return nil, fmt.Errorf("workload: Threads and OpsPerThread must be positive")
 	}
-	if p.KeyRange == 0 {
-		p.KeyRange = 1024
-	}
-	if p.ValueSize == 0 {
-		p.ValueSize = 8
-	}
-	return g(p), nil
+	return g(p.Normalized()), nil
 }
 
 func init() {
