@@ -7,14 +7,17 @@
 // Usage:
 //
 //	asapd -addr :8080 -store /var/lib/asap/store
-//	asapd -addr 127.0.0.1:8321 -store /tmp/asap-store -parallel 8
+//	asapd -addr 127.0.0.1:8321 -store /tmp/asap-store -parallel 8 -pprof
 //
 // Endpoints:
 //
-//	POST /v1/runs           submit a RunSpec JSON (see runspec); add ?async=1 for 202 + id
-//	GET  /v1/runs/{id}      status (with progressCycles) or result by content address
-//	GET  /v1/healthz        liveness
-//	GET  /v1/stats          server counters + the stats registry vocabulary
+//	POST /v1/runs               submit a RunSpec JSON (see runspec); add ?async=1 for 202 + id
+//	GET  /v1/runs/{id}          status (with a progress snapshot) or result by content address
+//	GET  /v1/runs/{id}/events   live progress stream (Server-Sent Events)
+//	GET  /v1/healthz            liveness
+//	GET  /v1/stats              server counters + the stats registry vocabulary
+//	GET  /metrics               Prometheus text-format exposition
+//	GET  /debug/pprof/          Go profiling endpoints (only with -pprof)
 //
 // Submit with curl:
 //
@@ -26,6 +29,11 @@
 // The X-Asap-Cache response header reports hit (served from the store),
 // miss (simulated for this request), or inflight (joined a simulation
 // another client started).
+//
+// Logs are structured JSON on stderr (log/slog): one line per request
+// and per run-lifecycle event (admitted, started, finished, stored),
+// each carrying the run's content hash. -quiet raises the level to
+// warn+error, so failures still surface.
 package main
 
 import (
@@ -33,7 +41,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,7 +57,8 @@ func main() {
 		store    = flag.String("store", "", "content-addressed result store directory (required)")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		maxOps   = flag.Int("max-ops", 0, "per-request cap on Threads*OpsPerThread (0 = 1<<20)")
-		quiet    = flag.Bool("quiet", false, "suppress per-run log lines")
+		pprof    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		quiet    = flag.Bool("quiet", false, "log only warnings and errors")
 	)
 	flag.Parse()
 	if *store == "" {
@@ -57,16 +66,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	logger := log.New(os.Stderr, "", log.LstdFlags)
-	var srvLog *log.Logger
-	if !*quiet {
-		srvLog = logger
+	level := slog.LevelInfo
+	if *quiet {
+		level = slog.LevelWarn
 	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	srv, err := server.New(server.Options{
 		StoreDir:    *store,
 		Parallel:    *parallel,
 		MaxTotalOps: *maxOps,
-		Log:         srvLog,
+		Logger:      logger,
+		Pprof:       *pprof,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "asapd:", err)
@@ -79,15 +90,15 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	logger.Printf("asapd: serving on %s, store %s", *addr, *store)
+	logger.Info("serving", "addr", *addr, "store", *store, "pprof", *pprof)
 
 	select {
 	case <-ctx.Done():
-		logger.Print("asapd: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
-			logger.Printf("asapd: shutdown: %v", err)
+			logger.Error("shutdown", "err", err.Error())
 		}
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {

@@ -2,8 +2,12 @@
 // it submits one RunSpec twice and proves the service's core contract —
 // the first submission simulates (cache miss), the second is answered
 // from the content-addressed store (cache hit) with a byte-identical
-// body and no re-simulation. CI's service job runs it against a freshly
-// started daemon; `make smoke` does the same locally.
+// body and no re-simulation. It then checks the daemon's telemetry: the
+// /metrics exposition must be syntactically valid Prometheus text
+// counting exactly that one simulation with non-empty request latency
+// histograms, and the run's SSE event stream must terminate with a done
+// event. CI's service job runs it against a freshly started daemon;
+// `make smoke` does the same locally.
 //
 // Usage:
 //
@@ -15,6 +19,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -22,10 +27,13 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"asap/internal/config"
 	"asap/internal/runspec"
+	"asap/internal/stats"
 	"asap/internal/workload"
 )
 
@@ -132,7 +140,106 @@ func smoke(addr, wl, mdl string, threads, ops int, seed uint64, wait time.Durati
 		return fmt.Errorf("daemon counted %d cache hits, want >= 1", sp.Server.CacheHits)
 	}
 
+	// The Prometheus exposition is syntactically valid and tells the same
+	// story: one simulation executed, request latencies recorded.
+	if err := checkMetrics(addr); err != nil {
+		return fmt.Errorf("GET /metrics: %w", err)
+	}
+
+	// The SSE stream for a completed run terminates with a done event
+	// (and progress events, if any, carry the right id).
+	if err := checkEvents(addr, wantHash); err != nil {
+		return fmt.Errorf("SSE events: %w", err)
+	}
+
 	fmt.Printf("asapsmoke: ok: %d cycles, 1 simulation, second response a byte-identical store hit\n", env.Result.Cycles)
+	return nil
+}
+
+// checkMetrics scrapes /metrics after the miss→hit pair: the page must
+// pass the exposition syntax check, count exactly the one executed
+// simulation, and carry non-empty request latency histograms and
+// per-run span distributions.
+func checkMetrics(addr string) error {
+	page, _, err := get(addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	if err := stats.CheckProm(bytes.NewReader(page)); err != nil {
+		return fmt.Errorf("invalid exposition: %w", err)
+	}
+	out := string(page)
+	for _, want := range []string{
+		"asapd_runs_executed_total 1\n",
+		"asap_run_simulate_millis_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			return fmt.Errorf("missing %q in exposition", strings.TrimSpace(want))
+		}
+	}
+	// The POST /v1/runs latency histogram saw both submissions.
+	histCount := `asapd_request_duration_seconds_count{method="POST",route="/v1/runs"} `
+	i := strings.Index(out, histCount)
+	if i < 0 {
+		return fmt.Errorf("no latency histogram for POST /v1/runs")
+	}
+	rest := out[i+len(histCount):]
+	if nl := strings.IndexByte(rest, '\n'); nl >= 0 {
+		rest = rest[:nl]
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 2 {
+		return fmt.Errorf("POST /v1/runs histogram count = %q, want >= 2", rest)
+	}
+	fmt.Printf("asapsmoke: metrics ok: %d bytes of valid exposition\n", len(page))
+	return nil
+}
+
+// checkEvents streams /v1/runs/{id}/events for a stored run: the stream
+// must deliver a terminal done event (progress events may precede it for
+// an in-flight run; this one has completed, so done arrives at once).
+func checkEvents(addr, hash string) error {
+	resp, err := http.Get(addr + "/v1/runs/" + hash + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		return fmt.Errorf("content type %q, want text/event-stream", ct)
+	}
+	var event, last string
+	events := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			events++
+			last = event
+			data := strings.TrimPrefix(line, "data: ")
+			var payload struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal([]byte(data), &payload); err != nil {
+				return fmt.Errorf("event data is not JSON: %q", data)
+			}
+			if payload.ID != hash {
+				return fmt.Errorf("event for run %q, want %s", payload.ID, hash)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if events == 0 || last != "done" {
+		return fmt.Errorf("stream ended after %d events with %q, want terminal done", events, last)
+	}
+	fmt.Printf("asapsmoke: sse ok: %d events, terminal done\n", events)
 	return nil
 }
 

@@ -70,10 +70,10 @@ type Machine struct {
 	trc        obs.Tracer // nil unless tracing; every use must be nil-guarded
 	coreTracks []obs.TrackID
 	engTrack   obs.TrackID
-	dispatches uint64
 	timeline   *obs.Timeline
-	tlETs      bool       // timeline includes epoch-table columns
-	gauge      *obs.Gauge // nil unless progress reporting; updated by sample
+	tlETs      bool          // timeline includes epoch-table columns
+	progress   *obs.Progress // nil unless progress reporting; published by sample
+	progressET model.EpochTabled
 }
 
 type coreState struct {
@@ -214,7 +214,6 @@ func (m *Machine) AttachTracer(tr obs.Tracer) {
 		m.coreTracks[i] = tr.Track(fmt.Sprintf("core%d", i), 2*i)
 	}
 	m.engTrack = tr.Track("engine", 1000)
-	m.Eng.SetDispatchHook(func(sim.Cycles) { m.dispatches++ })
 	if t, ok := m.Model.(model.Traced); ok {
 		t.AttachTracer(tr)
 	}
@@ -226,12 +225,38 @@ func (m *Machine) AttachTracer(tr obs.Tracer) {
 	}
 }
 
-// AttachProgress wires a progress gauge into the machine: the periodic
-// sampler publishes the simulated clock through g every SampleInterval
-// cycles, so a concurrent reader (asapd's status endpoint) can watch an
-// in-flight run advance without racing the single-goroutine machine.
-// Call before Run; costs one atomic store per sample period.
-func (m *Machine) AttachProgress(g *obs.Gauge) { m.gauge = g }
+// AttachProgress wires a progress sink into the machine: the periodic
+// sampler publishes a full snapshot — simulated clock, events dispatched,
+// ops retired, persist-buffer and epoch-table occupancy, and the
+// wall-clock simulation rate — through p every SampleInterval cycles, so
+// concurrent readers (asapd's status endpoint and SSE stream) can watch
+// an in-flight run advance without racing the single-goroutine machine.
+// Call before Run; the cost is a seqlock publish per sample period (a few
+// uncontended atomic stores), allocation-free, and nothing on the per-op
+// path when unattached.
+func (m *Machine) AttachProgress(p *obs.Progress) {
+	m.progress = p
+	m.progressET, _ = m.Model.(model.EpochTabled)
+}
+
+// publishProgress assembles and publishes one progress snapshot. Called
+// only from the sampler (and once more at its first post-completion
+// firing, so the final cycle count lands), and only when a sink is
+// attached.
+func (m *Machine) publishProgress() {
+	var ops, pb uint64
+	for _, c := range m.cores {
+		ops += uint64(c.pc)
+		pb += uint64(m.Model.PBOccupancy(c.id))
+	}
+	var et uint64
+	if m.progressET != nil {
+		for _, c := range m.cores {
+			et += uint64(m.progressET.ETLen(c.id))
+		}
+	}
+	m.progress.Publish(m.Eng.Now(), m.Eng.Dispatched(), ops, pb, et)
+}
 
 // EnableTimeline starts periodic occupancy sampling into a CSV timeline:
 // one row every interval cycles (0 = obs.DefaultTimelineInterval) with
@@ -554,8 +579,8 @@ func (m *Machine) lock(line mem.Line) *lockState {
 // sample periodically records persist-buffer occupancy (Figure 11), blocked
 // flushing (Figure 3), and recovery-table occupancy, until all cores finish.
 func (m *Machine) sample() {
-	if m.gauge != nil {
-		m.gauge.Set(m.Eng.Now())
+	if m.progress != nil {
+		m.publishProgress()
 	}
 	if m.allDone() || m.Eng.Halted() {
 		return
@@ -574,7 +599,7 @@ func (m *Machine) sample() {
 		}
 	}
 	if m.trc != nil {
-		m.trc.Counter(m.engTrack, "events", int64(m.dispatches))
+		m.trc.Counter(m.engTrack, "events", int64(m.Eng.Dispatched()))
 	}
 	for _, mc := range m.MCs {
 		if mc.RT != nil {

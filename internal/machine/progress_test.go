@@ -1,0 +1,69 @@
+package machine
+
+import (
+	"testing"
+
+	"asap/internal/config"
+	"asap/internal/model"
+	"asap/internal/obs"
+)
+
+// runToCompletion builds and finishes a small machine so the sampler can
+// be exercised in isolation afterwards.
+func runToCompletion(t *testing.T) *Machine {
+	t.Helper()
+	m, err := New(config.Default(), model.NameASAPRP, smallTrace(2, 100, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(0); res.Cycles == 0 {
+		t.Fatal("run did not progress")
+	}
+	return m
+}
+
+// TestSampleAllocFree pins the sampler's allocation contract both ways:
+// with no progress sink attached (the default for asapsim/asapfig runs)
+// and with one attached (every asapd run), one sampler firing allocates
+// nothing. The alloccheck proof covers the hot per-op path statically;
+// this covers the periodic path dynamically, including the
+// publishProgress walk over cores and the seqlock Publish.
+func TestSampleAllocFree(t *testing.T) {
+	m := runToCompletion(t)
+	if n := testing.AllocsPerRun(100, m.sample); n != 0 {
+		t.Fatalf("unattached sample allocates %v per firing", n)
+	}
+	m.AttachProgress(&obs.Progress{})
+	if n := testing.AllocsPerRun(100, m.sample); n != 0 {
+		t.Fatalf("attached sample allocates %v per firing", n)
+	}
+}
+
+// TestProgressPublishedDuringRun: attaching a sink before Run yields a
+// final snapshot consistent with the machine's own result.
+func TestProgressPublishedDuringRun(t *testing.T) {
+	m, err := New(config.Default(), model.NameASAPRP, smallTrace(2, 200, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p obs.Progress
+	m.AttachProgress(&p)
+	res := m.Run(0)
+
+	sn := p.Snapshot()
+	if sn.Cycles == 0 {
+		t.Fatal("no progress published during run")
+	}
+	// The sampler's final post-completion firing publishes the engine
+	// clock, which can pass the last core's finish cycle by up to one
+	// sampling period.
+	if sn.Cycles > res.Cycles+uint64(SampleInterval) {
+		t.Fatalf("published cycles %d beyond result cycles %d + sample interval", sn.Cycles, res.Cycles)
+	}
+	if sn.Events == 0 {
+		t.Fatal("events dispatched not published")
+	}
+	if sn.OpsRetired == 0 {
+		t.Fatal("ops retired not published")
+	}
+}

@@ -13,9 +13,9 @@ var (
 	kCyclesBlocked       = stats.Register("cyclesBlocked", "sampled cycles during which a persist buffer could not flush")
 	kLLCEvictionsDelayed = stats.Register("llcEvictionsDelayed", "LLC evictions of PM lines delayed behind the WBB")
 	kLockContended       = stats.Register("lockContended", "lock acquisitions that found the lock held")
-	_                    = stats.Register("pbOccupancy", "sampled persist-buffer occupancy distribution")
+	_                    = stats.RegisterDist("pbOccupancy", "sampled persist-buffer occupancy distribution")
 	kPMLinesDropped      = stats.Register("pmLinesDropped", "PM-line evictions dropped (clean or superseded)")
-	_                    = stats.Register("rtOccupancy", "sampled recovery-table occupancy distribution")
+	_                    = stats.RegisterDist("rtOccupancy", "sampled recovery-table occupancy distribution")
 	kWbbFullStalls       = stats.Register("wbbFullStalls", "evictions stalled on a full write-back buffer")
 	kWbbParked           = stats.Register("wbbParked", "dirty PM lines parked in the write-back buffer")
 )

@@ -1,24 +1,99 @@
 package obs
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
-// Gauge is a race-free progress sink: the single-goroutine machine
-// publishes its simulated clock through an atomic, and a concurrent
-// reader — asapd's status endpoint — polls it while the run is in
-// flight. Unlike Collector and Timeline, which are read only after the
-// run, a Gauge is explicitly safe to read during one.
+// Progress is a race-free multi-field progress sink: the single-goroutine
+// machine publishes a snapshot of its run — simulated clock, events
+// dispatched, trace ops retired, persist-buffer and epoch-table occupancy
+// — from its periodic sampler, and concurrent readers (asapd's status
+// endpoint and SSE stream) poll it while the run is in flight. Unlike
+// Collector and Timeline, which are read only after the run, a Progress
+// is explicitly safe to read during one.
 //
-// The machine updates the gauge from its periodic sampler (every
-// machine.SampleInterval cycles), so the cost is one atomic store per
-// sample period, nothing on the per-op path, and zero when no gauge is
-// attached.
-type Gauge struct {
+// Publication uses a seqlock over individual atomics: the writer bumps
+// seq to odd, stores the fields, and bumps seq to even; a reader retries
+// until it sees one even seq across the whole read, so a Snapshot is
+// always internally consistent (all fields from one Publish). The writer
+// side is allocation-free and pays a handful of uncontended atomic stores
+// once per machine.SampleInterval — the same amortized cost class as the
+// single-field gauge it replaces — and nothing at all on the per-op path;
+// an unattached sink costs the machine one nil comparison per sample.
+//
+// Publish also derives the wall-clock simulation rate (cycles/sec,
+// averaged over the run so far). The wall clock is read here rather than
+// in the machine because package machine is inside the detcheck
+// determinism boundary (no time.Now); obs is a leaf outside it, and the
+// rate feeds only observability, never the simulation.
+type Progress struct {
+	seq    atomic.Uint64
 	cycles atomic.Uint64
+	events atomic.Uint64
+	ops    atomic.Uint64
+	pbOcc  atomic.Uint64
+	etOcc  atomic.Uint64
+	rate   atomic.Uint64
+
+	// Writer-private (the machine goroutine only): wall-clock anchor of
+	// the first publish, for the cumulative cycles/sec rate.
+	startWall time.Time
 }
 
-// Set publishes the current simulated cycle.
-func (g *Gauge) Set(c Cycles) { g.cycles.Store(c) }
+// ProgressSnapshot is one consistent published snapshot.
+type ProgressSnapshot struct {
+	Cycles       Cycles // simulated clock
+	Events       uint64 // engine events dispatched
+	OpsRetired   uint64 // trace ops retired across all cores
+	PBOccupancy  uint64 // persist-buffer entries across all cores
+	ETOccupancy  uint64 // epoch-table entries across all cores (0 for models without one)
+	CyclesPerSec uint64 // wall-clock simulation rate, averaged over the run
+}
 
-// Cycles reads the most recently published simulated cycle. It returns 0
-// before the first sample fires.
-func (g *Gauge) Cycles() Cycles { return g.cycles.Load() }
+// Publish stores one snapshot. Only the owning machine goroutine may call
+// it; concurrent Snapshot readers are safe.
+func (p *Progress) Publish(cycles Cycles, events, ops, pbOcc, etOcc uint64) {
+	now := time.Now()
+	var rate uint64
+	if p.startWall.IsZero() {
+		p.startWall = now
+	} else if elapsed := now.Sub(p.startWall); elapsed > 0 {
+		rate = uint64(float64(cycles) / elapsed.Seconds())
+	}
+	p.seq.Add(1) // odd: snapshot in flux
+	p.cycles.Store(cycles)
+	p.events.Store(events)
+	p.ops.Store(ops)
+	p.pbOcc.Store(pbOcc)
+	p.etOcc.Store(etOcc)
+	p.rate.Store(rate)
+	p.seq.Add(1) // even: snapshot stable
+}
+
+// Snapshot returns the most recently published snapshot (the zero
+// snapshot before the first Publish). It spins only while a Publish is in
+// flight, which lasts a few stores.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	for {
+		s1 := p.seq.Load()
+		if s1&1 != 0 {
+			continue
+		}
+		snap := ProgressSnapshot{
+			Cycles:       p.cycles.Load(),
+			Events:       p.events.Load(),
+			OpsRetired:   p.ops.Load(),
+			PBOccupancy:  p.pbOcc.Load(),
+			ETOccupancy:  p.etOcc.Load(),
+			CyclesPerSec: p.rate.Load(),
+		}
+		if p.seq.Load() == s1 {
+			return snap
+		}
+	}
+}
+
+// Cycles reads the published simulated clock without snapshot consistency
+// (single-field reads need no seqlock round).
+func (p *Progress) Cycles() Cycles { return p.cycles.Load() }

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestProgressSnapshotConsistency hammers a Progress with one writer and
+// several readers (run under -race in CI). The writer publishes related
+// fields — events = cycles*2, ops = cycles*3 — so any torn read, not
+// just a data race, is detectable: a snapshot mixing two publishes
+// breaks the relation.
+func TestProgressSnapshotConsistency(t *testing.T) {
+	var p Progress
+	const publishes = 20000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(1); i <= publishes; i++ {
+			p.Publish(i, i*2, i*3, i%7, i%11)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				sn := p.Snapshot()
+				if sn.Events != sn.Cycles*2 || sn.OpsRetired != sn.Cycles*3 {
+					t.Errorf("torn snapshot: cycles=%d events=%d ops=%d", sn.Cycles, sn.Events, sn.OpsRetired)
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	<-done
+	wg.Wait()
+
+	final := p.Snapshot()
+	if final.Cycles != publishes || final.Events != publishes*2 {
+		t.Fatalf("final snapshot = %+v, want cycles=%d", final, publishes)
+	}
+}
+
+// TestProgressRate: the first publish anchors the wall clock (rate 0),
+// later publishes derive a positive cumulative rate.
+func TestProgressRate(t *testing.T) {
+	var p Progress
+	p.Publish(1000, 0, 0, 0, 0)
+	if r := p.Snapshot().CyclesPerSec; r != 0 {
+		t.Fatalf("rate after first publish = %d, want 0 (anchor)", r)
+	}
+	p.Publish(2000, 0, 0, 0, 0)
+	if r := p.Snapshot().CyclesPerSec; r == 0 {
+		t.Fatal("rate still zero after second publish")
+	}
+}
+
+// TestProgressZeroValue: reading before any publish yields the zero
+// snapshot rather than blocking or faulting.
+func TestProgressZeroValue(t *testing.T) {
+	var p Progress
+	if sn := p.Snapshot(); sn != (ProgressSnapshot{}) {
+		t.Fatalf("zero-value snapshot = %+v", sn)
+	}
+	if c := p.Cycles(); c != 0 {
+		t.Fatalf("zero-value cycles = %d", c)
+	}
+}
+
+// TestProgressAllocFree pins the contract the machine's sampler relies
+// on: Publish and Snapshot allocate nothing.
+func TestProgressAllocFree(t *testing.T) {
+	var p Progress
+	if n := testing.AllocsPerRun(200, func() {
+		p.Publish(1, 2, 3, 4, 5)
+	}); n != 0 {
+		t.Fatalf("Publish allocates %v per call", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		_ = p.Snapshot()
+	}); n != 0 {
+		t.Fatalf("Snapshot allocates %v per call", n)
+	}
+}

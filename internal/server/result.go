@@ -9,14 +9,29 @@ import (
 )
 
 // Envelope is the stored and served form of one completed run: the
-// canonical spec it answers, its content address, and the result. The
-// encoded bytes are written to the store once and served verbatim ever
-// after, so responses for one spec are byte-identical across requests,
-// restarts, and (by simulator determinism) across machines.
+// canonical spec it answers, its content address, the result, and the
+// span timings of the execution that produced it. The encoded bytes are
+// written to the store once and served verbatim ever after, so responses
+// for one spec are byte-identical across requests and restarts. The
+// result block itself is deterministic (simulator determinism); only the
+// timing block records wall clock, and it records the one execution that
+// filled the store.
 type Envelope struct {
 	Hash   string          `json:"hash"`
 	Spec   json.RawMessage `json:"spec"` // canonical bytes, embedded as-is
 	Result ResultJSON      `json:"result"`
+	Timing *TimingJSON     `json:"timing,omitempty"`
+}
+
+// TimingJSON is the per-run span breakdown measured by the server when
+// it executed the run: wall time queued behind the worker pool, wall
+// time simulating, and wall time encoding this envelope. Store time is
+// excluded by construction — the envelope bytes are final before the
+// store write begins — and lives in the metrics registry instead.
+type TimingJSON struct {
+	QueueWaitNS int64 `json:"queueWaitNs"`
+	SimulateNS  int64 `json:"simulateNs"`
+	EncodeNS    int64 `json:"encodeNs"`
 }
 
 // ResultJSON mirrors machine.Result in a serializable shape: stats and
@@ -35,10 +50,11 @@ type ResultJSON struct {
 	Dists     []stats.DistValue    `json:"dists,omitempty"`
 }
 
-// encodeEnvelope renders the envelope for one completed run. The output
-// ends in a newline and is indented for curl-friendliness; it is still
-// deterministic (every slice is name-sorted, encoding/json is stable).
-func encodeEnvelope(hash string, canonicalSpec []byte, r machine.Result) ([]byte, error) {
+// encodeEnvelope renders the envelope for one completed run (timing may
+// be nil). The output ends in a newline and is indented for
+// curl-friendliness; it is still deterministic for fixed inputs (every
+// slice is name-sorted, encoding/json is stable).
+func encodeEnvelope(hash string, canonicalSpec []byte, r machine.Result, timing *TimingJSON) ([]byte, error) {
 	env := Envelope{
 		Hash: hash,
 		Spec: json.RawMessage(canonicalSpec),
@@ -54,6 +70,7 @@ func encodeEnvelope(hash string, canonicalSpec []byte, r machine.Result) ([]byte
 			Stats:     r.Stats.CounterValues(),
 			Dists:     r.Stats.DistValues(),
 		},
+		Timing: timing,
 	}
 	b, err := json.MarshalIndent(env, "", "  ")
 	if err != nil {

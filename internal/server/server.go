@@ -15,24 +15,38 @@
 // after: responses for one spec are byte-identical across requests and
 // restarts, with the X-Asap-Cache header distinguishing hit, miss, and
 // inflight (joined a running simulation). Progress of in-flight runs
-// streams out of the machine's periodic sampler through an obs.Gauge.
+// streams out of the machine's periodic sampler through an obs.Progress
+// snapshot, polled by the status endpoint and pushed by the SSE stream.
+//
+// The service is observable end to end: every request is logged as one
+// structured slog line (method, route, status, duration, run hash, cache
+// disposition) and counted into per-route request counters and latency
+// histograms; run lifecycle events (admitted, started, finished, stored)
+// carry the RunSpec hash; and GET /metrics exposes it all — server
+// counters, request histograms, per-run span timings, and the aggregate
+// simulator stats vocabulary — in Prometheus text format.
 //
 // Endpoints:
 //
-//	POST /v1/runs           submit a RunSpec; result, or 202 + id with ?async=1
-//	GET  /v1/runs/{id}      status or result by content address
-//	GET  /v1/healthz        liveness
-//	GET  /v1/stats          server counters + the stats registry vocabulary
+//	POST /v1/runs               submit a RunSpec; result, or 202 + id with ?async=1
+//	GET  /v1/runs/{id}          status (with progress snapshot) or result by content address
+//	GET  /v1/runs/{id}/events   Server-Sent Events progress stream for an in-flight run
+//	GET  /v1/healthz            liveness
+//	GET  /v1/stats              server counters + the stats registry vocabulary
+//	GET  /metrics               Prometheus text-format exposition
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"asap/internal/harness"
 	"asap/internal/machine"
@@ -58,17 +72,33 @@ type Options struct {
 	// structures are allocated eagerly, so an absurd core count is
 	// rejected rather than materialized.
 	MaxCores int
-	// Log receives one line per completed simulation and per store
-	// error. Nil discards.
-	Log *log.Logger
+	// Logger receives one structured record per request and per
+	// run-lifecycle event (admitted, started, finished, stored). Nil
+	// discards. All server output flows through this one logger, so log
+	// ordering under concurrent runs is whatever the handler serializes —
+	// there is no second unsynchronized path.
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ when set.
+	Pprof bool
+	// ProgressInterval paces the SSE progress stream (and bounds how
+	// stale a pushed snapshot can be). 0 = 250ms.
+	ProgressInterval time.Duration
 }
 
 // run tracks one submitted spec from acceptance to completion.
 type run struct {
-	spec  runspec.RunSpec
-	canon []byte // canonical spec bytes
-	hash  string
-	gauge *obs.Gauge
+	spec     runspec.RunSpec
+	canon    []byte // canonical spec bytes
+	hash     string
+	progress *obs.Progress
+
+	// Span anchors. admitted is set when the run entry is created;
+	// started is set by the harness Observe hook, which fires on the
+	// leader's execute goroutine after machine construction and before
+	// Run — so both are written before ru.done closes and the only
+	// cross-goroutine reads happen after it.
+	admitted time.Time
+	started  time.Time
 
 	done chan struct{} // closed when body/err are final
 	body []byte        // stored envelope bytes on success
@@ -77,14 +107,24 @@ type run struct {
 
 // Server is the asapd request handler. Create with New, mount Handler.
 type Server struct {
-	h           *harness.Harness
-	store       *Store
-	log         *log.Logger
-	maxTotalOps int
-	maxCores    int
+	h                *harness.Harness
+	store            *Store
+	log              *slog.Logger
+	maxTotalOps      int
+	maxCores         int
+	pprof            bool
+	progressInterval time.Duration
+	httpm            *httpMetrics
 
 	mu   sync.Mutex
 	runs map[string]*run // in-flight and failed runs by hash
+
+	// agg aggregates simulator stats across every executed run plus the
+	// per-run span distributions (runQueueWaitMillis etc.), for the
+	// /metrics exposition. Guarded by aggMu: runs complete on worker
+	// goroutines while scrapes read concurrently.
+	aggMu sync.Mutex
+	agg   *stats.Set
 
 	submitted   atomic.Int64 // POST /v1/runs requests accepted
 	cacheHits   atomic.Int64 // answered from the store
@@ -94,10 +134,19 @@ type Server struct {
 	storeErrors atomic.Int64 // store writes that failed (results still served)
 }
 
+// discardHandler is the nil-Logger default: disabled at the Enabled
+// gate, so discarded records cost no attribute materialization.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
 // New builds a server over a fresh harness. The harness runs in
 // KeepGoing mode — a failed spec stays failed under its own hash but
 // never poisons unrelated requests — and the server's Observe hook
-// attaches a progress gauge to every leader simulation.
+// attaches a progress sink to every leader simulation.
 func New(o Options) (*Server, error) {
 	st, err := OpenStore(o.StoreDir)
 	if err != nil {
@@ -109,12 +158,22 @@ func New(o Options) (*Server, error) {
 	if o.MaxCores == 0 {
 		o.MaxCores = 256
 	}
+	if o.Logger == nil {
+		o.Logger = slog.New(discardHandler{})
+	}
+	if o.ProgressInterval == 0 {
+		o.ProgressInterval = 250 * time.Millisecond
+	}
 	s := &Server{
-		store:       st,
-		log:         o.Log,
-		maxTotalOps: o.MaxTotalOps,
-		maxCores:    o.MaxCores,
-		runs:        make(map[string]*run),
+		store:            st,
+		log:              o.Logger,
+		maxTotalOps:      o.MaxTotalOps,
+		maxCores:         o.MaxCores,
+		pprof:            o.Pprof,
+		progressInterval: o.ProgressInterval,
+		httpm:            newHTTPMetrics(),
+		runs:             make(map[string]*run),
+		agg:              stats.New(),
 	}
 	s.h = harness.New(harness.Options{
 		Parallel:  o.Parallel,
@@ -128,30 +187,89 @@ func New(o Options) (*Server, error) {
 func (s *Server) Store() *Store { return s.store }
 
 // observe is the harness Observe hook: it wires the submitting run's
-// progress gauge into the machine about to execute. Specs the harness
-// runs without a tracked run entry (none today) are simply not observed.
+// progress sink into the machine about to execute and stamps the
+// queue-wait → simulate span boundary. Specs the harness runs without a
+// tracked run entry (none today) are simply not observed.
 func (s *Server) observe(spec runspec.RunSpec, m *machine.Machine) {
 	s.mu.Lock()
 	ru := s.runs[spec.MustHash()]
 	s.mu.Unlock()
 	if ru != nil {
-		m.AttachProgress(ru.gauge)
+		ru.started = time.Now()
+		m.AttachProgress(ru.progress)
+		s.log.Info("run started", "run", ru.hash, "spec", ru.spec.String())
 	}
 }
 
-// Handler mounts the endpoint routes.
+// Handler mounts the endpoint routes, each wrapped in the metrics and
+// logging middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	route := func(pattern, label string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(label, h))
+	}
+	route("POST /v1/runs", "/v1/runs", s.handleSubmit)
+	route("GET /v1/runs/{id}", "/v1/runs/{id}", s.handleGet)
+	route("GET /v1/runs/{id}/events", "/v1/runs/{id}/events", s.handleEvents)
+	route("GET /v1/healthz", "/v1/healthz", s.handleHealthz)
+	route("GET /v1/stats", "/v1/stats", s.handleStats)
+	route("GET /metrics", "/metrics", s.handleMetrics)
+	if s.pprof {
+		// net/http/pprof registers on http.DefaultServeMux in its init;
+		// mount its handlers on our mux explicitly instead.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.log != nil {
-		s.log.Printf(format, args...)
+// statusRecorder captures the response status for the middleware while
+// passing flushes through (the SSE stream needs the underlying Flusher).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with request accounting: one structured log
+// record and one (counter, latency-histogram) observation per request,
+// labeled by the mounted route pattern. The /metrics route observes
+// everything else but not itself — scrapes stay out of the request
+// metrics, which keeps back-to-back scrapes of an idle server
+// byte-identical (golden-testable) instead of perturbing what they read.
+func (s *Server) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		d := time.Since(start)
+		if label == "/metrics" {
+			s.log.Debug("request", "method", r.Method, "route", label, "status", rec.status, "durationMs", float64(d.Microseconds())/1e3)
+			return
+		}
+		s.httpm.record(r.Method, label, rec.status, d)
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("route", label),
+			slog.Int("status", rec.status),
+			slog.Float64("durationMs", float64(d.Microseconds())/1e3),
+			slog.String("run", rec.Header().Get("X-Asap-Run")),
+			slog.String("cache", rec.Header().Get("X-Asap-Cache")),
+		)
 	}
 }
 
@@ -218,14 +336,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// Layer 2/3: join an in-flight run or start one.
 	ru, started := s.startRun(spec, canon, hash)
+	disposition := "inflight"
 	if started {
 		s.misses.Add(1)
+		disposition = "miss"
 	} else {
 		s.inflight.Add(1)
-	}
-	disposition := "miss"
-	if !started {
-		disposition = "inflight"
 	}
 
 	if r.URL.Query().Get("async") != "" {
@@ -266,55 +382,109 @@ func (s *Server) admit(spec runspec.RunSpec) error {
 // when absent. started reports whether this call launched the leader.
 // The harness engine below provides the actual singleflight — even two
 // racing startRun leaders for one hash would simulate once — but the
-// tracked entry carries the progress gauge and the async status.
+// tracked entry carries the progress sink, the span anchors, and the
+// async status.
 func (s *Server) startRun(spec runspec.RunSpec, canon []byte, hash string) (ru *run, started bool) {
 	s.mu.Lock()
 	if ru = s.runs[hash]; ru != nil {
 		s.mu.Unlock()
 		return ru, false
 	}
-	ru = &run{spec: spec, canon: canon, hash: hash, gauge: &obs.Gauge{}, done: make(chan struct{})}
+	ru = &run{
+		spec:     spec,
+		canon:    canon,
+		hash:     hash,
+		progress: &obs.Progress{},
+		admitted: time.Now(),
+		done:     make(chan struct{}),
+	}
 	s.runs[hash] = ru
 	s.mu.Unlock()
 
+	s.log.Info("run admitted", "run", hash, "spec", spec.String())
 	go s.execute(ru)
 	return ru, true
 }
 
-// execute runs one spec through the harness and files the result. On
-// success the run entry is dropped — the store answers from then on; on
-// failure it stays, serving the cached error (the harness caches it under
-// the same spec, so the failure is final for this process).
+// execute runs one spec through the harness and files the result,
+// recording the span breakdown (queue wait → simulate → encode → store)
+// into the aggregate registry and the first three into the envelope's
+// timing block. On success the run entry is dropped — the store answers
+// from then on; on failure it stays, serving the cached error (the
+// harness caches it under the same spec, so the failure is final for
+// this process).
 func (s *Server) execute(ru *run) {
 	res, err := s.h.RunSpec(ru.spec)
+	simDone := time.Now()
+	var queueWait, simulate time.Duration
+	if !ru.started.IsZero() {
+		queueWait = ru.started.Sub(ru.admitted)
+		simulate = simDone.Sub(ru.started)
+	}
 	if err != nil {
 		s.failures.Add(1)
-		s.logf("asapd: run %s (%s): %v", ru.hash[:12], ru.spec, err)
+		s.recordSpans(queueWait, simulate, 0, 0)
+		s.log.Error("run failed", "run", ru.hash, "spec", ru.spec.String(), "err", err.Error(),
+			"queueWaitMs", ms(queueWait), "simulateMs", ms(simulate))
 		ru.err = err
 		close(ru.done)
 		return
 	}
-	body, err := encodeEnvelope(ru.hash, ru.canon, res)
+
+	// Encode twice: the first pass measures the encode span, the second
+	// embeds the measured timing block into the bytes the store keeps.
+	encStart := time.Now()
+	if _, err := encodeEnvelope(ru.hash, ru.canon, res, nil); err != nil {
+		s.failures.Add(1)
+		ru.err = err
+		close(ru.done)
+		return
+	}
+	encode := time.Since(encStart)
+	body, err := encodeEnvelope(ru.hash, ru.canon, res, &TimingJSON{
+		QueueWaitNS: queueWait.Nanoseconds(),
+		SimulateNS:  simulate.Nanoseconds(),
+		EncodeNS:    encode.Nanoseconds(),
+	})
 	if err != nil {
 		s.failures.Add(1)
 		ru.err = err
 		close(ru.done)
 		return
 	}
+
+	storeStart := time.Now()
+	storeDur := time.Duration(0)
 	if err := s.store.Put(ru.hash, body); err != nil {
 		// The result is still valid and served from memory; only
 		// persistence failed. Count it and carry on.
 		s.storeErrors.Add(1)
-		s.logf("asapd: store %s: %v", ru.hash[:12], err)
+		s.log.Error("store failed", "run", ru.hash, "err", err.Error())
+	} else {
+		storeDur = time.Since(storeStart)
+		s.log.Info("run stored", "run", ru.hash, "bytes", len(body), "storeMs", ms(storeDur))
 	}
+
+	// File the spans and merge the run's stats into the aggregate before
+	// ru.done releases waiters: a client that saw its POST return can
+	// scrape /metrics and find this run already accounted.
+	s.recordSpans(queueWait, simulate, encode, storeDur)
+	s.aggMu.Lock()
+	s.agg.Merge(res.Stats)
+	s.aggMu.Unlock()
+	s.log.Info("run finished", "run", ru.hash, "spec", ru.spec.String(), "cycles", uint64(res.Cycles),
+		"queueWaitMs", ms(queueWait), "simulateMs", ms(simulate))
+
 	ru.body = body
 	close(ru.done)
-	s.logf("asapd: ran %s (%s): %d cycles", ru.hash[:12], ru.spec, res.Cycles)
 
 	s.mu.Lock()
 	delete(s.runs, ru.hash)
 	s.mu.Unlock()
 }
+
+// ms renders a duration as fractional milliseconds for log records.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
 
 // handleGet reports one run by content address: the stored result (the
 // exact bytes POST served), in-flight progress, or the cached failure.
@@ -349,8 +519,43 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Asap-Run", hash)
 		w.WriteHeader(http.StatusAccepted)
-		fmt.Fprintf(w, "{\n  \"id\": %q,\n  \"status\": \"running\",\n  \"spec\": %q,\n  \"progressCycles\": %d\n}\n",
-			hash, ru.spec, ru.gauge.Cycles())
+		b, _ := json.MarshalIndent(runStatus{
+			ID:       hash,
+			Status:   "running",
+			Spec:     ru.spec.String(),
+			Progress: progressJSON(ru.progress.Snapshot()),
+		}, "", "  ")
+		w.Write(append(b, '\n'))
+	}
+}
+
+// runStatus is the in-flight GET /v1/runs/{id} response shape.
+type runStatus struct {
+	ID       string       `json:"id"`
+	Status   string       `json:"status"`
+	Spec     string       `json:"spec"`
+	Progress ProgressJSON `json:"progress"`
+}
+
+// ProgressJSON is the serialized obs.ProgressSnapshot, shared by the
+// status endpoint and the SSE stream.
+type ProgressJSON struct {
+	Cycles       uint64 `json:"cycles"`
+	Events       uint64 `json:"events"`
+	OpsRetired   uint64 `json:"opsRetired"`
+	PBOccupancy  uint64 `json:"pbOccupancy"`
+	ETOccupancy  uint64 `json:"etOccupancy"`
+	CyclesPerSec uint64 `json:"cyclesPerSec"`
+}
+
+func progressJSON(sn obs.ProgressSnapshot) ProgressJSON {
+	return ProgressJSON{
+		Cycles:       sn.Cycles,
+		Events:       sn.Events,
+		OpsRetired:   sn.OpsRetired,
+		PBOccupancy:  sn.PBOccupancy,
+		ETOccupancy:  sn.ETOccupancy,
+		CyclesPerSec: sn.CyclesPerSec,
 	}
 }
 

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"asap/internal/runspec"
+)
+
+// sseEvent frames one Server-Sent Event. data must be a single line
+// (all payloads here are compact JSON).
+func sseEvent(w http.ResponseWriter, event string, data []byte) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}
+
+// progressEvent is the SSE "progress" payload.
+type progressEvent struct {
+	ID string `json:"id"`
+	ProgressJSON
+}
+
+// doneEvent is the SSE terminal payload ("done" or "error").
+type doneEvent struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// handleEvents streams live progress for a run as Server-Sent Events:
+// an immediate "progress" snapshot on connect, another every
+// ProgressInterval, and a terminal "done" (or "error") event when the
+// run completes, after which the stream closes. A run already in the
+// store gets the terminal event straight away, so a client that raced
+// completion still terminates cleanly instead of 404ing.
+//
+// The snapshots read the run's obs.Progress seqlock, published by the
+// machine's periodic sampler — streaming costs the simulation nothing
+// beyond the sampler work it already does.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("id")
+	if !runspec.ValidHash(hash) {
+		jsonError(w, http.StatusBadRequest, "malformed run id %q (want %d hex chars)", hash, runspec.HashLen)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		jsonError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		return
+	}
+
+	terminal := func(ev doneEvent) {
+		name := "done"
+		if ev.Error != "" {
+			name = "error"
+		}
+		b, _ := json.Marshal(ev)
+		sseEvent(w, name, b)
+		fl.Flush()
+	}
+	stream := func() {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("X-Asap-Run", hash)
+		w.WriteHeader(http.StatusOK)
+	}
+
+	if _, ok, err := s.store.Get(hash); err != nil {
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
+	} else if ok {
+		stream()
+		terminal(doneEvent{ID: hash, Status: "complete"})
+		return
+	}
+
+	s.mu.Lock()
+	ru := s.runs[hash]
+	s.mu.Unlock()
+	if ru == nil {
+		jsonError(w, http.StatusNotFound, "no run %s (submit its spec to POST /v1/runs)", hash)
+		return
+	}
+
+	stream()
+	emit := func() {
+		ev := progressEvent{ID: hash, ProgressJSON: progressJSON(ru.progress.Snapshot())}
+		b, _ := json.Marshal(ev)
+		sseEvent(w, "progress", b)
+		fl.Flush()
+	}
+	emit()
+
+	tick := time.NewTicker(s.progressInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ru.done:
+			// Final snapshot, then the terminal event: the last progress
+			// the client saw matches the completed run.
+			if ru.err != nil {
+				terminal(doneEvent{ID: hash, Status: "failed", Error: ru.err.Error()})
+				return
+			}
+			emit()
+			terminal(doneEvent{ID: hash, Status: "complete"})
+			return
+		case <-tick.C:
+			emit()
+		}
+	}
+}

@@ -61,6 +61,7 @@ type event struct {
 type Engine struct {
 	now        Cycles
 	seq        uint64
+	dispatched uint64  // events dispatched so far (see Dispatched)
 	events     []event // 4-ary min-heap by (when, seq)
 	halted     bool
 	onDispatch func(when Cycles)
@@ -144,6 +145,12 @@ func (e *Engine) AfterOp(delay Cycles, op EventOp, kind int, arg uint64) {
 // Pending reports the number of scheduled events not yet dispatched.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// Dispatched reports the number of events dispatched since construction.
+// The machine's periodic sampler publishes it as a progress metric; unlike
+// the dispatch hook, the native counter is always on, so observability
+// readers never see zero just because no tracer was attached.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
 // SetDispatchHook registers fn to be called immediately before each event
 // dispatch (the observability layer counts dispatches through it). A nil fn
 // clears the hook; with no hook set, dispatch pays one pointer comparison.
@@ -187,6 +194,7 @@ func (e *Engine) dispatch() {
 	next := e.events[0]
 	e.popMin()
 	e.now = next.when
+	e.dispatched++
 	if e.onDispatch != nil {
 		e.onDispatch(next.when) //asaplint:ignore alloccheck nil-guarded observability hook; off on measured runs
 	}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for the stats
+// registry. WriteProm renders the full registered vocabulary — touched or
+// not — so the metric families a scraper sees are a property of the
+// binary, not of which workloads happened to run, and every scrape of an
+// unchanged Set is byte-identical (iteration follows the sorted registry,
+// floats render with strconv's shortest form).
+//
+// Counters render as
+//
+//	# HELP asap_cycles_blocked sampled cycles during which ...
+//	# TYPE asap_cycles_blocked_total counter
+//	asap_cycles_blocked_total 1234
+//
+// and distributions as summaries with the quantiles asapd's operators
+// chart (p50/p95/p99 from Dist.Percentile) plus an explicit _max gauge,
+// which Prometheus summaries lack but Figure 12-style occupancy analysis
+// needs:
+//
+//	# TYPE asap_pb_occupancy summary
+//	asap_pb_occupancy{quantile="0.5"} 3
+//	...
+//	asap_pb_occupancy_sum 812
+//	asap_pb_occupancy_count 270
+//	asap_pb_occupancy_max 14
+
+// PromName converts a registry name (camelCase, Table VI vocabulary) into
+// a Prometheus metric name under prefix: pbOccupancy with prefix "asap_"
+// becomes asap_pb_occupancy. Registry names are ASCII letters and digits,
+// which the conversion maps onto [a-z0-9_], the conventional subset.
+func PromName(prefix, name string) string {
+	var b strings.Builder
+	b.Grow(len(prefix) + len(name) + 4)
+	b.WriteString(prefix)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'A' && c <= 'Z' {
+			b.WriteByte('_')
+			b.WriteByte(c - 'A' + 'a')
+		} else {
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP line per the exposition format: backslash and
+// newline are the only characters that need it.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promFloat renders a float sample deterministically (shortest form that
+// round-trips, matching strconv 'g' with -1 precision).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteCounterProm emits one counter family: HELP, TYPE, and the sample.
+// name must already be a full Prometheus name without the _total suffix.
+func WriteCounterProm(w io.Writer, name, help string, v uint64) {
+	fmt.Fprintf(w, "# HELP %s_total %s\n# TYPE %s_total counter\n%s_total %d\n", name, escapeHelp(help), name, name, v)
+}
+
+// WriteGaugeProm emits one gauge family.
+func WriteGaugeProm(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, escapeHelp(help), name, name, promFloat(v))
+}
+
+// summaryQuantiles are the quantile labels WriteDistProm renders, in
+// exposition order.
+var summaryQuantiles = []struct {
+	label string
+	p     float64
+}{
+	{"0.5", 0.5},
+	{"0.95", 0.95},
+	{"0.99", 0.99},
+}
+
+// WriteDistProm emits one distribution as a summary family plus its _max
+// gauge. A nil d (registered but never observed) renders with zero count
+// and no quantile samples, keeping the family present and the output
+// byte-stable.
+func WriteDistProm(w io.Writer, name, help string, d *Dist) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, escapeHelp(help), name)
+	var sum, count, max uint64
+	if d != nil {
+		sum, count, max = d.Sum(), d.Count(), d.Max()
+		for _, q := range summaryQuantiles {
+			fmt.Fprintf(w, "%s{quantile=%q} %d\n", name, q.label, d.Percentile(q.p))
+		}
+	}
+	fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, sum, name, count)
+	fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max %d\n", name, name, max)
+}
+
+// WriteProm renders s in Prometheus text format under prefix, covering
+// the complete registered vocabulary in sorted-name order: every
+// counter-kind name (value 0 when untouched) and every dist-kind name
+// (empty summary when never observed). Identical Sets render identical
+// bytes, so the output can be golden-tested and diffed across scrapes.
+func WriteProm(w io.Writer, prefix string, s *Set) {
+	for _, reg := range Registered() {
+		name := PromName(prefix, reg.Name)
+		if reg.Kind == KindDist.String() {
+			WriteDistProm(w, name, reg.Desc, s.Dist(reg.Name))
+		} else {
+			WriteCounterProm(w, name, reg.Desc, s.Get(reg.Name))
+		}
+	}
+}

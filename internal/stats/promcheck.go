@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CheckProm validates a Prometheus text-format page: every line must be
+// a well-formed comment (# HELP / # TYPE with a known type) or a sample
+// (valid metric name, balanced label braces, float-parseable value), and
+// a family's TYPE line must precede its samples and appear at most once.
+// It is a syntax lint for CI scrapes — cheap, dependency-free, and far
+// stricter than "curl got a 200" — not a full exposition parser.
+func CheckProm(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	typed := make(map[string]string) // family -> declared type
+	sampled := make(map[string]bool) // family names seen as samples
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkPromComment(line, typed, sampled); err != nil {
+				return fmt.Errorf("line %d: %w", n, err)
+			}
+			continue
+		}
+		if err := checkPromSample(line, typed, sampled); err != nil {
+			return fmt.Errorf("line %d: %w", n, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(sampled) == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	return nil
+}
+
+func checkPromComment(line string, typed map[string]string, sampled map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		if !validPromName(fields[2]) {
+			return fmt.Errorf("HELP for invalid metric name %q", fields[2])
+		}
+	case "TYPE":
+		name := fields[2]
+		if !validPromName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE %s missing a type", name)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("TYPE %s has unknown type %q", name, fields[3])
+		}
+		if _, dup := typed[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		typed[name] = fields[3]
+	default:
+		// Other comments are permitted free-form.
+	}
+	return nil
+}
+
+func checkPromSample(line string, typed map[string]string, sampled map[string]bool) error {
+	rest := line
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' {
+		i++
+	}
+	name := rest[:i]
+	if !validPromName(name) {
+		return fmt.Errorf("invalid metric name in sample %q", line)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := checkPromLabels(rest)
+		if err != nil {
+			return fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimSpace(rest)
+	value := rest
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		value = rest[:sp] // optional timestamp follows
+		if _, err := strconv.ParseInt(strings.TrimSpace(rest[sp+1:]), 10, 64); err != nil {
+			return fmt.Errorf("malformed timestamp in %q", line)
+		}
+	}
+	if value != "+Inf" && value != "-Inf" && value != "NaN" {
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("malformed value %q in %q", value, line)
+		}
+	}
+	sampled[name] = true
+	// Histogram and summary series carry suffixes; fold them back onto
+	// the declared family so the TYPE-before-sample check sees them.
+	family := name
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base := strings.TrimSuffix(name, suf); base != name {
+			if ty, ok := typed[base]; ok && (ty == "histogram" || ty == "summary") {
+				family = base
+			}
+			break
+		}
+	}
+	sampled[family] = true
+	return nil
+}
+
+// checkPromLabels validates a label set starting at s[0] == '{' and
+// returns the index just past the closing brace. Label values are quoted
+// strings that may contain braces and commas, with backslash escapes, so
+// the set is scanned rather than split.
+func checkPromLabels(s string) (int, error) {
+	i := 1
+	for {
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil // empty set or trailing comma's end
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) || !validPromName(s[start:i]) {
+			return 0, fmt.Errorf("malformed label name %q", s[start:min(i, len(s))])
+		}
+		i++ // past '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value")
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value")
+		}
+		i++ // past closing quote
+		switch {
+		case i < len(s) && s[i] == ',':
+			i++
+		case i < len(s) && s[i] == '}':
+			return i + 1, nil
+		default:
+			return 0, fmt.Errorf("unclosed label braces")
+		}
+	}
+}
+
+// validPromName reports whether s is a legal Prometheus metric or label
+// name: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

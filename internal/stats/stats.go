@@ -23,15 +23,38 @@ import (
 // a slice index per increment instead of a string hash.
 type Key int32
 
-// The global registry: name → key plus the parallel name/description tables
-// a Key indexes. Written only from package init functions (the vocabulary
-// files in machine, model, and persist) and read afterwards, so no locking
-// is needed even under the parallel harness.
+// The global registry: name → key plus the parallel name/description/kind
+// tables a Key indexes. Written only from package init functions (the
+// vocabulary files in machine, model, persist, and server) and read
+// afterwards, so no locking is needed even under the parallel harness.
 var (
 	byName = make(map[string]Key)
 	names  []string
 	descs  []string
+	kinds  []Kind
 )
+
+// Kind distinguishes the two stat families the registry holds. The
+// Prometheus exposition (expose.go) renders counters and distributions
+// differently, so registration records which one a name is.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically increasing count (rendered with a
+	// _total suffix).
+	KindCounter Kind = iota
+	// KindDist is a sampled distribution (rendered as a summary with
+	// quantiles from Dist.Percentile).
+	KindDist
+)
+
+// String names the kind for the /v1/stats registry listing.
+func (k Kind) String() string {
+	if k == KindDist {
+		return "dist"
+	}
+	return "counter"
+}
 
 // Register records a one-line description for stat name and returns its Key.
 // Every counter or distribution must be registered before the first write;
@@ -41,10 +64,20 @@ var (
 // from the owning package's init. Re-registering a name with the same
 // description is a no-op returning the original Key; conflicting
 // descriptions panic.
-func Register(name, desc string) Key {
+func Register(name, desc string) Key { return register(name, desc, KindCounter) }
+
+// RegisterDist is Register for distribution stats (written with
+// Set.Observe). The kind only affects exposition: distributions render as
+// Prometheus summaries instead of counters.
+func RegisterDist(name, desc string) Key { return register(name, desc, KindDist) }
+
+func register(name, desc string, kind Kind) Key {
 	if k, ok := byName[name]; ok {
 		if descs[k] != desc {
 			panic(fmt.Sprintf("stats: %q registered twice with different descriptions (%q vs %q)", name, descs[k], desc))
+		}
+		if kinds[k] != kind {
+			panic(fmt.Sprintf("stats: %q registered twice with different kinds (%v vs %v)", name, kinds[k], kind))
 		}
 		return k
 	}
@@ -52,15 +85,17 @@ func Register(name, desc string) Key {
 	byName[name] = k
 	names = append(names, name)
 	descs = append(descs, desc)
+	kinds = append(kinds, kind)
 	return k
 }
 
 // Registration is one entry of the stats registry: a counter or
-// distribution name and its one-line description. asapd's /v1/stats
-// endpoint serves the full vocabulary through it.
+// distribution name, its one-line description, and its kind. asapd's
+// /v1/stats endpoint serves the full vocabulary through it.
 type Registration struct {
 	Name string `json:"name"`
 	Desc string `json:"desc"`
+	Kind string `json:"kind"`
 }
 
 // Registered lists the complete registered vocabulary, sorted by name.
@@ -69,7 +104,7 @@ type Registration struct {
 func Registered() []Registration {
 	out := make([]Registration, len(names))
 	for k, n := range names {
-		out[k] = Registration{Name: n, Desc: descs[k]}
+		out[k] = Registration{Name: n, Desc: descs[k], Kind: kinds[k].String()}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -195,7 +230,9 @@ func (s *Set) SetMax(name string, v uint64) {
 
 // Observe records sample v in the distribution named name.
 func (s *Set) Observe(name string, v uint64) {
-	keyOf(name) // registration check
+	if k := keyOf(name); kinds[k] != KindDist {
+		panic(fmt.Sprintf("stats: Observe on %q, which was registered as a counter (use RegisterDist)", name))
+	}
 	d, ok := s.dists[name]
 	if !ok {
 		d = &Dist{}
@@ -359,6 +396,10 @@ func (d *Dist) Merge(other *Dist) {
 
 // Count returns the number of samples observed.
 func (d *Dist) Count() uint64 { return d.count }
+
+// Sum returns the sum of all samples observed (the Prometheus summary
+// _sum series).
+func (d *Dist) Sum() uint64 { return d.sum }
 
 // Mean returns the sample mean, or 0 for an empty distribution.
 func (d *Dist) Mean() float64 {

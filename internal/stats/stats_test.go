@@ -8,8 +8,11 @@ import (
 // Register the ad-hoc names this file writes; production names live in the
 // vocab files of the owning packages.
 func init() {
-	for _, n := range []string{"a", "b", "m", "x", "y", "zeta", "alpha", "lat", "d", "occ"} {
+	for _, n := range []string{"a", "b", "m", "x", "y", "zeta", "alpha"} {
 		Register(n, "test counter "+n)
+	}
+	for _, n := range []string{"lat", "d", "occ"} {
+		RegisterDist(n, "test counter "+n)
 	}
 }
 
@@ -270,6 +273,33 @@ func TestNames(t *testing.T) {
 	n := s.Names()
 	if len(n) != 2 || n[0] != "a" || n[1] != "b" {
 		t.Fatalf("names = %v", n)
+	}
+}
+
+// TestSnapshotOrderPinned pins the name-sorted order of the snapshot
+// slices. Serialized envelopes and the Prometheus exposition both
+// inherit their byte-determinism from this order, so it is contract, not
+// implementation detail.
+func TestSnapshotOrderPinned(t *testing.T) {
+	s := New()
+	for _, n := range []string{"zeta", "m", "alpha", "b", "x"} {
+		s.Inc(n)
+	}
+	cs := s.CounterValues()
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1].Name >= cs[i].Name {
+			t.Fatalf("CounterValues out of order at %d: %q >= %q", i, cs[i-1].Name, cs[i].Name)
+		}
+	}
+	if len(cs) != 5 || cs[0].Name != "alpha" || cs[4].Name != "zeta" {
+		t.Fatalf("CounterValues = %+v", cs)
+	}
+	s.Observe("occ", 1)
+	s.Observe("lat", 2)
+	s.Observe("d", 3)
+	ds := s.DistValues()
+	if len(ds) != 3 || ds[0].Name != "d" || ds[1].Name != "lat" || ds[2].Name != "occ" {
+		t.Fatalf("DistValues not name-sorted: %+v", ds)
 	}
 }
 
