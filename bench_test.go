@@ -11,6 +11,7 @@ package asap
 // cmd/asapfig at its default scale.
 
 import (
+	"runtime"
 	"testing"
 
 	"asap/internal/config"
@@ -109,18 +110,53 @@ func benchAll(b *testing.B, parallel int) {
 	}
 }
 
+// requireParallelHW skips pool- and shard-parallelism benchmarks on a
+// single-CPU box. With GOMAXPROCS=1 the worker pool degenerates to the
+// serial engine and a "parallel" benchmark records serial numbers — plus
+// goroutine-scheduling overhead — under a parallel name. That is exactly
+// the old baseline's Fig8Parallel anomaly (362.6 ms "parallel" vs 347.5 ms
+// serial): not a performance bug, a benchmark measuring something other
+// than its name claims. Skipping keeps such numbers out of the baseline
+// entirely; benchdiff ignores benchmarks present on only one side.
+func requireParallelHW(b *testing.B) {
+	b.Helper()
+	if n := runtime.GOMAXPROCS(0); n < 2 {
+		b.Skipf("needs >1 CPU to measure parallelism (GOMAXPROCS=%d)", n)
+	}
+}
+
 // BenchmarkAllSerial runs every experiment with one worker (the engine's
 // strictly serial mode).
 func BenchmarkAllSerial(b *testing.B) { benchAll(b, 1) }
 
 // BenchmarkAllParallel runs every experiment with a GOMAXPROCS pool.
-func BenchmarkAllParallel(b *testing.B) { benchAll(b, 0) }
+func BenchmarkAllParallel(b *testing.B) {
+	requireParallelHW(b)
+	benchAll(b, 0)
+}
 
 // BenchmarkFig8Parallel regenerates the headline figure alone on a
 // GOMAXPROCS pool (its ~84 simulations fan out via the prefetch plan).
 func BenchmarkFig8Parallel(b *testing.B) {
+	requireParallelHW(b)
 	for i := 0; i < b.N; i++ {
 		h := harness.New(harness.Options{Ops: 80, Seed: 1, Parallel: 0})
+		if _, err := h.Experiment("fig8"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8Shards8 regenerates the headline figure with every
+// simulation on a sharded engine (-shards=8; machine.EffectiveShards
+// clamps to the CPU|MCs two-domain map) and the pool pinned serial, so the
+// ratio against BenchmarkFig8 isolates intra-run sharding. It needs real
+// cores for the domains to overlap — on one CPU the shard workers just
+// take turns at the barrier.
+func BenchmarkFig8Shards8(b *testing.B) {
+	requireParallelHW(b)
+	for i := 0; i < b.N; i++ {
+		h := harness.New(harness.Options{Ops: 80, Seed: 1, Parallel: 1, Shards: 8})
 		if _, err := h.Experiment("fig8"); err != nil {
 			b.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 //	asapsim -stats -workload cceh
 //	asapsim -save-spec run.json            # capture the flags as a RunSpec
 //	asapsim -spec run.json                 # replay a RunSpec exactly
+//	asapsim -shards 2 -workload cceh       # sharded engine, identical results
 //
 // Models: baseline, hops_ep, hops_rp, asap_ep, asap_rp, eadr.
 // Workloads: see -list.
@@ -47,6 +48,7 @@ func main() {
 		valSize  = flag.Int("valuesize", 64, "value size in bytes (16-128 in the paper)")
 		seed     = flag.Uint64("seed", 1, "workload generator seed")
 		mcs      = flag.Int("mcs", 2, "memory controllers")
+		shards   = flag.Int("shards", 1, "timing domains (1 = serial engine; >1 runs the MCs on a parallel shard, same results)")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		saveTr   = flag.String("save-trace", "", "write the generated trace to this file and exit")
 		loadTr   = flag.String("load-trace", "", "replay a trace file instead of generating one")
@@ -78,6 +80,8 @@ func main() {
 	}
 	cfg.MCs = *mcs
 	spec := runspec.New(*wl, *mdl, p, cfg)
+	spec.Shards = *shards
+	spec.Normalize()
 
 	if *specIn != "" {
 		b, err := os.ReadFile(*specIn)
@@ -139,7 +143,16 @@ func main() {
 		return
 	}
 
-	m, err := machine.New(cfg, *mdl, tr)
+	// A spec file may request sharding too; the flag default is serial.
+	nshards := spec.Shards
+	if nshards == 0 {
+		nshards = 1
+	}
+	if nshards > 1 && (*traceOut != "" || *tlOut != "") {
+		fmt.Fprintln(os.Stderr, "asapsim: -trace/-timeline require the serial engine (-shards=1)")
+		os.Exit(1)
+	}
+	m, err := machine.NewSharded(cfg, *mdl, tr, nshards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,39 @@
+package harness
+
+import "testing"
+
+// TestShardedTablesIdentical renders experiments on a serial harness and a
+// sharded one (Shards: 2) and requires byte-identical tables: the machine
+// package's differential suite proves result-identity run by run, this test
+// proves it survives the full harness path — spec building (the shards
+// field on every job), the engine cache, and table assembly.
+func TestShardedTablesIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders full experiments twice")
+	}
+	serialOpts := QuickOptions()
+	serialOpts.Parallel = 1
+	shardedOpts := QuickOptions()
+	shardedOpts.Parallel = 1
+	shardedOpts.Shards = 2
+
+	serial := New(serialOpts)
+	sharded := New(shardedOpts)
+	// fig8 is the headline (every workload × the six evaluated models);
+	// tab5 adds the related-work designs, including vorpal's serial
+	// fallback path.
+	for _, id := range []string{"fig8", "tab5"} {
+		want, err := serial.Experiment(id)
+		if err != nil {
+			t.Fatalf("serial %s: %v", id, err)
+		}
+		got, err := sharded.Experiment(id)
+		if err != nil {
+			t.Fatalf("sharded %s: %v", id, err)
+		}
+		if want.Text() != got.Text() {
+			t.Errorf("%s diverged between serial and sharded engines:\n--- serial ---\n%s\n--- sharded ---\n%s",
+				id, want.Text(), got.Text())
+		}
+	}
+}

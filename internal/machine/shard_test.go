@@ -1,0 +1,146 @@
+package machine
+
+import (
+	"testing"
+
+	"asap/internal/config"
+	"asap/internal/model"
+	"asap/internal/stats"
+	"asap/internal/workload"
+)
+
+// diffParams keeps the differential matrix affordable: every workload ×
+// model × shard-count combination runs, so each single run is small.
+func diffParams() workload.Params {
+	return workload.Params{Threads: 4, OpsPerThread: 80, KeyRange: 1024, ValueSize: 32, Seed: 7}
+}
+
+// runSharded executes one workload × model pair at the given shard count
+// and returns the result. shards == 1 is the serial reference engine.
+func runSharded(t *testing.T, wl, mdl string, shards int) Result {
+	t.Helper()
+	tr, err := workload.Generate(wl, diffParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewSharded(config.Default(), mdl, tr, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run(500_000_000)
+	if !m.allDone() {
+		t.Fatalf("%s/%s shards=%d did not finish (cycle %d, finished %d/%d)",
+			wl, mdl, shards, m.Eng.Now(), m.finished, len(m.cores))
+	}
+	return res
+}
+
+// counterSnapshot flattens a run's counters for comparison. The LLC
+// eviction classification (delayed behind the Bloom filter vs dropped)
+// is consulted MsgLat later on a sharded machine, so only the pair's sum
+// is shard-invariant; the snapshot folds the two into one key.
+func counterSnapshot(st *stats.Set) map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, cv := range st.CounterValues() {
+		out[cv.Name] = cv.Value
+	}
+	evictions := out["llcEvictionsDelayed"] + out["pmLinesDropped"]
+	delete(out, "llcEvictionsDelayed")
+	delete(out, "pmLinesDropped")
+	if evictions > 0 {
+		out["evictionsClassified"] = evictions
+	}
+	return out
+}
+
+// distSnapshot flattens a run's distributions, dropping rtOccupancy: the
+// recovery tables live on MC domains, so the sampler only observes them
+// on the serial engine.
+func distSnapshot(st *stats.Set) map[string]stats.DistValue {
+	out := make(map[string]stats.DistValue)
+	for _, dv := range st.DistValues() {
+		if dv.Name == "rtOccupancy" {
+			continue
+		}
+		out[dv.Name] = dv
+	}
+	return out
+}
+
+// compareRuns asserts that a sharded run reproduced the serial result:
+// same execution time, same per-core finish times, same media traffic and
+// high-water marks, same counters, same distributions.
+func compareRuns(t *testing.T, label string, serial, sharded Result) {
+	t.Helper()
+	if serial.Cycles != sharded.Cycles {
+		t.Errorf("%s: cycles diverged: serial %d, sharded %d", label, serial.Cycles, sharded.Cycles)
+	}
+	for i := range serial.PerCore {
+		if serial.PerCore[i] != sharded.PerCore[i] {
+			t.Errorf("%s: core %d finish diverged: serial %d, sharded %d",
+				label, i, serial.PerCore[i], sharded.PerCore[i])
+		}
+	}
+	if serial.PMWrites != sharded.PMWrites || serial.PMReads != sharded.PMReads {
+		t.Errorf("%s: media traffic diverged: serial %d/%d writes/reads, sharded %d/%d",
+			label, serial.PMWrites, serial.PMReads, sharded.PMWrites, sharded.PMReads)
+	}
+	if serial.RTMaxOcc != sharded.RTMaxOcc {
+		t.Errorf("%s: RT max occupancy diverged: serial %d, sharded %d", label, serial.RTMaxOcc, sharded.RTMaxOcc)
+	}
+	if serial.WPQMaxOcc != sharded.WPQMaxOcc {
+		t.Errorf("%s: WPQ max occupancy diverged: serial %d, sharded %d", label, serial.WPQMaxOcc, sharded.WPQMaxOcc)
+	}
+	sc, pc := counterSnapshot(serial.Stats), counterSnapshot(sharded.Stats)
+	for name, v := range sc {
+		if pv, ok := pc[name]; !ok || pv != v {
+			t.Errorf("%s: counter %s diverged: serial %d, sharded %d", label, name, v, pv)
+		}
+	}
+	for name := range pc {
+		if _, ok := sc[name]; !ok {
+			t.Errorf("%s: counter %s touched only by the sharded run (%d)", label, name, pc[name])
+		}
+	}
+	sd, pd := distSnapshot(serial.Stats), distSnapshot(sharded.Stats)
+	for name, v := range sd {
+		if pv, ok := pd[name]; !ok || pv != v {
+			t.Errorf("%s: dist %s diverged: serial %+v, sharded %+v", label, name, v, pv)
+		}
+	}
+}
+
+// TestShardedSmoke pins one pair end to end before the full matrix runs.
+func TestShardedSmoke(t *testing.T) {
+	serial := runSharded(t, "cceh", model.NameASAPEP, 1)
+	sharded := runSharded(t, "cceh", model.NameASAPEP, 4)
+	compareRuns(t, "cceh/asap_ep/4", serial, sharded)
+}
+
+// TestShardedDifferential is the tentpole contract: every workload ×
+// model pair, at 2, 4 and 8 requested shards, must reproduce the serial
+// engine's results exactly — execution time, per-core finish times, media
+// traffic, high-water marks, counters and sampled distributions. Models
+// that are not shardable (vorpal) fall back to the serial engine and
+// compare trivially; that fallback staying silent and correct is part of
+// the contract.
+func TestShardedDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload × model × shards matrix")
+	}
+	for _, wl := range workload.Names() {
+		for _, mdl := range model.ExtendedNames() {
+			wl, mdl := wl, mdl
+			t.Run(wl+"/"+mdl, func(t *testing.T) {
+				t.Parallel()
+				serial := runSharded(t, wl, mdl, 1)
+				for _, shards := range []int{2, 4, 8} {
+					sharded := runSharded(t, wl, mdl, shards)
+					compareRuns(t, wl+"/"+mdl+"/"+itoa(shards), serial, sharded)
+				}
+			})
+		}
+	}
+}
+
+func itoa(n int) string { return string(rune('0' + n)) }

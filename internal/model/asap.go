@@ -20,26 +20,19 @@ import (
 // dependent threads. A NACK (full recovery table) drops the buffer into
 // conservative flushing until the NACKed epoch commits (§V-D).
 // Typed-event kinds dispatched through ASAP.RunEvent, covering the
-// per-write flusher hot path (kick, pace, and the FlushLat send).
+// per-write flusher hot path (kick and pace); the PB→MC sends and ET→MC
+// commit messages travel through Env.Link instead.
 const (
-	asapEvKick       = iota // flusher wake-up for core arg (clears flushScheduled)
-	asapEvPace              // next paced flush issue for core arg
-	asapEvSend              // deliver the oldest queued flush packet to its MC
-	asapEvCommitSend        // deliver the oldest queued epoch-commit message to its MC
-	asapEvCDR               // deliver a CDR; arg is the packed dependent EpochID
+	asapEvKick = iota // flusher wake-up for core arg (clears flushScheduled)
+	asapEvPace        // next paced flush issue for core arg
+	asapEvCDR         // deliver a CDR; arg is the packed dependent EpochID
 )
 
-// asapSend is one in-flight PB→MC flush message. All sends travel at the
-// same FlushLat delay, so a FIFO ring dispatched by typed events preserves
-// the exact delivery order the per-send closures produced.
-type asapSend struct {
-	pkt     persist.FlushPacket
-	mc      *persist.MC
-	id      uint64 // persist buffer entry ID, echoed back in the reply
-	core    int
-	retried bool // NACK retry: clears the MC's Bloom filter entry on arrival
-}
-
+// ASAP runs on the CPU timing domain of a sharded machine: all controller
+// interaction (flush issue, commit broadcast, NACK retries) crosses the
+// Link, never a direct MC call — domaincheck enforces it.
+//
+//asap:domain cpu
 type ASAP struct {
 	env Env
 	hc  hotCounters
@@ -47,24 +40,8 @@ type ASAP struct {
 
 	cores []*asapCore
 
-	sendQ    []asapSend // in-flight flush messages; sendHead indexes oldest
-	sendHead int
-
-	// commitQ holds in-flight ET→MC epoch-commit messages, the same FIFO
-	// ring discipline as sendQ: all travel at MsgLat, so pop order equals
-	// schedule order and the per-message closures are gone.
-	commitQ    []asapCommitMsg
-	commitHead int
-
 	trc      obs.Tracer // nil unless tracing; every use must be nil-guarded
 	pbTracks []obs.TrackID
-}
-
-// asapCommitMsg is one in-flight epoch-commit message from an epoch table
-// to a controller that saw early flushes from the epoch.
-type asapCommitMsg struct {
-	epoch persist.EpochID
-	mc    *persist.MC
 }
 
 // packEpochArg squeezes an EpochID into a typed event's uint64 arg: thread
@@ -130,29 +107,6 @@ func (m *ASAP) RunEvent(kind int, arg uint64) {
 		m.flushOne(c)
 	case asapEvPace:
 		m.flushOne(m.cores[arg])
-	case asapEvSend:
-		s := m.sendQ[m.sendHead]
-		m.sendQ[m.sendHead] = asapSend{}
-		m.sendHead++
-		if m.sendHead == len(m.sendQ) {
-			m.sendQ = m.sendQ[:0]
-			m.sendHead = 0
-		}
-		if s.retried && s.mc.Bloom != nil {
-			// The retried flush clears the NACK Bloom filter entry,
-			// releasing any delayed LLC eviction (§V-F).
-			s.mc.Bloom.Remove(s.pkt.Line)
-		}
-		s.mc.ReceiveOp(s.pkt, m.cores[s.core], s.id)
-	case asapEvCommitSend:
-		s := m.commitQ[m.commitHead]
-		m.commitQ[m.commitHead] = asapCommitMsg{}
-		m.commitHead++
-		if m.commitHead == len(m.commitQ) {
-			m.commitQ = m.commitQ[:0]
-			m.commitHead = 0
-		}
-		s.mc.CommitOp(s.epoch, m)
 	case asapEvCDR:
 		m.deliverCDR(unpackEpochArg(arg))
 	default:
@@ -475,11 +429,9 @@ func (m *ASAP) flushOne(c *asapCore) {
 		Epoch: persist.EpochID{Thread: c.id, TS: e.TS},
 		Early: early,
 	}
-	//asaplint:ignore alloccheck send queue reaches steady-state capacity, then appends reuse it
-	m.sendQ = append(m.sendQ, asapSend{
-		pkt: pkt, mc: m.env.MCs[mcID], id: e.ID, core: c.id, retried: retried,
-	})
-	m.env.Eng.AfterOp(m.env.Cfg.FlushLat, m, asapEvSend, 0)
+	// retried clears the MC's NACK Bloom filter entry on arrival, releasing
+	// any delayed LLC eviction (§V-F); the Link applies that at delivery.
+	m.env.Link.FlushOp(mcID, pkt, c, e.ID, retried)
 	if c.pb.Inflight() < m.env.Cfg.PBMaxInflight {
 		m.env.Eng.AfterOp(flushIssuePace, m, asapEvPace, uint64(c.id))
 	}
@@ -551,16 +503,14 @@ func (m *ASAP) tryCommit(c *asapCore, ts uint64) {
 	}
 	ent.CommitAcks = ent.EarlyMCCount()
 	epoch := persist.EpochID{Thread: c.id, TS: ts}
-	// Commit messages are scheduled in ascending controller order so the
+	// Commit messages are issued in ascending controller order so the
 	// event sequence (and hence every downstream tie-break) is reproducible.
-	// Each message rides the commitQ ring behind a typed event; the ACK
-	// comes back through CommitAck. No per-message closures.
+	// Each rides the Link at MsgLat; the ACK comes back through CommitAck.
 	for id, mask := 0, ent.EarlyMCs; mask != 0; id, mask = id+1, mask>>1 {
 		if mask&1 == 0 {
 			continue
 		}
-		m.commitQ = append(m.commitQ, asapCommitMsg{epoch: epoch, mc: m.env.MCs[id]}) //asaplint:ignore alloccheck commit-message ring: head compaction keeps it at steady-state capacity
-		m.env.Eng.AfterOp(m.env.Cfg.MsgLat, m, asapEvCommitSend, 0)
+		m.env.Link.CommitOp(id, epoch, m)
 	}
 }
 

@@ -132,16 +132,13 @@ func (m *Baseline) issueFlushes(c *baseCore) {
 			Token: tok,
 			Epoch: persist.EpochID{Thread: c.id, TS: c.ts},
 		}
-		mc := m.env.MCs[m.env.IL.Home(line)]
-		//asaplint:ignore alloccheck closure-form flush scheduling; typed-event conversion of this model is tracked roadmap debt
-		m.env.Eng.After(m.env.Cfg.FlushLat, func() {
-			mc.Receive(pkt, func(res persist.FlushResult) {
-				if res != persist.FlushAck {
-					panic("baseline: controller NACKed a flush")
-				}
-				c.outstanding--
-				m.onAck(c)
-			})
+		//asaplint:ignore alloccheck closure-form flush reply; typed-event conversion of this model is tracked roadmap debt
+		m.env.Link.Flush(m.env.IL.Home(line), pkt, func(res persist.FlushResult) {
+			if res != persist.FlushAck {
+				panic("baseline: controller NACKed a flush")
+			}
+			c.outstanding--
+			m.onAck(c)
 		})
 	}
 }

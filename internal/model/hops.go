@@ -270,16 +270,12 @@ func (m *HOPS) flushOne(c *hopsCore) {
 		Epoch: persist.EpochID{Thread: c.id, TS: e.TS},
 	}
 	id := e.ID
-	mc := m.env.MCs[m.env.IL.Home(e.Line)]
-	//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
-	m.env.Eng.After(m.env.Cfg.FlushLat, func() {
-		//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
-		mc.Receive(pkt, func(res persist.FlushResult) {
-			if res != persist.FlushAck {
-				panic("hops: controller NACKed a safe flush")
-			}
-			m.onAck(c, id)
-		})
+	//asaplint:ignore alloccheck closure-form flush reply; typed-event conversion of this legacy model is tracked roadmap debt
+	m.env.Link.Flush(m.env.IL.Home(e.Line), pkt, func(res persist.FlushResult) {
+		if res != persist.FlushAck {
+			panic("hops: controller NACKed a safe flush")
+		}
+		m.onAck(c, id)
 	})
 	if c.pb.Inflight() < m.env.Cfg.PBMaxInflight {
 		//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt

@@ -127,15 +127,11 @@ func (m *PMEMSpec) Store(core int, line mem.Line, token mem.Token, done func()) 
 	}
 
 	pkt := persist.FlushPacket{Line: line, Token: token, Epoch: persist.EpochID{Thread: core, TS: ts}}
-	mc := m.env.MCs[mcID]
-	//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
-	m.env.Eng.After(m.env.Cfg.FlushLat, func() {
-		//asaplint:ignore alloccheck closure-form event scheduling; typed-event conversion of this legacy model is tracked roadmap debt
-		mc.Receive(pkt, func(persist.FlushResult) {
-			ep.perMC[mcID]--
-			ep.pending--
-			m.retire(c)
-		})
+	//asaplint:ignore alloccheck closure-form flush reply; typed-event conversion of this legacy model is tracked roadmap debt
+	m.env.Link.Flush(mcID, pkt, func(persist.FlushResult) {
+		ep.perMC[mcID]--
+		ep.pending--
+		m.retire(c)
 	})
 	m.delay(c, done)
 }

@@ -123,6 +123,69 @@ func TestNormalization(t *testing.T) {
 	}
 }
 
+// TestShardsHashNeutrality: the shards field is canonically invisible for
+// serial runs — 0 (elided) and 1 (normalized to 0) produce byte-identical
+// canonical forms, so every content address computed before the field
+// existed is still valid. Only shards > 1 (a genuinely different engine)
+// participates in the hash.
+func TestShardsHashNeutrality(t *testing.T) {
+	base := defaultSpec()
+	canon, err := base.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(canon), "shards") {
+		t.Fatalf("serial canonical form mentions shards: %s", canon)
+	}
+
+	one := defaultSpec()
+	one.Shards = 1
+	one.Normalize()
+	c1, err := one.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canon, c1) {
+		t.Fatalf("Shards=1 changed the canonical bytes:\n%s\nvs\n%s", canon, c1)
+	}
+	if one.MustHash() != goldenHash {
+		t.Fatalf("Shards=1 changed the content address: %s", one.MustHash())
+	}
+
+	two := defaultSpec()
+	two.Shards = 2
+	two.Normalize()
+	if two.MustHash() == goldenHash {
+		t.Fatal("Shards=2 does not participate in the hash")
+	}
+	c2, err := two.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(c2), `"shards":2`) {
+		t.Fatalf("Shards=2 missing from canonical form: %s", c2)
+	}
+
+	// Parse accepts the field (it is not "unknown"), normalizes 1 back to
+	// the zero value, and rejects negatives.
+	s, err := Parse([]byte(`{"workload": "cceh", "model": "asap_rp", "shards": 1,
+		"params": {"Threads": 4, "OpsPerThread": 600, "KeyRange": 4096, "ValueSize": 64, "Seed": 1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards != 0 {
+		t.Fatalf("parsed Shards = %d, want 0 after normalization", s.Shards)
+	}
+	if s.MustHash() != goldenHash {
+		t.Fatalf("parsed shards:1 spec hashed %s, want %s", s.MustHash(), goldenHash)
+	}
+	if _, err := Parse([]byte(`{"workload": "cceh", "model": "asap_rp", "shards": -2,
+		"params": {"Threads": 1, "OpsPerThread": 1}}`)); err == nil ||
+		!strings.Contains(err.Error(), "Shards") {
+		t.Fatalf("err = %v, want Shards complaint", err)
+	}
+}
+
 // TestParseRejects: unknown fields (typos must not select defaults
 // silently), malformed JSON, and structurally unrunnable specs.
 func TestParseRejects(t *testing.T) {

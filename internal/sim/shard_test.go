@@ -1,0 +1,364 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// The differential fixture: P communicating state machines, runnable
+// either on one serial engine or on a P-domain cluster. Each component
+// ticks on its own phase class (all its schedule calls happen at cycles
+// congruent to its id modulo P), so no two domains ever make a schedule
+// call at the same cycle — the one case where sharded arrival order is
+// allowed to differ from serial order. Under that restriction the
+// sharded cluster must reproduce the serial engine's per-component
+// dispatch log exactly, which pins the watermark arrival placement.
+
+type dispatchRec struct {
+	when Cycles
+	kind int
+	arg  uint64
+}
+
+type diffComp struct {
+	id       int
+	peers    int
+	period   Cycles // = peers: tick delays are multiples, preserving phase
+	look     Cycles
+	eng      *Engine
+	send     func(src, dst int, delay Cycles, kind int, arg uint64)
+	state    uint64
+	ticks    int
+	maxTicks int
+	log      []dispatchRec
+}
+
+func (c *diffComp) RunEvent(kind int, arg uint64) {
+	c.log = append(c.log, dispatchRec{c.eng.Now(), kind, arg})
+	c.state = c.state*6364136223846793005 + arg*31 + uint64(kind) + 1442695040888963407
+	if kind != 0 || c.ticks >= c.maxTicks {
+		return
+	}
+	c.ticks++
+	c.eng.AfterOp(c.period*Cycles(1+c.state%5), c, 0, c.state>>7)
+	if c.state%3 == 0 {
+		dst := int(c.state>>11) % c.peers
+		if dst != c.id {
+			delay := c.look + Cycles(c.state%7)*c.period
+			c.send(c.id, dst, delay, 1, c.state>>3)
+		}
+	}
+}
+
+// testMsg and testInbox are the test's stand-in for the persist.Link
+// endpoints: a stamped SPSC ring drained into the destination heap.
+type testMsg struct {
+	when Cycles
+	sent Cycles
+	kind int32
+	arg  uint64
+}
+
+type testInbox struct {
+	ring *Ring[testMsg]
+	dst  *diffComp
+	ctr  uint64
+}
+
+func (ib *testInbox) Drain(dst *Engine, subBase uint64) {
+	var m testMsg
+	for ib.ring.Recv(&m) {
+		dst.ArriveOp(m.when, m.sent, ib.dst, int(m.kind), m.arg, subBase|ib.ctr)
+		ib.ctr++
+	}
+}
+
+func newComps(p, maxTicks int, look Cycles) []*diffComp {
+	comps := make([]*diffComp, p)
+	for i := range comps {
+		comps[i] = &diffComp{
+			id: i, peers: p, period: Cycles(p), look: look,
+			state: uint64(i)*0x9e3779b97f4a7c15 + 1, maxTicks: maxTicks,
+		}
+	}
+	return comps
+}
+
+func runSerialDiff(p, maxTicks int, look Cycles) []*diffComp {
+	comps := newComps(p, maxTicks, look)
+	eng := NewEngine()
+	for _, c := range comps {
+		c.eng = eng
+		c.send = func(src, dst int, delay Cycles, kind int, arg uint64) {
+			eng.AfterOp(delay, comps[dst], kind, arg)
+		}
+		eng.ScheduleOp(Cycles(c.id), c, 0, 0)
+	}
+	eng.Run(0)
+	return comps
+}
+
+func runShardedDiff(p, maxTicks int, look Cycles) []*diffComp {
+	comps := newComps(p, maxTicks, look)
+	cl := NewCluster(p, look)
+	rings := make([][]*Ring[testMsg], p)
+	for src := 0; src < p; src++ {
+		rings[src] = make([]*Ring[testMsg], p)
+		for dst := 0; dst < p; dst++ {
+			if src != dst {
+				rings[src][dst] = NewRing[testMsg](1 << 12)
+			}
+		}
+	}
+	for dst := 0; dst < p; dst++ {
+		for src := 0; src < p; src++ {
+			if src != dst {
+				cl.AddInbox(dst, &testInbox{ring: rings[src][dst], dst: comps[dst]})
+			}
+		}
+	}
+	for _, c := range comps {
+		c.eng = cl.Domain(c.id)
+		c.send = func(src, dst int, delay Cycles, kind int, arg uint64) {
+			e := cl.Domain(src)
+			if !rings[src][dst].Send(testMsg{when: e.Now() + delay, sent: e.Now(), kind: int32(kind), arg: arg}) {
+				panic("test ring full")
+			}
+		}
+		c.eng.ScheduleOp(Cycles(c.id), c, 0, 0)
+	}
+	cl.Run(0)
+	return comps
+}
+
+// TestClusterMatchesSerial pins the sharded scheduler's contract: with
+// schedule moments phase-separated across domains, every component's
+// dispatch log — times, kinds, payloads, order — is identical to the
+// serial engine's, for several domain counts.
+func TestClusterMatchesSerial(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 8} {
+		p := p
+		t.Run(fmt.Sprintf("domains=%d", p), func(t *testing.T) {
+			look := Cycles(p) * 2
+			serial := runSerialDiff(p, 400, look)
+			sharded := runShardedDiff(p, 400, look)
+			for i := range serial {
+				if len(serial[i].log) == 0 {
+					t.Fatalf("comp %d: empty serial log", i)
+				}
+				if !reflect.DeepEqual(serial[i].log, sharded[i].log) {
+					for j := range serial[i].log {
+						if j >= len(sharded[i].log) || serial[i].log[j] != sharded[i].log[j] {
+							t.Fatalf("comp %d diverges at dispatch %d: serial %+v sharded %+v",
+								i, j, serial[i].log[j], at(sharded[i].log, j))
+						}
+					}
+					t.Fatalf("comp %d: sharded log longer (%d vs %d)", i, len(sharded[i].log), len(serial[i].log))
+				}
+				if serial[i].state != sharded[i].state {
+					t.Fatalf("comp %d: state %#x vs %#x", i, serial[i].state, sharded[i].state)
+				}
+			}
+		})
+	}
+}
+
+func at(log []dispatchRec, j int) any {
+	if j < len(log) {
+		return log[j]
+	}
+	return "<missing>"
+}
+
+// TestClusterFinalClock pins that the cluster's stop time matches the
+// serial engine's Now after the same run, including the limit case.
+func TestClusterFinalClock(t *testing.T) {
+	look := Cycles(3) * 2
+	comps := newComps(3, 200, look)
+	eng := NewEngine()
+	for _, c := range comps {
+		c.eng = eng
+		c.send = func(src, dst int, delay Cycles, kind int, arg uint64) {
+			eng.AfterOp(delay, comps[dst], kind, arg)
+		}
+		eng.ScheduleOp(Cycles(c.id), c, 0, 0)
+	}
+	serialEnd := eng.Run(0)
+
+	sharded := runShardedDiff(3, 200, look)
+	if got := sharded[0].eng.Now(); got != serialEnd {
+		t.Fatalf("sharded stop clock %d, serial %d", got, serialEnd)
+	}
+
+	// Limit: both engines report exactly the limit when events remain.
+	limit := serialEnd / 2
+	eng2 := NewEngine()
+	comps2 := newComps(3, 200, look)
+	for _, c := range comps2 {
+		c.eng = eng2
+		c.send = func(src, dst int, delay Cycles, kind int, arg uint64) {
+			eng2.AfterOp(delay, comps2[dst], kind, arg)
+		}
+		eng2.ScheduleOp(Cycles(c.id), c, 0, 0)
+	}
+	if got := eng2.Run(limit); got != limit {
+		t.Fatalf("serial limit run stopped at %d, want %d", got, limit)
+	}
+
+	comps3 := newComps(3, 200, look)
+	cl := NewCluster(3, look)
+	rings := make([][]*Ring[testMsg], 3)
+	for src := range rings {
+		rings[src] = make([]*Ring[testMsg], 3)
+		for dst := range rings[src] {
+			if src != dst {
+				rings[src][dst] = NewRing[testMsg](1 << 12)
+			}
+		}
+	}
+	for dst := 0; dst < 3; dst++ {
+		for src := 0; src < 3; src++ {
+			if src != dst {
+				cl.AddInbox(dst, &testInbox{ring: rings[src][dst], dst: comps3[dst]})
+			}
+		}
+	}
+	for _, c := range comps3 {
+		c.eng = cl.Domain(c.id)
+		c.send = func(src, dst int, delay Cycles, kind int, arg uint64) {
+			e := cl.Domain(src)
+			rings[src][dst].Send(testMsg{when: e.Now() + delay, sent: e.Now(), kind: int32(kind), arg: arg})
+		}
+		c.eng.ScheduleOp(Cycles(c.id), c, 0, 0)
+	}
+	if got := cl.Run(limit); got != limit {
+		t.Fatalf("cluster limit run stopped at %d, want %d", got, limit)
+	}
+}
+
+// panicComp panics on its nth dispatch.
+type panicComp struct {
+	eng  *Engine
+	n    int
+	seen int
+}
+
+func (p *panicComp) RunEvent(kind int, arg uint64) {
+	p.seen++
+	if p.seen >= p.n {
+		panic("boom from shard")
+	}
+	p.eng.AfterOp(4, p, 0, 0)
+}
+
+// TestClusterPanicPropagates pins that a panic inside any shard reaches
+// the Run caller with its original value and does not deadlock siblings.
+func TestClusterPanicPropagates(t *testing.T) {
+	for _, dom := range []int{0, 1} {
+		cl := NewCluster(2, 4)
+		pc := &panicComp{eng: cl.Domain(dom), n: 5}
+		pc.eng.ScheduleOp(0, pc, 0, 0)
+		// Keep the other domain busy so it is parked at the barrier.
+		other := &panicComp{eng: cl.Domain(1 - dom), n: 1 << 30}
+		other.eng.ScheduleOp(0, other, 0, 0)
+		func() {
+			defer func() {
+				if r := recover(); r != "boom from shard" {
+					t.Fatalf("domain %d: recovered %v, want boom", dom, r)
+				}
+			}()
+			cl.Run(0)
+			t.Fatalf("domain %d: Run returned without panicking", dom)
+		}()
+	}
+}
+
+// TestRingSPSC hammers one ring from a producer and a consumer goroutine
+// with randomized burst sizes, asserting FIFO integrity and no loss.
+// Under -race this is the memory-model gate for the cross-shard channel.
+func TestRingSPSC(t *testing.T) {
+	const total = 200000
+	r := NewRing[uint64](1 << 8)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		next := uint64(0)
+		for next < total {
+			burst := rng.Intn(300) + 1
+			for i := 0; i < burst && next < total; i++ {
+				if r.Send(next) {
+					next++
+				}
+			}
+		}
+	}()
+	rng := rand.New(rand.NewSource(11))
+	want := uint64(0)
+	for want < total {
+		burst := rng.Intn(300) + 1
+		var v uint64
+		for i := 0; i < burst && want < total; i++ {
+			if r.Recv(&v) {
+				if v != want {
+					t.Fatalf("ring out of order: got %d want %d", v, want)
+				}
+				want++
+			}
+		}
+	}
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Fatalf("ring not drained: %d left", r.Len())
+	}
+}
+
+// TestClusterStress runs the differential fixture big and wide — this is
+// the randomized-burst barrier/ring stress test the CI race job runs
+// under -race. Correctness is still pinned against serial.
+func TestClusterStress(t *testing.T) {
+	p, ticks := 4, 3000
+	if testing.Short() {
+		ticks = 500
+	}
+	look := Cycles(p) * 2
+	serial := runSerialDiff(p, ticks, look)
+	sharded := runShardedDiff(p, ticks, look)
+	for i := range serial {
+		if serial[i].state != sharded[i].state {
+			t.Fatalf("comp %d: state %#x vs %#x", i, serial[i].state, sharded[i].state)
+		}
+		if len(serial[i].log) != len(sharded[i].log) {
+			t.Fatalf("comp %d: %d vs %d dispatches", i, len(serial[i].log), len(sharded[i].log))
+		}
+	}
+}
+
+// tickComp reschedules itself forever at a fixed period; with one per
+// domain it makes every window dispatch exactly one event per shard,
+// so BenchmarkShardBarrier measures the per-window synchronization cost
+// (two barrier crossings + drain + min-reduce) of the cluster.
+type tickComp struct {
+	eng    *Engine
+	period Cycles
+}
+
+func (tc *tickComp) RunEvent(kind int, arg uint64) {
+	tc.eng.AfterOp(tc.period, tc, 0, 0)
+}
+
+func BenchmarkShardBarrier(b *testing.B) {
+	const look = 20
+	cl := NewCluster(2, look)
+	for d := 0; d < 2; d++ {
+		tc := &tickComp{eng: cl.Domain(d), period: look}
+		tc.eng.ScheduleOp(0, tc, 0, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	cl.Run(Cycles(b.N) * look)
+}
