@@ -45,6 +45,8 @@ bench-baseline:
 	$(GO) test -bench 'HierarchyAccess|DirectoryAccess|SetAssocLookup' -benchtime 1000000x -count 8 -benchmem -run '^$$' ./internal/cache >> /tmp/bench_baseline.txt
 	$(GO) test -bench 'PBFlushCycle|MCFlushCommit' -benchtime 200000x -count 3 -benchmem -run '^$$' ./internal/persist >> /tmp/bench_baseline.txt
 	$(GO) test -bench 'MachineOps' -benchtime 10000x -count 3 -benchmem -run '^$$' ./internal/machine >> /tmp/bench_baseline.txt
+	$(GO) test -bench 'CrashCampaignForked' -benchtime 1x -count 3 -benchmem -run '^$$' ./internal/crash >> /tmp/bench_baseline.txt
+	$(GO) test -bench 'CheckpointRoundtrip' -benchtime 20x -count 3 -benchmem -run '^$$' ./internal/checkpoint >> /tmp/bench_baseline.txt
 	$(GO) run ./cmd/benchdiff -tojson /tmp/bench_baseline.txt > BENCH_baseline.json
 	@cat BENCH_baseline.json
 
@@ -58,13 +60,13 @@ golden:
 
 # golden-check reproduces the CI golden gate locally: serial and
 # 8-worker-parallel runs must both match the committed tables exactly.
-# The golden trace JSON is excluded (asapfig does not emit it; its own
-# test pins it byte-for-byte).
+# The golden trace JSON and the golden checkpoint image are excluded
+# (asapfig does not emit them; their own tests pin them byte-for-byte).
 golden-check:
 	$(GO) run ./cmd/asapfig -ops 80 -csv -parallel 1 -outdir /tmp/asap-golden-serial all
-	diff -ru -x '*.json' testdata/golden /tmp/asap-golden-serial
+	diff -ru -x '*.json' -x '*.ckpt' testdata/golden /tmp/asap-golden-serial
 	$(GO) run ./cmd/asapfig -ops 80 -csv -parallel 8 -outdir /tmp/asap-golden-parallel all
-	diff -ru -x '*.json' testdata/golden /tmp/asap-golden-parallel
+	diff -ru -x '*.json' -x '*.ckpt' testdata/golden /tmp/asap-golden-parallel
 
 # profile captures cpu+heap pprof of the Fig8 sweep — the run whose
 # per-access memory-system path the perf work targets. Inspect with

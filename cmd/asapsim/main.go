@@ -28,6 +28,7 @@ import (
 	"os"
 	"strings"
 
+	"asap/internal/checkpoint"
 	"asap/internal/config"
 	"asap/internal/machine"
 	"asap/internal/model"
@@ -58,6 +59,9 @@ func main() {
 		describe = flag.Bool("stats", false, "print statistics with their registered descriptions")
 		specIn   = flag.String("spec", "", "load a RunSpec JSON (overrides workload/model/params flags)")
 		specOut  = flag.String("save-spec", "", "write the run's canonical RunSpec JSON to this file and exit")
+		ckptOut  = flag.String("checkpoint", "", "advance to -checkpoint-at, save a checkpoint image to this file, then finish the run")
+		ckptAt   = flag.Uint64("checkpoint-at", 0, "cycle to checkpoint at (the save lands on the first quiescent cycle >= this)")
+		ckptIn   = flag.String("restore", "", "restore a checkpoint image and continue the run from it (ignores workload/model flags)")
 	)
 	flag.Parse()
 
@@ -108,6 +112,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s: spec %s, hash %s\n", *specOut, spec, spec.MustHash())
+		return
+	}
+
+	if *ckptIn != "" {
+		img, err := os.ReadFile(*ckptIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		m, err := checkpoint.Load(img)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("restored          %s at cycle %d\n", *ckptIn, m.Eng.Now())
+		printRun(m.Trace(), m.Run(0), *describe, "")
 		return
 	}
 
@@ -166,6 +186,26 @@ func main() {
 	if *tlOut != "" {
 		tl = m.EnableTimeline(sim.Cycles(*interval))
 	}
+	if *ckptOut != "" {
+		if nshards > 1 || col != nil || tl != nil {
+			fmt.Fprintln(os.Stderr, "asapsim: -checkpoint requires the serial engine without -trace/-timeline")
+			os.Exit(1)
+		}
+		if *ckptAt > 0 {
+			m.Advance(*ckptAt)
+		}
+		img, at, err := checkpoint.SaveNextQuiescent(m, 1<<20)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*ckptOut, img, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint        %s at cycle %d (%d bytes)\n", *ckptOut, at, len(img))
+	}
+
 	res := m.Run(0)
 	if col != nil {
 		writeArtifact(*traceOut, col.WriteChromeTrace)
@@ -174,23 +214,32 @@ func main() {
 		writeArtifact(*tlOut, tl.WriteCSV)
 	}
 
-	fmt.Printf("workload          %s (%d threads, %d trace ops)\n",
-		tr.Name, tr.NumThreads(), tr.TotalOps())
-	fmt.Printf("model             %s\n", res.ModelName)
+	specHash := ""
 	if *loadTr == "" {
 		// A generated run is fully described by its spec; the hash is the
 		// content address asapd would file this result under.
-		fmt.Printf("runspec           %s\n", spec.MustHash())
+		specHash = spec.MustHash()
+	}
+	printRun(tr, res, *describe, specHash)
+}
+
+// printRun emits the standard execution summary.
+func printRun(tr *trace.Trace, res machine.Result, describe bool, specHash string) {
+	fmt.Printf("workload          %s (%d threads, %d trace ops)\n",
+		tr.Name, tr.NumThreads(), tr.TotalOps())
+	fmt.Printf("model             %s\n", res.ModelName)
+	if specHash != "" {
+		fmt.Printf("runspec           %s\n", specHash)
 	}
 	fmt.Printf("execution         %d cycles (%.3f ms @2GHz)\n",
 		res.Cycles, float64(res.Cycles)/2e6)
 	fmt.Printf("pmWrites          %d\n", res.PMWrites)
 	fmt.Printf("pmReads           %d\n", res.PMReads)
-	if model.Speculative(*mdl) {
+	if model.Speculative(res.ModelName) {
 		fmt.Printf("rtMaxOccupancy    %d\n", res.RTMaxOcc)
 	}
 	fmt.Printf("wpqMaxOccupancy   %d\n", res.WPQMaxOcc)
-	if *describe {
+	if describe {
 		fmt.Printf("\n--- stats ---\n%s", res.Stats.Describe())
 	} else {
 		fmt.Printf("\n--- stats ---\n%s", res.Stats)

@@ -1,0 +1,62 @@
+package crash
+
+import (
+	"testing"
+
+	"asap/internal/config"
+	"asap/internal/model"
+	"asap/internal/trace"
+	"asap/internal/workload"
+)
+
+// campaignBenchTrace is the shared 1k-injection campaign workload: long
+// enough that the per-injection prefix dominates the rebuild formulation,
+// with the moderate persistent footprint of a real index.
+func campaignBenchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	tr, err := workload.Generate("cceh", workload.Params{Threads: 2, OpsPerThread: 400, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+const campaignBenchRuns = 1000
+
+// BenchmarkCrashCampaignForked measures the checkpoint-forked campaign:
+// one simulation along the sorted injection frontier, one capture per
+// distinct point, one rewind per injection. Its counterpart
+// BenchmarkCrashCampaignRebuild re-simulates the prefix per injection; the
+// tentpole's acceptance gate is forked ≥ 5× faster at 1k injections.
+func BenchmarkCrashCampaignForked(b *testing.B) {
+	tr := campaignBenchTrace(b)
+	cfg := config.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Campaign(cfg, model.NameASAPEP, tr, campaignBenchRuns, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Failures) != 0 {
+			b.Fatalf("campaign found %d failures", len(res.Failures))
+		}
+	}
+}
+
+// BenchmarkCrashCampaignRebuild is the baseline side of the ≥5× gate.
+func BenchmarkCrashCampaignRebuild(b *testing.B) {
+	tr := campaignBenchTrace(b)
+	cfg := config.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := CampaignRebuild(cfg, model.NameASAPEP, tr, campaignBenchRuns, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Failures) != 0 {
+			b.Fatalf("campaign found %d failures", len(res.Failures))
+		}
+	}
+}

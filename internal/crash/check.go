@@ -38,6 +38,48 @@ func (r *Report) fail(format string, args ...interface{}) {
 	}
 }
 
+// epochMemo is a dense memo table for per-epoch verdicts. A campaign calls
+// Check once per injection point — thousands of calls against the same
+// footprint — and epoch timestamps are small dense per-thread sequences, so
+// (thread, TS)-indexed byte slices replace EpochID-keyed maps: no hashing
+// on any visit, one amortized growth path. A negative thread (never emitted
+// by the models, but EpochID admits it) falls back to a tiny overflow map.
+type epochMemo struct {
+	byThread [][]uint8
+	overflow map[persist.EpochID]uint8
+}
+
+func (t *epochMemo) get(e persist.EpochID) uint8 {
+	if e.Thread < 0 {
+		return t.overflow[e]
+	}
+	if e.Thread >= len(t.byThread) || e.TS >= uint64(len(t.byThread[e.Thread])) {
+		return 0
+	}
+	return t.byThread[e.Thread][e.TS]
+}
+
+func (t *epochMemo) set(e persist.EpochID, v uint8) {
+	if e.Thread < 0 {
+		if t.overflow == nil {
+			t.overflow = make(map[persist.EpochID]uint8)
+		}
+		t.overflow[e] = v
+		return
+	}
+	for len(t.byThread) <= e.Thread {
+		t.byThread = append(t.byThread, nil)
+	}
+	if s := t.byThread[e.Thread]; e.TS < uint64(len(s)) {
+		s[e.TS] = v
+		return
+	}
+	grown := make([]uint8, e.TS+e.TS/2+16)
+	copy(grown, t.byThread[e.Thread])
+	grown[e.TS] = v
+	t.byThread[e.Thread] = grown
+}
+
 // Check verifies the machine's post-crash NVM image against its ledger.
 // Call it after Machine.Run returned with Crashed=true (or after a normal
 // completion, where it degenerates to checking that all committed writes
@@ -53,31 +95,37 @@ func Check(m *machine.Machine) Report {
 
 	// fullyDurable memoizes whether every write of an epoch survived or
 	// was legally overwritten by a later write to the same line.
-	durableMemo := make(map[persist.EpochID]bool)
+	const (
+		durUnknown uint8 = iota
+		durYes
+		durNo
+	)
+	var durableMemo epochMemo
 	var fullyDurable func(e persist.EpochID) bool
 	fullyDurable = func(e persist.EpochID) bool {
-		if v, ok := durableMemo[e]; ok {
-			return v
+		if v := durableMemo.get(e); v != durUnknown {
+			return v == durYes
 		}
-		durableMemo[e] = true // epochs without writes are trivially durable
+		v := durYes // epochs without writes are trivially durable
 		for _, w := range lg.EpochWrites(e) {
 			sv := surviving(w.Line)
 			if sv == 0 {
-				durableMemo[e] = false
+				v = durNo
 				break
 			}
 			svPos, ok := lg.TokenPos(sv)
 			if !ok {
-				durableMemo[e] = false
+				v = durNo
 				break
 			}
 			wPos, _ := lg.TokenPos(w.Token)
 			if svPos < wPos {
-				durableMemo[e] = false
+				v = durNo
 				break
 			}
 		}
-		return durableMemo[e]
+		durableMemo.set(e, v)
+		return v == durYes
 	}
 
 	// Lemma 1.1: committed epochs are fully durable.
@@ -88,16 +136,16 @@ func Check(m *machine.Machine) Report {
 	})
 
 	// Theorem 2: ancestry of every surviving epoch is fully durable.
-	ancestryOK := make(map[persist.EpochID]int) // 0 unknown, 1 ok, 2 bad, 3 visiting
+	var ancestryOK epochMemo // 0 unknown, 1 ok, 2 bad, 3 visiting
 	var checkAncestry func(e persist.EpochID) bool
 	checkAncestry = func(e persist.EpochID) bool {
-		switch ancestryOK[e] {
+		switch ancestryOK.get(e) {
 		case 1, 3: // visiting: the DAG is acyclic by construction (Lemma 0.1); treat as ok
 			return true
 		case 2:
 			return false
 		}
-		ancestryOK[e] = 3
+		ancestryOK.set(e, 3)
 		ok := true
 		// Same-thread predecessor chain.
 		if e.TS > 1 {
@@ -119,14 +167,14 @@ func Check(m *machine.Machine) Report {
 			}
 		}
 		if ok {
-			ancestryOK[e] = 1
+			ancestryOK.set(e, 1)
 		} else {
-			ancestryOK[e] = 2
+			ancestryOK.set(e, 2)
 		}
 		return ok
 	}
 
-	seenEpochs := make(map[persist.EpochID]bool)
+	var seenEpochs epochMemo
 	lg.Lines(func(l mem.Line, ws []machine.WriteRec) {
 		rep.LinesChecked++
 		sv := surviving(l)
@@ -144,8 +192,8 @@ func Check(m *machine.Machine) Report {
 			rep.fail("line %#x holds token %d belonging to line %#x", l.Addr(), sv, wl.Addr())
 			return
 		}
-		if !seenEpochs[rec.Epoch] {
-			seenEpochs[rec.Epoch] = true
+		if seenEpochs.get(rec.Epoch) == 0 {
+			seenEpochs.set(rec.Epoch, 1)
 			rep.SurvivingEpochs++
 		}
 		checkAncestry(rec.Epoch)

@@ -1,0 +1,99 @@
+package harness
+
+// The process-global compiled-trace cache. A generated trace is immutable
+// once workload.Generate returns it (machines only read the op streams,
+// and the compiled arena's windows are capacity-clipped), so one compiled
+// trace can back every engine in the process: repeated harness
+// constructions — benchmarks iterating a figure, asapd serving many
+// requests, the CLI running figure after figure — stop paying generation
+// and recompilation for identical (workload, params) keys. The cache is a
+// bounded LRU so pathological parameter sweeps cannot retain every trace
+// ever generated, and singleflighted so concurrent engines requesting the
+// same key generate it once.
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"asap/internal/trace"
+	"asap/internal/workload"
+)
+
+// compiledTraceCap bounds the cache. The full evaluation touches well
+// under a hundred distinct (workload, params) keys; 256 keeps every
+// figure's traces resident while capping worst-case footprint.
+const compiledTraceCap = 256
+
+type traceCacheEntry struct {
+	key   traceKey
+	ready chan struct{} // closed once tr/err are final
+	tr    *trace.Trace
+	err   error
+}
+
+var compiledTraces = struct {
+	mu    sync.Mutex
+	order *list.List // *traceCacheEntry, front = most recently used
+	byKey map[traceKey]*list.Element
+}{
+	order: list.New(),
+	byKey: make(map[traceKey]*list.Element),
+}
+
+// lookupTrace returns the compiled trace for k, generating it at most once
+// per process; concurrent requesters of an in-flight key wait for the
+// leader. Failed generations release their slot (the error still reaches
+// every waiter), so an error never occupies LRU capacity.
+func lookupTrace(k traceKey) (*trace.Trace, error) {
+	c := &compiledTraces
+	c.mu.Lock()
+	if el, ok := c.byKey[k]; ok {
+		c.order.MoveToFront(el)
+		ent := el.Value.(*traceCacheEntry)
+		c.mu.Unlock()
+		<-ent.ready
+		return ent.tr, ent.err
+	}
+	ent := &traceCacheEntry{key: k, ready: make(chan struct{})}
+	el := c.order.PushFront(ent)
+	c.byKey[k] = el
+	if c.order.Len() > compiledTraceCap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*traceCacheEntry).key)
+	}
+	c.mu.Unlock()
+
+	done := false
+	defer func() {
+		if done {
+			return
+		}
+		// Unwinding from a generator panic: publish an error so waiters
+		// never block, release the slot, and let the panic propagate to
+		// the leader's capture wrapper.
+		ent.err = fmt.Errorf("workload %s: generation panicked", k.wl)
+		dropTraceSlot(k, el)
+		close(ent.ready)
+	}()
+	ent.tr, ent.err = workload.Generate(k.wl, k.p)
+	done = true
+	if ent.err != nil {
+		dropTraceSlot(k, el)
+	}
+	close(ent.ready)
+	return ent.tr, ent.err
+}
+
+// dropTraceSlot removes k's slot if it still holds el (a concurrent
+// re-insert after eviction must not be removed by a stale leader).
+func dropTraceSlot(k traceKey, el *list.Element) {
+	c := &compiledTraces
+	c.mu.Lock()
+	if cur, ok := c.byKey[k]; ok && cur == el {
+		c.order.Remove(el)
+		delete(c.byKey, k)
+	}
+	c.mu.Unlock()
+}

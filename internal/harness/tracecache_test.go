@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"testing"
+
+	"asap/internal/workload"
+)
+
+// TestTraceCacheSharesArena pins the process-global compiled-trace cache:
+// two lookups of the same key return the identical trace object (one
+// generation per process), distinct keys miss, and eviction bounds the
+// cache without breaking in-flight results.
+func TestTraceCacheSharesArena(t *testing.T) {
+	k := traceKey{wl: "cceh", p: workload.Params{Threads: 2, OpsPerThread: 16, Seed: 999999}}
+	a, err := lookupTrace(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lookupTrace(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same key generated twice: cache miss on repeat lookup")
+	}
+	k2 := k
+	k2.p.Seed++
+	c, err := lookupTrace(k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("distinct keys shared a trace")
+	}
+}
+
+// TestTraceCacheErrorsReleaseSlot pins that failed generations reach the
+// caller as errors and do not occupy cache capacity.
+func TestTraceCacheErrorsReleaseSlot(t *testing.T) {
+	k := traceKey{wl: "no-such-workload", p: workload.Params{Threads: 1, OpsPerThread: 1}}
+	if _, err := lookupTrace(k); err == nil {
+		t.Fatal("unknown workload did not error")
+	}
+	compiledTraces.mu.Lock()
+	_, held := compiledTraces.byKey[k]
+	compiledTraces.mu.Unlock()
+	if held {
+		t.Fatal("failed generation kept its cache slot")
+	}
+}
+
+// TestTraceCacheEviction fills the cache past capacity and verifies the
+// oldest entries leave while results stay correct.
+func TestTraceCacheEviction(t *testing.T) {
+	base := traceKey{wl: "cceh", p: workload.Params{Threads: 1, OpsPerThread: 4, Seed: 5_000_000}}
+	first := base
+	if _, err := lookupTrace(first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < compiledTraceCap+8; i++ {
+		k := base
+		k.p.Seed += uint64(i + 1)
+		if _, err := lookupTrace(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compiledTraces.mu.Lock()
+	n := compiledTraces.order.Len()
+	_, firstHeld := compiledTraces.byKey[first]
+	compiledTraces.mu.Unlock()
+	if n > compiledTraceCap {
+		t.Fatalf("cache grew to %d entries (cap %d)", n, compiledTraceCap)
+	}
+	if firstHeld {
+		t.Fatal("oldest entry survived eviction")
+	}
+}

@@ -1,7 +1,7 @@
 package machine
 
 import (
-	"sort"
+	"slices"
 
 	"asap/internal/mem"
 	"asap/internal/persist"
@@ -225,7 +225,7 @@ func (lg *Ledger) Writes(line mem.Line) []WriteRec {
 func (lg *Ledger) Lines(fn func(mem.Line, []WriteRec)) {
 	lines := make([]mem.Line, len(lg.lineKeys))
 	copy(lines, lg.lineKeys)
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	slices.Sort(lines)
 	for _, l := range lines {
 		fn(l, lg.Writes(l))
 	}

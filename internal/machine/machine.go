@@ -32,6 +32,8 @@ const (
 	mEvDfence          // run the model's Dfence for core arg
 	mEvSample          // periodic occupancy sampler
 	mEvTimeline        // periodic timeline row
+	mEvRelease         // run the model's Release for core arg's staged lock line
+	mEvHandoff         // finish a contended acquire handed to core arg
 )
 
 // Machine is one runnable system instance. Build with New, run with Run.
@@ -71,6 +73,11 @@ type Machine struct {
 
 	crashAt sim.Cycles
 	Crashed bool
+	started bool // initial per-core/sampler events scheduled (see Start)
+
+	// tr is the trace this machine replays, kept so a checkpoint image can
+	// embed the full run recipe (config, model, trace) next to the state.
+	tr *trace.Trace
 
 	// Sharded-run state (nil/empty on serial machines). cluster owns the
 	// per-domain engines: domain 0 (Eng) hosts the cores, hierarchy, locks,
@@ -109,18 +116,28 @@ type coreState struct {
 
 	waitingLock bool // a "lock wait" trace span is open for this core
 
-	// stepFn and dfenceDoneFn are the core's resume callbacks, built once at
-	// construction and passed to the model as done-callbacks so the per-op
-	// path allocates no closures. Each core has at most one op in flight, so
-	// a single callback per core suffices.
+	// stepFn, dfenceDoneFn and relDoneFn are the core's resume callbacks,
+	// built once at construction and passed to the model as done-callbacks
+	// so the per-op path allocates no closures. Each core has at most one
+	// op in flight, so a single callback per core suffices.
 	stepFn       func()
 	dfenceDoneFn func()
+	relDoneFn    func()
 
 	// pendLine/pendToken stage the persistent store issued when the pending
 	// mEvPStore event fires. Valid because the core is serial: no second
 	// store can be staged before the event dispatches.
 	pendLine  mem.Line
 	pendToken mem.Token
+
+	// relLine/relTS stage the lock release in flight (mEvRelease plus the
+	// model's Release continuation); handoffLine stages the lock line of a
+	// contended acquire handed to this core (mEvHandoff). One of each can
+	// be pending per core: releases are ops of the serial core, and a core
+	// receiving a handoff is parked on that acquire.
+	relLine     mem.Line
+	relTS       uint64
+	handoffLine mem.Line
 }
 
 type lockState struct {
@@ -180,6 +197,18 @@ func EffectiveShards(cfg config.Config, modelName string, shards int) int {
 // unavailable on sharded machines; callers gate on this.
 func (m *Machine) Sharded() bool { return m.cluster != nil }
 
+// Trace returns the trace this machine replays. Machines only read it, and
+// checkpoint images embed it so a restored machine replays the same ops.
+func (m *Machine) Trace() *trace.Trace { return m.tr }
+
+// HasObservers reports whether any observability sink (tracer, timeline,
+// progress gauge) is attached. Checkpoint images exclude observer history —
+// rolling it back would falsify the record of the run so far — so saving an
+// observed machine is refused rather than silently dropping its sinks.
+func (m *Machine) HasObservers() bool {
+	return m.trc != nil || m.timeline != nil || m.progress != nil
+}
+
 // NewSharded builds a machine split across shards timing domains (clamped
 // by EffectiveShards; 0 or 1 builds the ordinary serial machine, which is
 // byte-identical to New). Parallel runs dispatch the same events with the
@@ -223,6 +252,7 @@ func NewSharded(cfg config.Config, modelName string, tr *trace.Trace, shards int
 		cSampledCycles:       st.Counter(kCoreSampledCycles),
 	}
 	m.cluster = cluster
+	m.tr = tr
 	spec := model.Speculative(modelName)
 	m.MCs = make([]*persist.MC, cfg.MCs)
 	if cluster != nil {
@@ -271,10 +301,27 @@ func NewSharded(cfg config.Config, modelName string, tr *trace.Trace, shards int
 			}
 			m.step(c)
 		}
+		c.relDoneFn = func() { m.finishRelease(c) }
 		m.cores[i] = c
 		m.wbbs[i] = persist.NewWBB(16)
 		i := i
 		m.wbbPreds[i] = func(l mem.Line) bool { return !m.Model.PBHasLine(i, l) }
+	}
+	if cluster == nil {
+		// Fix the engine's typed-event receiver table in construction order
+		// (machine, model, controllers, link) instead of first-schedule
+		// order. Dispatch is ordered by (when, seq) alone, so slot indices
+		// never affect results — but checkpoint images reference receivers
+		// by index, and a canonical order makes the table identical between
+		// the machine that saved an image and the machine restoring it.
+		eng.RegisterOp(m)
+		if op, ok := mdl.(sim.EventOp); ok {
+			eng.RegisterOp(op)
+		}
+		for _, mc := range m.MCs {
+			eng.RegisterOp(mc)
+		}
+		eng.RegisterOp(m.link)
 	}
 	return m, nil
 }
@@ -295,6 +342,12 @@ func (m *Machine) RunEvent(kind int, arg uint64) {
 			m.trc.Begin(m.coreTracks[c.id], "dfence")
 		}
 		m.Model.Dfence(c.id, c.dfenceDoneFn)
+	case mEvRelease:
+		c := m.cores[arg]
+		m.Model.Release(c.id, c.relLine, c.relDoneFn) //asaplint:ignore alloccheck lock release is contention-only, cold next to the per-access path
+	case mEvHandoff:
+		c := m.cores[arg]
+		m.finishAcquire(c, c.handoffLine)
 	case mEvSample:
 		m.sample() //asaplint:ignore alloccheck periodic sampler fires once per SampleInterval, amortized off the per-op path
 	case mEvTimeline:
@@ -462,10 +515,16 @@ type Result struct {
 	Crashed   bool
 }
 
-// Run starts all cores and dispatches events until every core drains (and
-// the controllers go idle), a scheduled crash fires, or limit cycles pass
-// (0 = no limit). It returns the run summary.
-func (m *Machine) Run(limit sim.Cycles) Result {
+// Start schedules the initial events — one step per core, the sampler, and
+// the timeline tick if enabled — without dispatching anything. Run calls it
+// implicitly; the checkpoint/crash drivers call it before Advance so a
+// capture at cycle zero already contains the bootstrap events. Start is
+// idempotent: the first call wins, later calls are no-ops.
+func (m *Machine) Start() {
+	if m.started {
+		return
+	}
+	m.started = true
 	for _, c := range m.cores {
 		m.Eng.AfterOp(0, m, mEvStep, uint64(c.id))
 	}
@@ -473,12 +532,62 @@ func (m *Machine) Run(limit sim.Cycles) Result {
 	if m.timeline != nil {
 		m.Eng.AfterOp(m.timeline.Interval(), m, mEvTimeline, 0)
 	}
+}
+
+// Run starts all cores and dispatches events until every core drains (and
+// the controllers go idle), a scheduled crash fires, or limit cycles pass
+// (0 = no limit). It returns the run summary.
+func (m *Machine) Run(limit sim.Cycles) Result {
+	m.Start()
 	if m.cluster != nil {
 		m.cluster.Run(limit)
 	} else {
 		m.Eng.Run(limit)
 	}
 	return m.result()
+}
+
+// Advance runs the machine through cycle `to` and stops with the clock
+// exactly there: every event at or before `to` has fired, none after. It is
+// the incremental form of Run for checkpoint captures and forked crash
+// campaigns, and requires the serial engine (sharded machines advance only
+// in lookahead windows). Calling it with a cycle already in the past is a
+// no-op beyond clock normalization.
+func (m *Machine) Advance(to sim.Cycles) {
+	if m.cluster != nil {
+		panic("machine: Advance requires the serial engine (build with shards=1)")
+	}
+	m.Start()
+	m.Eng.RunUntil(to)
+}
+
+// CrashNow injects a power failure at cycle `at` synchronously: it advances
+// through cycle at-1, moves the clock to `at` without dispatching the
+// events scheduled there, and performs the ADR crash sequence (WPQ drain
+// plus undo write-back on every controller, then halt). The machine ends in
+// exactly the state a ScheduleCrash(at)+Run(0) pair produces — the
+// scheduled crash event carried sequence number zero, so it too fired
+// before any same-cycle work (pinned by TestCrashNowEquivalence) — but
+// without dedicating a heap slot from construction, which is what lets a
+// forked campaign decide the crash cycle after the prefix has already run.
+func (m *Machine) CrashNow(at sim.Cycles) {
+	if m.cluster != nil {
+		panic("machine: crash injection requires the serial engine (build with shards=1)")
+	}
+	if at == 0 {
+		panic("machine: crash at cycle 0 precedes all work")
+	}
+	m.Advance(at - 1)
+	m.Eng.JumpTo(at)
+	m.crashAt = at
+	m.Crashed = true
+	if m.trc != nil {
+		m.trc.Instant(m.engTrack, "crash")
+	}
+	for _, mc := range m.MCs {
+		mc.CrashFlush()
+	}
+	m.Eng.Halt()
 }
 
 func (m *Machine) result() Result {
@@ -699,31 +808,38 @@ func (m *Machine) finishAcquire(c *coreState, line mem.Line) {
 
 // release runs the model's release work (epoch close, or flush+fence on the
 // baseline), then performs the lock-line store, tags the release epoch in
-// the directory, and hands the lock to the next waiter.
+// the directory, and hands the lock to the next waiter. The whole chain is
+// staged in coreState fields and driven by typed events plus the
+// construction-time relDoneFn — lock-heavy workloads release constantly,
+// and the closure form this replaced was a double-digit share of Fig8's
+// allocations.
 func (m *Machine) release(c *coreState, line mem.Line) {
-	relTS := m.Model.CurrentTS(c.id)
-	//asaplint:ignore schedcheck,alloccheck lock release is contention-only, cold next to the per-access path
-	m.Eng.After(m.Cfg.FenceCost, func() {
-		m.Model.Release(c.id, line, func() {
-			res := m.access(c.id, line, true, false)
-			m.Hier.Directory().MarkRelease(c.id, line, relTS)
+	c.relLine = line
+	c.relTS = m.Model.CurrentTS(c.id)
+	m.Eng.AfterOp(m.Cfg.FenceCost, m, mEvRelease, uint64(c.id))
+}
 
-			lk := m.lock(line)
-			if !lk.held || lk.holder != c.id {
-				panic("machine: release of a lock not held by this core")
-			}
-			if len(lk.waiters) > 0 {
-				next := lk.waiters[0]
-				lk.waiters = lk.waiters[1:]
-				lk.holder = next.id
-				//asaplint:ignore schedcheck lock handoff fires only under contention
-				m.Eng.After(m.Cfg.RemoteXfer, func() { m.finishAcquire(next, line) })
-			} else {
-				lk.held = false
-			}
-			m.Eng.AfterOp(res.Latency+m.Cfg.StoreCost, m, mEvStep, uint64(c.id))
-		})
-	})
+// finishRelease is the model's release-done continuation: the lock-line
+// store, directory release tag, and lock handoff.
+func (m *Machine) finishRelease(c *coreState) {
+	line := c.relLine
+	res := m.access(c.id, line, true, false)
+	m.Hier.Directory().MarkRelease(c.id, line, c.relTS)
+
+	lk := m.lock(line)
+	if !lk.held || lk.holder != c.id {
+		panic("machine: release of a lock not held by this core")
+	}
+	if len(lk.waiters) > 0 {
+		next := lk.waiters[0]
+		lk.waiters = lk.waiters[1:]
+		lk.holder = next.id
+		next.handoffLine = line
+		m.Eng.AfterOp(m.Cfg.RemoteXfer, m, mEvHandoff, uint64(next.id))
+	} else {
+		lk.held = false
+	}
+	m.Eng.AfterOp(res.Latency+m.Cfg.StoreCost, m, mEvStep, uint64(c.id))
 }
 
 func (m *Machine) lock(line mem.Line) *lockState {

@@ -297,6 +297,7 @@ func (mc *MC) finishJob() {
 		mc.trc.End(mc.track)
 	}
 	mc.serving = false
+	mc.cur = mcJob{} // release the job's closures; also keeps idle controllers checkpointable
 	mc.serve()
 }
 

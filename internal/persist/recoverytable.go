@@ -202,6 +202,11 @@ func (rt *RecoveryTable) Commit(e EpochID) []*DelayRecord {
 	for l, r := range rt.undo {
 		if r.Creator == e {
 			delete(rt.undo, l)
+			// Clear the dead record: Insert overwrites it wholesale on
+			// reuse, and zeroed free records keep checkpoint images
+			// byte-identical across processes (the free order follows
+			// this map iteration).
+			*r = UndoRecord{}
 			rt.undoFree = append(rt.undoFree, r) //asaplint:ignore alloccheck free list bounded by table capacity; backing array reaches it once
 		}
 	}

@@ -4,6 +4,8 @@
 // ASAP paper.
 package sim
 
+import "fmt"
+
 // Cycles is the simulation time unit: one cycle of the 2 GHz core clock.
 type Cycles = uint64
 
@@ -202,6 +204,72 @@ func (e *Engine) Run(limit Cycles) Cycles {
 		e.dispatch()
 	}
 	return e.now
+}
+
+// RunUntil dispatches every event scheduled at or before limit and leaves
+// the clock exactly at limit, even when the last event fired earlier (or no
+// event was pending at all). It is the checkpoint/crash-injection driver's
+// "advance to cycle" primitive: unlike Run, limit 0 means cycle zero, not
+// "no limit", and the clock never stops short of limit — so a capture taken
+// after RunUntil(c) always observes the state the machine has at cycle c,
+// with every pre-c event retired.
+func (e *Engine) RunUntil(limit Cycles) Cycles {
+	for len(e.events) > 0 && !e.halted && e.events[0].when <= limit {
+		e.dispatch()
+	}
+	if !e.halted && e.now < limit {
+		e.now = limit
+	}
+	return e.now
+}
+
+// JumpTo advances the clock to when without dispatching anything. Crash
+// injection uses it to place the power-failure instant between "every event
+// before the crash cycle has fired" (RunUntil(when-1)) and "no event at the
+// crash cycle has" — the same machine state the scheduled-crash event used
+// to observe, since it carried sequence number zero and preempted all
+// same-cycle work. Jumping backwards panics like scheduling in the past.
+func (e *Engine) JumpTo(when Cycles) {
+	if when < e.now {
+		panic("sim: clock jump into the past")
+	}
+	e.now = when
+}
+
+// RegisterOp pre-registers a typed-event receiver, fixing its slot in the
+// receiver table at construction time instead of first-schedule time. The
+// slot index never influences dispatch order — (when, seq) does — but a
+// checkpoint image stores heap events by receiver index, so machines
+// register their receivers in one canonical construction order to make the
+// table reproducible between the machine that saved an image and the fresh
+// machine that restores it.
+func (e *Engine) RegisterOp(op EventOp) { e.opIndex(op) }
+
+// Quiesce verifies the engine holds no state a checkpoint image cannot
+// carry — pending closure-form events, live closure slots, or a dispatch
+// hook — and canonicalizes the closure tables to empty on success. Closure
+// events capture arbitrary environments the serializer cannot reconstruct;
+// typed events (ScheduleOp) are pointer-free and serialize by receiver
+// index. A machine that schedules closures is still checkpointable at any
+// cycle where none are in flight, which is what the quiescence search in
+// cmd/asapsim looks for.
+func (e *Engine) Quiesce() error {
+	for i := range e.events {
+		if e.events[i].opIdx < 0 {
+			return fmt.Errorf("sim: closure event pending at cycle %d (not quiescent)", e.events[i].when)
+		}
+	}
+	for i, fn := range e.fns {
+		if fn != nil {
+			return fmt.Errorf("sim: closure slot %d live (not quiescent)", i)
+		}
+	}
+	if e.onDispatch != nil {
+		return fmt.Errorf("sim: dispatch hook attached")
+	}
+	e.fns = e.fns[:0]
+	e.fnFree = e.fnFree[:0]
+	return nil
 }
 
 // Step dispatches exactly one event if available and reports whether it did.

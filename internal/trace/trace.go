@@ -69,6 +69,28 @@ type Trace struct {
 // NumThreads returns the thread count.
 func (t *Trace) NumThreads() int { return len(t.Threads) }
 
+// Compile repacks the per-thread streams into one flat op arena: a single
+// backing []Op with each thread's stream a three-index window into it. A
+// generated trace arrives as one heap allocation per thread builder (plus
+// the builders' growth garbage); the compiled form is one allocation total,
+// contiguous in replay order, so a harness replaying the same trace across
+// many models touches one cache-friendly slab. The windows are capacity-
+// clipped, so an append through one thread's slice can never bleed into the
+// next thread's ops. Compiling is idempotent; it returns t for chaining.
+func (t *Trace) Compile() *Trace {
+	arena := make([]Op, 0, t.TotalOps())
+	for _, th := range t.Threads {
+		arena = append(arena, th...)
+	}
+	off := 0
+	for i, th := range t.Threads {
+		end := off + len(th)
+		t.Threads[i] = arena[off:end:end]
+		off = end
+	}
+	return t
+}
+
 // TotalOps returns the op count across all threads.
 func (t *Trace) TotalOps() int {
 	n := 0

@@ -3,6 +3,7 @@ package trace
 import (
 	"strings"
 	"testing"
+	"unsafe"
 )
 
 func TestBuilder(t *testing.T) {
@@ -46,6 +47,57 @@ func TestTraceCounts(t *testing.T) {
 	if c[OpStore] != 1 || c[OpOfence] != 1 || c[OpLoad] != 1 {
 		t.Fatalf("counts = %v", c)
 	}
+}
+
+func TestCompile(t *testing.T) {
+	var a, b, c Builder
+	a.StoreP(0x40)
+	a.Ofence()
+	b.Load(0x80)
+	// c stays empty: zero-length thread streams must survive compilation.
+	tr := &Trace{Name: "x", Threads: [][]Op{a.Ops(), c.Ops(), b.Ops()}}
+	want := [][]Op{append([]Op(nil), a.Ops()...), nil, append([]Op(nil), b.Ops()...)}
+
+	if got := tr.Compile(); got != tr {
+		t.Fatal("Compile must return its receiver")
+	}
+	if tr.NumThreads() != 3 || tr.TotalOps() != 3 {
+		t.Fatalf("counts changed: threads=%d ops=%d", tr.NumThreads(), tr.TotalOps())
+	}
+	for i, th := range tr.Threads {
+		if len(th) != len(want[i]) {
+			t.Fatalf("thread %d: len %d, want %d", i, len(th), len(want[i]))
+		}
+		for j := range th {
+			if th[j] != want[i][j] {
+				t.Fatalf("thread %d op %d changed: %+v != %+v", i, j, th[j], want[i][j])
+			}
+		}
+		// Capacity-clipped windows: appending through one thread's slice
+		// must reallocate, never bleed into the next thread's ops.
+		if cap(th) != len(th) {
+			t.Fatalf("thread %d window not capacity-clipped: cap %d, len %d", i, cap(th), len(th))
+		}
+	}
+	// Adjacent non-empty windows share one arena: thread 2 starts right
+	// after thread 0's two ops.
+	base := unsafe.Pointer(&tr.Threads[0][0])
+	next := unsafe.Add(base, uintptr(len(tr.Threads[0]))*unsafe.Sizeof(Op{}))
+	if unsafe.Pointer(&tr.Threads[2][0]) != next {
+		t.Fatal("thread streams do not share a contiguous arena")
+	}
+}
+
+func TestCompileIdempotent(t *testing.T) {
+	var a Builder
+	a.StoreP(0x40)
+	tr := (&Trace{Name: "x", Threads: [][]Op{a.Ops()}}).Compile()
+	first := &tr.Threads[0][0]
+	tr.Compile()
+	if tr.TotalOps() != 1 || tr.Threads[0][0].Addr != 0x40 {
+		t.Fatal("second Compile corrupted the trace")
+	}
+	_ = first // recompiling may re-arena; contents above are what matter
 }
 
 func TestKindString(t *testing.T) {

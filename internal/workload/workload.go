@@ -95,7 +95,9 @@ func Known(name string) bool {
 	return ok
 }
 
-// Generate builds the named workload's trace.
+// Generate builds the named workload's trace, compiled into a flat op
+// arena (trace.Compile): the machine replays a single contiguous slab
+// instead of one heap object per thread builder.
 //
 // Generate is safe for concurrent callers: the registry is immutable
 // after package init, and every generator builds a private heap, data
@@ -109,7 +111,7 @@ func Generate(name string, p Params) (*trace.Trace, error) {
 	if p.Threads <= 0 || p.OpsPerThread <= 0 {
 		return nil, fmt.Errorf("workload: Threads and OpsPerThread must be positive")
 	}
-	return g(p.Normalized()), nil
+	return g(p.Normalized()).Compile(), nil
 }
 
 func init() {
